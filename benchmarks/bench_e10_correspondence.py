@@ -1,0 +1,110 @@
+"""E10 — Theorem 24: the mining ↔ learning equivalence, executed.
+
+Runs the same hidden structure through both readings:
+
+* miner-as-learner: Dualize and Advance against ``q = ¬f`` recovers both
+  canonical forms of a hidden monotone function;
+* learner-as-miner: the learned CNF/DNF translate back into exactly the
+  planted ``MTh`` and ``Bd-``;
+* query-for-query: the membership-oracle bill equals the
+  ``Is-interesting`` bill on the corresponding problem.
+"""
+
+from __future__ import annotations
+
+from repro.boolean.dualization import dnf_to_cnf
+from repro.boolean.families import random_monotone_dnf
+from repro.core.oracle import CountingOracle
+from repro.datasets.planted import random_planted_theory
+from repro.learning.correspondence import (
+    cnf_from_maximal_sets,
+    dnf_from_negative_border,
+    interestingness_from_membership,
+    maximal_sets_from_cnf,
+    negative_border_from_dnf,
+)
+from repro.learning.exact import learn_monotone_function
+from repro.learning.oracles import MembershipOracle
+from repro.mining.dualize_advance import dualize_and_advance
+
+from benchmarks.conftest import record
+
+
+def test_miner_as_learner():
+    for seed in range(5):
+        target = random_monotone_dnf(10, 6, seed=seed)
+        oracle = MembershipOracle.from_dnf(target)
+        result = learn_monotone_function(oracle, target.universe)
+        assert result.dnf == target
+        assert result.cnf == dnf_to_cnf(target)
+    record("E10", "miner-as-learner: 5/5 random monotone DNFs learned exactly")
+
+
+def test_learner_as_miner():
+    for seed in range(5):
+        planted = random_planted_theory(10, 4, min_size=2, max_size=8, seed=seed)
+        universe = planted.universe
+        # Hide the mining problem behind a membership oracle (f = ¬q).
+        oracle = MembershipOracle(
+            lambda mask, p=planted: not p.is_interesting(mask)
+        )
+        result = learn_monotone_function(oracle, universe)
+        # Translate the learned forms back to mining vocabulary.
+        recovered_maximal = sorted(maximal_sets_from_cnf(result.cnf))
+        recovered_border = sorted(negative_border_from_dnf(result.dnf))
+        assert recovered_maximal == sorted(planted.maximal_masks)
+        assert recovered_border == sorted(planted.negative_border_masks())
+    record(
+        "E10",
+        "learner-as-miner: MTh = complements of CNF clauses, "
+        "Bd- = DNF terms, 5/5 plants recovered",
+    )
+
+
+def test_query_bills_coincide():
+    planted = random_planted_theory(12, 5, min_size=3, max_size=9, seed=77)
+    universe = planted.universe
+
+    mining_oracle = CountingOracle(planted.is_interesting)
+    mined = dualize_and_advance(universe, mining_oracle)
+
+    membership = MembershipOracle(
+        lambda mask: not planted.is_interesting(mask)
+    )
+    learned = learn_monotone_function(membership, universe)
+
+    assert sorted(learned.cnf.clauses) == sorted(
+        universe.full_mask & ~mask for mask in mined.maximal
+    )
+    assert mined.queries == learned.queries
+    record(
+        "E10",
+        f"query-for-query: mining spent {mined.queries}, learning spent "
+        f"{learned.queries} — identical, as Theorem 24 predicts",
+    )
+
+
+def test_translation_round_trip_benchmark(benchmark, figure1_theory):
+    universe = figure1_theory.universe
+
+    def round_trip():
+        cnf = cnf_from_maximal_sets(universe, figure1_theory.maximal_masks)
+        dnf = dnf_from_negative_border(
+            universe, figure1_theory.negative_border_masks()
+        )
+        return maximal_sets_from_cnf(cnf), negative_border_from_dnf(dnf)
+
+    maximal, border = benchmark(round_trip)
+    assert sorted(maximal) == sorted(figure1_theory.maximal_masks)
+    assert sorted(border) == sorted(figure1_theory.negative_border_masks())
+
+
+def test_learning_benchmark(benchmark):
+    target = random_monotone_dnf(10, 6, seed=3)
+
+    def learn():
+        oracle = MembershipOracle.from_dnf(target)
+        return learn_monotone_function(oracle, target.universe)
+
+    result = benchmark(learn)
+    assert result.dnf == target

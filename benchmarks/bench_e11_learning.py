@@ -1,0 +1,124 @@
+"""E11 — Corollaries 26, 27, 28/29: learning-theory query complexity.
+
+* Corollary 27 (lower bound): every run must spend ≥ |DNF| + |CNF|
+  queries; measured/floor ratios are recorded per family.
+* Corollary 28 (upper bound): the D&A learner stays under
+  |CNF|·(|DNF| + n²) (+ the final-certification slack).
+* Corollary 26: the levelwise learner handles clauses of size ≥ n−k for
+  k ≈ log n with polynomially many queries — measured against both the
+  2^n exhaustive baseline and the k-capped binomial budget.
+* The matching family separates the two sizes: |DNF| = n/2 but
+  |CNF| = 2^{n/2}, so any DNF-only accounting fails (Angluin's point,
+  re-derived by the paper from Theorem 2).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.boolean.dualization import dnf_to_cnf
+from repro.boolean.families import (
+    matching_dnf,
+    planted_cnf_function,
+    random_monotone_dnf,
+    threshold_function,
+    tribes_function,
+)
+from repro.learning.exact import learn_monotone_function
+from repro.learning.levelwise_learner import learn_short_complement_cnf
+from repro.learning.oracles import MembershipOracle
+from repro.mining.bounds import (
+    corollary27_learning_lower_bound,
+    corollary28_learning_query_bound,
+)
+from repro.util.combinatorics import sum_binomials
+
+from benchmarks.conftest import record
+
+FAMILIES = [
+    ("threshold(9,3)", threshold_function(9, 3)),
+    ("threshold(9,7)", threshold_function(9, 7)),
+    ("matching(12)", matching_dnf(12)),
+    ("tribes(3,3)", tribes_function(3, 3)),
+    ("random(10,7)", random_monotone_dnf(10, 7, seed=11)),
+]
+
+
+def test_bounds_hold_per_family():
+    for name, target in FAMILIES:
+        universe = target.universe
+        oracle = MembershipOracle.from_dnf(target)
+        result = learn_monotone_function(oracle, universe)
+        assert result.dnf == target
+        floor = corollary27_learning_lower_bound(
+            result.dnf_size(), result.cnf_size()
+        )
+        ceiling = corollary28_learning_query_bound(
+            result.dnf_size(), result.cnf_size(), len(universe)
+        ) + result.dnf_size() + 1
+        assert floor <= result.queries <= ceiling
+        record(
+            "E11",
+            f"{name:>15}: |DNF|={result.dnf_size():>3} "
+            f"|CNF|={result.cnf_size():>4} queries={result.queries:>6} "
+            f"∈ [{floor:>5}, {ceiling:>8}] (Cor 27 / Cor 28)",
+        )
+
+
+def test_matching_family_needs_cnf_size():
+    """|DNF(matching)| = n/2 yet the learner must spend ≥ 2^{n/2}
+    queries: CNF size is unavoidable in the bound (Corollary 27)."""
+    for n in (8, 10, 12):
+        target = matching_dnf(n)
+        oracle = MembershipOracle.from_dnf(target)
+        result = learn_monotone_function(oracle, target.universe)
+        assert result.queries >= 2 ** (n // 2)  # = |CNF|
+        assert result.dnf_size() == n // 2
+        record(
+            "E11",
+            f"matching({n}): |DNF|={n // 2} but queries="
+            f"{result.queries} ≥ 2^{n // 2}={2 ** (n // 2)}",
+        )
+
+
+def test_corollary26_levelwise_learner_polynomial():
+    for n in (10, 14, 18):
+        k = max(1, math.ceil(math.log2(n)) - 1)
+        target = planted_cnf_function(
+            n, n_clauses=2 * k + 2, min_clause_size=n - k, seed=n
+        )
+        oracle = MembershipOracle.from_cnf(target)
+        result = learn_short_complement_cnf(oracle, target.universe)
+        assert result.cnf == target
+        budget = sum_binomials(n, k + 1)
+        assert result.queries <= budget
+        record(
+            "E11",
+            f"Cor 26: n={n:>2} k={k} clauses≥{n - k}: "
+            f"queries={result.queries:>5} ≤ ΣC(n,≤{k + 1})={budget:>6} "
+            f"(exhaustive = {2 ** n})",
+        )
+
+
+def test_exact_learner_benchmark(benchmark):
+    target = threshold_function(9, 4)
+
+    def learn():
+        return learn_monotone_function(
+            MembershipOracle.from_dnf(target), target.universe
+        )
+
+    result = benchmark(learn)
+    assert result.dnf == target
+
+
+def test_levelwise_learner_benchmark(benchmark):
+    target = planted_cnf_function(16, 8, min_clause_size=14, seed=5)
+
+    def learn():
+        return learn_short_complement_cnf(
+            MembershipOracle.from_cnf(target), target.universe
+        )
+
+    result = benchmark(learn)
+    assert result.cnf == target

@@ -1,0 +1,117 @@
+"""E13 — the FIMI-style workload family (T·I·D naming).
+
+The public FIMI benchmark datasets are not redistributable offline, so
+this experiment runs the classic *shapes* through the Quest generator:
+``T5.I2.D1K`` (sparse/shallow), ``T10.I4.D2K`` (the T10I4 classic), and
+``T15.I6.D1K`` (denser/deeper).  For each, all maximal-set miners must
+agree, and the record lines report the border profile plus each miner's
+query bill — the summary table a FIMI-style evaluation would print.
+"""
+
+from __future__ import annotations
+
+from repro.core.oracle import CountingOracle
+from repro.datasets.synthetic import QuestParameters, generate_quest_database
+from repro.instances.frequent_itemsets import (
+    FrequencyPredicate,
+    mine_frequent_itemsets,
+)
+from repro.mining.maxminer import maxminer_maxth
+
+from benchmarks.conftest import record
+
+WORKLOADS = [
+    (
+        "T5.I2.D1K",
+        QuestParameters(
+            n_items=50,
+            n_transactions=1000,
+            avg_transaction_length=5,
+            n_patterns=15,
+            avg_pattern_length=2,
+        ),
+        0.02,
+    ),
+    (
+        "T10.I4.D2K",
+        QuestParameters(
+            n_items=60,
+            n_transactions=2000,
+            avg_transaction_length=10,
+            n_patterns=15,
+            avg_pattern_length=4,
+        ),
+        0.08,
+    ),
+    (
+        "T12.I6.D1K",
+        QuestParameters(
+            n_items=40,
+            n_transactions=1000,
+            avg_transaction_length=12,
+            n_patterns=6,
+            avg_pattern_length=6,
+            corruption=0.15,
+        ),
+        0.15,
+    ),
+]
+
+
+# D&A pays per maximal set (Theorem 21's |MTh| factor); beyond this
+# family size it is firmly in the levelwise regime and running it only
+# stalls the harness — the skip itself is the experiment's finding.
+DUALIZE_ADVANCE_MTH_CAP = 300
+
+
+def test_fimi_family_profiles():
+    for index, (name, params, sigma) in enumerate(WORKLOADS):
+        database = generate_quest_database(params, seed=8600 + index)
+        apriori_theory = mine_frequent_itemsets(database, sigma)
+        lookahead = maxminer_maxth(
+            database.universe,
+            CountingOracle(FrequencyPredicate(database, sigma)),
+        )
+        assert apriori_theory.maximal == lookahead.maximal
+        if len(apriori_theory.maximal) <= DUALIZE_ADVANCE_MTH_CAP:
+            advance_theory = mine_frequent_itemsets(
+                database, sigma, algorithm="dualize_advance", seed=0
+            )
+            assert apriori_theory.maximal == advance_theory.maximal
+            advance_column = f"D&A={advance_theory.queries:>6}"
+        else:
+            advance_column = (
+                f"D&A=skipped (|MTh|={len(apriori_theory.maximal)} > "
+                f"{DUALIZE_ADVANCE_MTH_CAP}: levelwise regime)"
+            )
+        record(
+            "E13",
+            f"{name:>11} σ={sigma:.2f}: |Th|={apriori_theory.theory_size():>6} "
+            f"|MTh|={len(apriori_theory.maximal):>4} "
+            f"|Bd-|={len(apriori_theory.negative_border):>5} "
+            f"k={apriori_theory.rank():>2}  queries: "
+            f"apriori={apriori_theory.queries:>6} "
+            f"{advance_column} "
+            f"maxminer={lookahead.queries:>6}",
+        )
+
+
+def test_t10i4_benchmark_apriori(benchmark):
+    _, params, sigma = WORKLOADS[1]
+    database = generate_quest_database(params, seed=1)
+    theory = benchmark(lambda: mine_frequent_itemsets(database, sigma))
+    assert theory.maximal
+
+
+def test_t10i4_benchmark_maxminer(benchmark):
+    _, params, sigma = WORKLOADS[1]
+    database = generate_quest_database(params, seed=1)
+
+    def run():
+        return maxminer_maxth(
+            database.universe,
+            CountingOracle(FrequencyPredicate(database, sigma)),
+        )
+
+    result = benchmark(run)
+    assert result.maximal

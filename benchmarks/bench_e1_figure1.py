@@ -1,0 +1,108 @@
+"""E1 — Figure 1 and Examples 8/11/17/25: the paper's worked instance.
+
+Reproduces the full four-attribute narrative: the lattice borders of
+Example 8, the levelwise walk of Example 11, the Dualize-and-Advance walk
+of Example 17, and the Boolean-function translation of Example 25 — then
+times each algorithm on the instance.
+"""
+
+from __future__ import annotations
+
+from repro.core.borders import negative_border_from_positive
+from repro.core.verification import verify_maxth
+from repro.hypergraph.berge import berge_transversal_masks
+from repro.learning.correspondence import (
+    cnf_from_maximal_sets,
+    dnf_from_negative_border,
+)
+from repro.mining.dualize_advance import dualize_and_advance
+from repro.mining.levelwise import levelwise
+
+from benchmarks.conftest import record
+
+
+def _labels(universe, masks):
+    return sorted(universe.label(mask) for mask in masks)
+
+
+def test_example8_borders(figure1_universe, figure1_theory, benchmark):
+    def run():
+        return negative_border_from_positive(
+            figure1_universe, list(figure1_theory.maximal_masks)
+        )
+
+    border = benchmark(run)
+    assert _labels(figure1_universe, border) == ["AD", "CD"]
+    complements = [
+        figure1_universe.complement(mask)
+        for mask in figure1_theory.maximal_masks
+    ]
+    assert _labels(figure1_universe, complements) == ["AC", "D"]
+    assert _labels(
+        figure1_universe, berge_transversal_masks(complements)
+    ) == ["AD", "CD"]
+    record("E1", "Example 8: H(S)={D,AC}, Tr(H(S))={AD,CD} — as printed in paper")
+
+
+def test_example11_levelwise(figure1_universe, figure1_theory, benchmark):
+    result = benchmark(
+        lambda: levelwise(figure1_universe, figure1_theory.is_interesting)
+    )
+    assert _labels(figure1_universe, result.maximal) == ["ABC", "BD"]
+    assert _labels(figure1_universe, result.negative_border) == ["AD", "CD"]
+    assert result.queries == 12  # |Th|=10 (incl. ∅) + |Bd-|=2
+    record(
+        "E1",
+        f"Example 11: levelwise queries={result.queries} "
+        f"(|Th|=10 + |Bd-|=2, Theorem 10 exact)",
+    )
+
+
+def test_example17_dualize_advance(figure1_universe, figure1_theory, benchmark):
+    result = benchmark(
+        lambda: dualize_and_advance(
+            figure1_universe, figure1_theory.is_interesting
+        )
+    )
+    assert _labels(figure1_universe, result.maximal) == ["ABC", "BD"]
+    assert _labels(figure1_universe, result.negative_border) == ["AD", "CD"]
+    found = [
+        step.new_maximal
+        for step in result.iterations
+        if step.new_maximal is not None
+    ]
+    assert _labels(figure1_universe, found[:1]) == ["ABC"]
+    record(
+        "E1",
+        f"Example 17: D&A finds ABC then BD, certifies with "
+        f"Tr={{AD,CD}}; queries={result.queries}",
+    )
+
+
+def test_example25_translation(figure1_universe, figure1_theory, benchmark):
+    def run():
+        dnf = dnf_from_negative_border(
+            figure1_universe, figure1_theory.negative_border_masks()
+        )
+        cnf = cnf_from_maximal_sets(
+            figure1_universe, figure1_theory.maximal_masks
+        )
+        return dnf, cnf
+
+    dnf, cnf = benchmark(run)
+    assert _labels(figure1_universe, dnf.terms) == ["AD", "CD"]
+    assert _labels(figure1_universe, cnf.clauses) == ["AC", "D"]
+    record("E1", f"Example 25: f = AD ∨ CD = (A∨C)(D): {dnf!r} / {cnf!r}")
+
+
+def test_corollary4_verification(figure1_universe, figure1_theory, benchmark):
+    result = benchmark(
+        lambda: verify_maxth(
+            figure1_universe,
+            figure1_theory.is_interesting,
+            list(figure1_theory.maximal_masks),
+        )
+    )
+    assert result.is_valid
+    assert result.queries == 4
+    record("E1", "Corollary 4: verification in exactly |Bd(S)| = 4 queries")

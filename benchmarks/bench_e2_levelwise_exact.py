@@ -1,0 +1,52 @@
+"""E2 — Theorem 10: levelwise spends exactly |Th| + |Bd-(Th)| queries.
+
+Across planted-theory workloads of varying shape, the measured distinct
+query count must *equal* the theorem's expression — not just bound it.
+The benchmark times a mid-size instance; the assertions sweep shapes.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.planted import random_planted_theory
+from repro.mining.bounds import theorem10_exact_query_count
+from repro.mining.levelwise import levelwise
+
+from benchmarks.conftest import record
+
+SHAPES = [
+    # (n_attributes, n_maximal, min_size, max_size)
+    (8, 3, 1, 4),
+    (10, 5, 2, 5),
+    (12, 4, 3, 6),
+    (14, 6, 2, 5),
+    (16, 8, 1, 4),
+]
+
+
+def test_exactness_across_shapes():
+    for index, (n, n_max, lo, hi) in enumerate(SHAPES):
+        planted = random_planted_theory(
+            n, n_max, min_size=lo, max_size=hi, seed=100 + index
+        )
+        result = levelwise(planted.universe, planted.is_interesting)
+        expected = theorem10_exact_query_count(
+            len(result.interesting), len(result.negative_border)
+        )
+        assert result.queries == expected
+        record(
+            "E2",
+            f"n={n:>2} |MTh|={len(result.maximal):>2} "
+            f"|Th|={len(result.interesting):>5} "
+            f"|Bd-|={len(result.negative_border):>4} "
+            f"queries={result.queries:>5} == |Th|+|Bd-| (Theorem 10)",
+        )
+
+
+def test_exactness_benchmark(benchmark):
+    planted = random_planted_theory(14, 6, min_size=2, max_size=6, seed=42)
+    result = benchmark(
+        lambda: levelwise(planted.universe, planted.is_interesting)
+    )
+    assert result.queries == theorem10_exact_query_count(
+        len(result.interesting), len(result.negative_border)
+    )

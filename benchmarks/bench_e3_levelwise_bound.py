@@ -1,0 +1,63 @@
+"""E3 — Theorem 12 / Corollary 13: the levelwise query-count bound.
+
+On frequent-set workloads with largest frequent set of size ``k``, the
+measured query count must stay below ``2^k · n · |MTh|``, and the table
+printed here shows how the bound's tightness degrades as ``k`` grows —
+the paper's reading: levelwise is the right tool exactly when maximal
+sets are small.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.synthetic import QuestParameters, generate_quest_database
+from repro.instances.frequent_itemsets import mine_frequent_itemsets
+from repro.mining.bounds import (
+    corollary13_frequent_sets_bound,
+    theorem12_levelwise_bound,
+)
+
+from benchmarks.conftest import record
+
+THRESHOLDS = (0.35, 0.25, 0.15, 0.10)
+
+
+def _database():
+    return generate_quest_database(
+        QuestParameters(
+            n_items=30,
+            n_transactions=800,
+            avg_transaction_length=7,
+            n_patterns=8,
+        ),
+        seed=7,
+    )
+
+
+def test_corollary13_bound_holds():
+    database = _database()
+    n = database.n_items
+    for sigma in THRESHOLDS:
+        theory = mine_frequent_itemsets(database, sigma, algorithm="levelwise")
+        k = theory.rank()
+        bound = corollary13_frequent_sets_bound(k, n, max(1, len(theory.maximal)))
+        assert theory.queries <= bound
+        assert bound == theorem12_levelwise_bound(
+            1 << k, n, max(1, len(theory.maximal))
+        )
+        tightness = theory.queries / bound if bound else 1.0
+        record(
+            "E3",
+            f"σ={sigma:.2f} k={k} |MTh|={len(theory.maximal):>3} "
+            f"queries={theory.queries:>5} ≤ 2^k·n·|MTh|={bound:>7} "
+            f"(ratio {tightness:.4f})",
+        )
+
+
+def test_levelwise_mining_benchmark(benchmark):
+    database = _database()
+    theory = benchmark(
+        lambda: mine_frequent_itemsets(database, 0.15, algorithm="levelwise")
+    )
+    assert theory.queries <= corollary13_frequent_sets_bound(
+        theory.rank(), database.n_items, max(1, len(theory.maximal))
+    )

@@ -1,0 +1,70 @@
+"""E4 — Corollary 14: the negative border stays small when k is small.
+
+For frequent-set theories with largest frequent set of size ``k``:
+every negative-border set has ≤ k+1 items, so ``|Bd-| ≤ Σ_{i≤k+1}C(n,i)``
+— polynomial in ``n`` for fixed ``k`` (part i) and ``n^{O(k)}`` for
+``k = O(log n)`` (part ii).  The sweep fixes ``k`` and grows ``n``,
+recording the measured polynomial-style growth.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.planted import random_planted_theory
+from repro.mining.bounds import corollary14_negative_border_bound
+from repro.mining.levelwise import levelwise
+from repro.util.bitset import popcount
+
+from benchmarks.conftest import record
+
+K = 3  # fixed maximal-set size
+N_SWEEP = (8, 12, 16, 20, 24)
+
+
+def _planted(n: int):
+    return random_planted_theory(
+        n, n_maximal=4, min_size=K, max_size=K, seed=1000 + n
+    )
+
+
+def test_border_sets_have_bounded_size():
+    for n in N_SWEEP:
+        planted = _planted(n)
+        result = levelwise(planted.universe, planted.is_interesting)
+        assert all(popcount(mask) <= K + 1 for mask in result.negative_border)
+
+
+def test_corollary14_bound_holds_and_growth_is_polynomial():
+    measured = []
+    for n in N_SWEEP:
+        planted = _planted(n)
+        result = levelwise(planted.universe, planted.is_interesting)
+        bound = corollary14_negative_border_bound(
+            n, K, max(1, len(result.maximal))
+        )
+        assert len(result.negative_border) <= bound
+        measured.append((n, len(result.negative_border), bound))
+        record(
+            "E4",
+            f"n={n:>2} k={K} |Bd-|={len(result.negative_border):>5} "
+            f"≤ Cor.14 bound {bound:>7}",
+        )
+    # Shape check: growth across the sweep is far below 2^n scaling —
+    # doubling n must not square the border (it's ≤ poly of degree k+1).
+    first_n, first_border, _ = measured[0]
+    last_n, last_border, _ = measured[-1]
+    if first_border:
+        poly_ceiling = (last_n / first_n) ** (K + 1) * first_border
+        assert last_border <= poly_ceiling * 2  # 2x slack for randomness
+    record(
+        "E4",
+        f"growth n:{first_n}→{last_n} border:{first_border}→{last_border} "
+        f"(polynomial regime, exponent ≤ k+1={K + 1})",
+    )
+
+
+def test_border_computation_benchmark(benchmark):
+    planted = _planted(20)
+    result = benchmark(
+        lambda: levelwise(planted.universe, planted.is_interesting)
+    )
+    assert result.negative_border

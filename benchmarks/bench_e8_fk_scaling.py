@@ -1,0 +1,94 @@
+"""E8 — Corollary 22: sub-exponential Dualize-and-Advance via
+Fredman–Khachiyan.
+
+Two demonstrations on families where the *theory* is exponential but the
+borders are not:
+
+1. deep planted theories (rank ≈ n−2): levelwise must enumerate ~2^rank
+   sets while D&A touches only |MTh|·(|Bd-| + n) — the measured query
+   gap grows exponentially with n;
+2. FK duality checks on matched dual pairs scale quasi-polynomially in
+   |F| + |G| on the threshold family (the positive certificate path).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.boolean.dualization import dnf_to_cnf
+from repro.boolean.families import threshold_function
+from repro.datasets.planted import random_planted_theory
+from repro.hypergraph.fredman_khachiyan import check_duality
+from repro.mining.dualize_advance import dualize_and_advance
+from repro.mining.levelwise import levelwise
+
+from benchmarks.conftest import record
+
+N_SWEEP = (10, 12, 14, 16)
+
+
+def test_query_gap_grows_with_depth():
+    previous_ratio = 0.0
+    for n in N_SWEEP:
+        planted = random_planted_theory(
+            n, 3, min_size=n - 3, max_size=n - 2, seed=900 + n
+        )
+        advance = dualize_and_advance(
+            planted.universe, planted.is_interesting, engine="fk"
+        )
+        walk = levelwise(planted.universe, planted.is_interesting)
+        assert advance.maximal == walk.maximal
+        ratio = walk.queries / advance.queries
+        record(
+            "E8",
+            f"n={n:>2} rank={advance.rank():>2}: levelwise={walk.queries:>6} "
+            f"vs D&A(fk)={advance.queries:>4} queries — ratio {ratio:8.1f}×",
+        )
+        assert ratio > previous_ratio  # the gap widens with n
+        previous_ratio = ratio
+    assert previous_ratio > 50  # exponential vs polynomial separation
+
+
+def test_fk_duality_certificate_scaling():
+    rows = []
+    for n, t in [(8, 4), (10, 5), (12, 6), (14, 7)]:
+        f = threshold_function(n, t)
+        g = dnf_to_cnf(f)  # clauses = dual terms
+        start = time.perf_counter()
+        witness = check_duality(
+            list(f.terms), list(g.clauses), f.universe.full_mask
+        )
+        seconds = time.perf_counter() - start
+        assert witness is None
+        size = len(f.terms) + len(g.clauses)
+        rows.append((size, seconds))
+        record(
+            "E8",
+            f"FK certificate: threshold({n},{t}) |F|+|G|={size:>4} "
+            f"→ {seconds * 1000:8.2f}ms",
+        )
+    # Quasi-polynomial shape: time grows far slower than input-size^3.
+    (size0, time0), (size1, time1) = rows[0], rows[-1]
+    if time0 > 0:
+        assert time1 / max(time0, 1e-6) < (size1 / size0) ** 4
+
+
+def test_dualize_advance_fk_benchmark(benchmark):
+    planted = random_planted_theory(14, 3, min_size=11, max_size=12, seed=914)
+    result = benchmark(
+        lambda: dualize_and_advance(
+            planted.universe, planted.is_interesting, engine="fk"
+        )
+    )
+    assert result.maximal == planted.maximal_masks
+
+
+def test_fk_duality_benchmark(benchmark):
+    f = threshold_function(12, 6)
+    g = dnf_to_cnf(f)
+    result = benchmark(
+        lambda: check_duality(
+            list(f.terms), list(g.clauses), f.universe.full_mask
+        )
+    )
+    assert result is None

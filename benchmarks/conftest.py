@@ -1,0 +1,33 @@
+"""Shared fixtures and reporting helpers for the experiment harness.
+
+Every benchmark module reproduces one experiment ID from DESIGN.md /
+EXPERIMENTS.md.  Besides timing (pytest-benchmark), the modules *assert*
+the paper's qualitative claims — bound satisfaction, blow-up shapes,
+crossovers — so a green benchmark run certifies the reproduction, and
+print one-line ``[E*]`` records that EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.planted import PlantedTheory
+from repro.util.bitset import Universe
+
+
+def record(experiment: str, message: str) -> None:
+    """Print a tagged experiment record (shows with pytest -s, captured
+    into bench_output.txt by the harness run)."""
+    print(f"[{experiment}] {message}")
+
+
+@pytest.fixture
+def figure1_universe() -> Universe:
+    return Universe("ABCD")
+
+
+@pytest.fixture
+def figure1_theory(figure1_universe: Universe) -> PlantedTheory:
+    return PlantedTheory.from_sets(
+        figure1_universe, [{"A", "B", "C"}, {"B", "D"}]
+    )

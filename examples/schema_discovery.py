@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Schema discovery: keys, functional dependencies, inclusion dependencies.
+
+The database-theory instances of Section 2: generate a relation with
+planted keys, recover the minimal keys two ways (the oracle-only route
+the paper's framework mandates, and the agree-set + hypergraph-transversal
+route of [16]), derive FD left-hand sides per attribute, and mine
+inclusion dependencies between two relations.
+
+Run:
+    python examples/schema_discovery.py
+"""
+
+from __future__ import annotations
+
+from repro.datasets.relations import Relation, generate_relation_with_keys
+from repro.instances.functional_dependencies import (
+    fd_lhs_via_agree_sets,
+    mine_minimal_keys,
+    minimal_keys_via_agree_sets,
+)
+from repro.instances.inclusion_dependencies import (
+    mine_inclusion_dependencies,
+    unary_inclusion_dependencies,
+)
+from repro.util.bitset import iter_bits
+
+
+def label(relation: Relation, mask: int) -> str:
+    rendered = ",".join(
+        str(relation.universe.item_at(i)) for i in iter_bits(mask)
+    )
+    return rendered or "∅"
+
+
+def main() -> None:
+    relation = generate_relation_with_keys(
+        n_attributes=7,
+        n_rows=60,
+        planted_keys=[(0, 1), (2, 3, 4)],
+        domain_size=12,
+        seed=42,
+    )
+    print(f"Relation: {relation} with planted superkeys {{0,1}} and {{2,3,4}}")
+    print()
+
+    # Route 1: pure Is-interesting queries (the paper's model).
+    theory = mine_minimal_keys(relation, algorithm="dualize_advance")
+    oracle_keys = sorted(theory.negative_border)
+    print(
+        f"Oracle route (Dualize and Advance): {len(oracle_keys)} minimal "
+        f"keys with {theory.queries} is-a-key queries"
+    )
+
+    # Route 2: agree sets + one HTR run ([16], Section 5 closing remark).
+    direct_keys = sorted(minimal_keys_via_agree_sets(relation))
+    assert oracle_keys == direct_keys
+    print(
+        f"Agree-set route: same {len(direct_keys)} keys from "
+        f"{len(relation.maximal_agree_set_masks())} maximal agree sets"
+    )
+    print("Minimal keys:", [label(relation, k) for k in direct_keys])
+    print()
+
+    # Maximal non-keys = MTh of the non-key theory.
+    print(
+        "Maximal non-keys (MTh):",
+        [label(relation, m) for m in theory.maximal],
+    )
+    print()
+
+    # FDs with fixed right-hand sides.
+    print("Minimal FD left-hand sides per attribute:")
+    for rhs in relation.attributes:
+        lhs_masks = fd_lhs_via_agree_sets(relation, rhs)
+        reduced = [a for a in relation.attributes if a != rhs]
+        rendered = [
+            "{" + ",".join(str(reduced[i]) for i in iter_bits(mask)) + "}"
+            for mask in lhs_masks[:6]
+        ]
+        suffix = " ..." if len(lhs_masks) > 6 else ""
+        print(f"  X → {rhs}: {len(lhs_masks)} minimal LHSs {rendered}{suffix}")
+    print()
+
+    # Armstrong relations: FDs → witness relation → FDs, a round trip
+    # the paper links to hypergraph transversals (Section 3).
+    from repro.instances.armstrong import (
+        FunctionalDependency,
+        armstrong_relation,
+        implied_fds,
+    )
+    from repro.util.bitset import Universe
+
+    fd_set = [
+        FunctionalDependency(frozenset("A"), "B"),
+        FunctionalDependency(frozenset("BC"), "D"),
+    ]
+    armstrong = armstrong_relation("ABCD", fd_set)
+    print(f"Armstrong relation for {{A→B, BC→D}}: {armstrong}")
+    minimal = implied_fds(Universe("ABCD"), fd_set, max_lhs_size=2)
+    print("  implied (minimal LHS, ≤2 attrs):",
+          ", ".join(str(fd) for fd in minimal))
+    print()
+
+    # Inclusion dependencies: project a fragment and rediscover it.
+    fragment = Relation(
+        ["u", "v"],
+        [(row[0], row[2]) for row in relation.rows[:30]],
+    )
+    unary = unary_inclusion_dependencies(fragment, relation)
+    print(f"Unary INDs fragment ⊆ relation: {unary}")
+    ind_theory = mine_inclusion_dependencies(fragment, relation)
+    print("Maximal INDs:")
+    for pair_set in ind_theory.maximal_sets():
+        rendered = ", ".join(f"{a}⊆{b}" for a, b in sorted(pair_set, key=str))
+        print(f"  {{{rendered}}}")
+
+
+if __name__ == "__main__":
+    main()

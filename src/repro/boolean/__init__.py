@@ -1,0 +1,38 @@
+"""Monotone Boolean functions: DNF/CNF forms, dualization, families.
+
+Section 6 of the paper maps data mining onto exact learning of monotone
+Boolean functions: interesting sets are the *false* points of a monotone
+``f``, maximal interesting sets complement the CNF clauses, and the
+negative border gives the DNF terms (Example 25).  This package provides
+the function representations that the learning reduction manipulates.
+"""
+
+from repro.boolean.monotone import (
+    MonotoneCNF,
+    MonotoneDNF,
+    maximal_false_points,
+    minimal_true_points,
+)
+from repro.boolean.dualization import cnf_to_dnf, dnf_to_cnf, dual_dnf
+from repro.boolean.families import (
+    matching_dnf,
+    planted_cnf_function,
+    random_monotone_dnf,
+    threshold_function,
+    tribes_function,
+)
+
+__all__ = [
+    "MonotoneCNF",
+    "MonotoneDNF",
+    "maximal_false_points",
+    "minimal_true_points",
+    "cnf_to_dnf",
+    "dnf_to_cnf",
+    "dual_dnf",
+    "matching_dnf",
+    "planted_cnf_function",
+    "random_monotone_dnf",
+    "threshold_function",
+    "tribes_function",
+]

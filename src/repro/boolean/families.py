@@ -1,0 +1,126 @@
+"""Named families of monotone functions used by experiments and tests.
+
+The families are chosen to pin down the paper's quantitative claims:
+
+* :func:`matching_dnf` — Example 19 / Angluin's hard family: ``n/2``
+  terms but ``2^{n/2}`` clauses, separating DNF-size-only learners from
+  the ``|DNF|+|CNF|`` bound of Corollary 27.
+* :func:`threshold_function` — the symmetric workhorse with
+  ``C(n, t)`` terms and ``C(n, n-t+1)`` clauses.
+* :func:`planted_cnf_function` — random functions with *few, long*
+  clauses, the input class of the levelwise learner (Corollary 26).
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import combinations
+
+from repro.boolean.monotone import MonotoneCNF, MonotoneDNF
+from repro.util.bitset import Universe, mask_of_indices
+from repro.util.rng import make_rng
+
+
+def _integer_universe(n: int) -> Universe:
+    if n <= 0:
+        raise ValueError("need a positive number of variables")
+    return Universe(range(n))
+
+
+def threshold_function(n: int, threshold: int) -> MonotoneDNF:
+    """``f(x) = 1`` iff at least ``threshold`` variables are set.
+
+    ``threshold = 0`` gives constant true, ``threshold = n + 1`` constant
+    false; in between the prime implicants are all ``threshold``-subsets.
+    """
+    universe = _integer_universe(n)
+    if threshold <= 0:
+        return MonotoneDNF.constant(universe, True)
+    if threshold > n:
+        return MonotoneDNF.constant(universe, False)
+    terms = [
+        mask_of_indices(combo) for combo in combinations(range(n), threshold)
+    ]
+    return MonotoneDNF(universe, terms)
+
+
+def matching_dnf(n: int) -> MonotoneDNF:
+    """``f = x0·x1 ∨ x2·x3 ∨ ...`` — ``n/2`` terms, ``2^{n/2}`` clauses.
+
+    The CNF/dual of this function is the transversal family of the
+    matching hypergraph (Example 19); it is the standard witness that
+    membership-query learners must be charged for CNF size too
+    (Corollary 27, after Angluin).
+    """
+    if n <= 0 or n % 2:
+        raise ValueError("matching DNF needs a positive even n")
+    universe = _integer_universe(n)
+    terms = [mask_of_indices((2 * i, 2 * i + 1)) for i in range(n // 2)]
+    return MonotoneDNF(universe, terms)
+
+
+def tribes_function(width: int, height: int) -> MonotoneDNF:
+    """The tribes function: ``height`` disjoint AND-blocks of ``width``.
+
+    ``DNF`` size ``height``; ``CNF`` size ``width^height`` — a tunable
+    generalization of :func:`matching_dnf` (which is tribes with
+    ``width=2``).
+    """
+    if width <= 0 or height <= 0:
+        raise ValueError("need positive width and height")
+    universe = _integer_universe(width * height)
+    terms = [
+        mask_of_indices(range(block * width, (block + 1) * width))
+        for block in range(height)
+    ]
+    return MonotoneDNF(universe, terms)
+
+
+def random_monotone_dnf(
+    n: int,
+    n_terms: int,
+    min_term_size: int = 1,
+    max_term_size: int | None = None,
+    seed: int | random.Random | None = None,
+) -> MonotoneDNF:
+    """A random monotone DNF with terms drawn from a size band.
+
+    Terms are minimized on construction, so the result can have fewer
+    than ``n_terms`` prime implicants.
+    """
+    if n <= 0 or n_terms < 0:
+        raise ValueError("need positive n and non-negative n_terms")
+    max_term_size = n if max_term_size is None else max_term_size
+    if not 1 <= min_term_size <= max_term_size <= n:
+        raise ValueError("invalid term-size band")
+    rng = make_rng(seed)
+    universe = _integer_universe(n)
+    terms = []
+    for _ in range(n_terms):
+        size = rng.randint(min_term_size, max_term_size)
+        terms.append(mask_of_indices(rng.sample(range(n), size)))
+    return MonotoneDNF(universe, terms)
+
+
+def planted_cnf_function(
+    n: int,
+    n_clauses: int,
+    min_clause_size: int,
+    seed: int | random.Random | None = None,
+) -> MonotoneCNF:
+    """A random monotone CNF whose clauses all have ≥ ``min_clause_size``
+    variables.
+
+    With ``min_clause_size = n - k`` for ``k = O(log n)`` this is exactly
+    the class the levelwise learner handles in polynomial time
+    (Corollary 26): the function's *false* sets are small.
+    """
+    if not 1 <= min_clause_size <= n:
+        raise ValueError("need 1 <= min_clause_size <= n")
+    rng = make_rng(seed)
+    universe = _integer_universe(n)
+    clauses = []
+    for _ in range(n_clauses):
+        size = rng.randint(min_clause_size, n)
+        clauses.append(mask_of_indices(rng.sample(range(n), size)))
+    return MonotoneCNF(universe, clauses)

@@ -1,0 +1,217 @@
+"""Command-line interface.
+
+Four subcommands mirror the library's main entry points::
+
+    python -m repro generate --items 50 --transactions 1000 out.dat
+    python -m repro mine out.dat --min-support 0.1 --algorithm apriori
+    python -m repro transversals --edges "0 1, 1 2, 2 0" --method berge
+    python -m repro figure1
+
+``figure1`` replays the paper's worked example, which doubles as a
+smoke test of an installation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.datasets.fimi import read_fimi, write_fimi
+from repro.datasets.synthetic import QuestParameters, generate_quest_database
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.enumeration import minimal_transversals
+from repro.instances.frequent_itemsets import mine_frequent_itemsets
+from repro.util.bitset import Universe
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Border-based data mining, hypergraph dualization, and "
+            "monotone-function learning (PODS '97 reproduction)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser(
+        "generate", help="write a Quest-style synthetic FIMI .dat file"
+    )
+    generate.add_argument("output", help="path of the .dat file to write")
+    generate.add_argument("--items", type=int, default=100)
+    generate.add_argument("--transactions", type=int, default=1000)
+    generate.add_argument("--avg-length", type=int, default=10)
+    generate.add_argument("--patterns", type=int, default=20)
+    generate.add_argument("--avg-pattern-length", type=int, default=4)
+    generate.add_argument("--corruption", type=float, default=0.25)
+    generate.add_argument("--seed", type=int, default=None)
+
+    mine = subparsers.add_parser(
+        "mine", help="mine maximal frequent itemsets from a FIMI .dat file"
+    )
+    mine.add_argument("input", help="FIMI .dat file to read")
+    mine.add_argument(
+        "--min-support",
+        type=float,
+        default=0.1,
+        help="relative (0,1] or absolute (>1) support threshold",
+    )
+    mine.add_argument(
+        "--algorithm",
+        choices=(
+            "apriori",
+            "levelwise",
+            "dualize_advance",
+            "randomized",
+            "maxminer",
+        ),
+        default="apriori",
+    )
+    mine.add_argument("--seed", type=int, default=0)
+    mine.add_argument(
+        "--show",
+        type=int,
+        default=20,
+        help="print at most this many maximal sets",
+    )
+
+    transversals = subparsers.add_parser(
+        "transversals", help="minimal transversals of a hypergraph"
+    )
+    transversals.add_argument(
+        "--edges",
+        required=True,
+        help="comma-separated edges of space-separated vertex ids, "
+        'e.g. "0 1, 1 2, 2 0"',
+    )
+    transversals.add_argument(
+        "--method",
+        choices=("berge", "fk", "levelwise", "dfs", "brute"),
+        default="berge",
+    )
+
+    subparsers.add_parser(
+        "figure1", help="replay the paper's Figure 1 worked example"
+    )
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    params = QuestParameters(
+        n_items=args.items,
+        n_transactions=args.transactions,
+        avg_transaction_length=args.avg_length,
+        n_patterns=args.patterns,
+        avg_pattern_length=args.avg_pattern_length,
+        corruption=args.corruption,
+    )
+    database = generate_quest_database(params, seed=args.seed)
+    write_fimi(database, args.output)
+    print(
+        f"wrote {database.n_transactions} transactions over "
+        f"{database.n_items} items to {args.output}"
+    )
+    return 0
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    database = read_fimi(args.input)
+    threshold: int | float = args.min_support
+    if threshold > 1:
+        threshold = int(threshold)
+    theory = mine_frequent_itemsets(
+        database, threshold, algorithm=args.algorithm, seed=args.seed
+    )
+    print(
+        f"{args.input}: {database.n_transactions} rows, "
+        f"{database.n_items} items; algorithm={args.algorithm}"
+    )
+    print(
+        f"|MTh| = {len(theory.maximal)}, |Bd-| = "
+        f"{len(theory.negative_border)}, queries = {theory.queries}"
+    )
+    universe = theory.universe
+    for mask in theory.maximal[: args.show]:
+        print(" ", universe.label(mask, sep=" "))
+    hidden = len(theory.maximal) - args.show
+    if hidden > 0:
+        print(f"  ... ({hidden} more)")
+    return 0
+
+
+def _parse_edges(text: str) -> list[frozenset[int]]:
+    edges: list[frozenset[int]] = []
+    for chunk in text.split(","):
+        vertices = frozenset(int(token) for token in chunk.split())
+        if not vertices:
+            raise ValueError("edges must be non-empty")
+        edges.append(vertices)
+    if not edges:
+        raise ValueError("at least one edge is required")
+    return edges
+
+
+def _cmd_transversals(args: argparse.Namespace) -> int:
+    edges = _parse_edges(args.edges)
+    vertices = sorted(set().union(*edges))
+    universe = Universe(vertices)
+    hypergraph = Hypergraph.from_sets(edges, universe)
+    family = minimal_transversals(hypergraph, method=args.method)
+    print(f"{len(family)} minimal transversals ({args.method}):")
+    for mask in family:
+        print(" ", universe.label(mask, sep=" "))
+    return 0
+
+
+def _cmd_figure1(_: argparse.Namespace) -> int:
+    from repro.datasets.planted import PlantedTheory
+    from repro.learning.correspondence import (
+        cnf_from_maximal_sets,
+        dnf_from_negative_border,
+    )
+    from repro.mining.dualize_advance import dualize_and_advance
+    from repro.mining.levelwise import levelwise
+
+    universe = Universe("ABCD")
+    planted = PlantedTheory.from_sets(universe, [{"A", "B", "C"}, {"B", "D"}])
+    walk = levelwise(universe, planted.is_interesting)
+    advance = dualize_and_advance(universe, planted.is_interesting)
+    print("Figure 1: MTh = {ABC, BD} over R = {A, B, C, D}")
+    print(
+        "  levelwise:  MTh =",
+        sorted(universe.label(m) for m in walk.maximal),
+        f"({walk.queries} queries)",
+    )
+    print(
+        "  dualize+advance: Bd- =",
+        sorted(universe.label(m) for m in advance.negative_border),
+        f"({advance.queries} queries)",
+    )
+    dnf = dnf_from_negative_border(universe, list(advance.negative_border))
+    cnf = cnf_from_maximal_sets(universe, list(advance.maximal))
+    print(f"  Example 25: {dnf!r} = {cnf!r}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "mine": _cmd_mine,
+    "transversals": _cmd_transversals,
+    "figure1": _cmd_figure1,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

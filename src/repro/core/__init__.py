@@ -1,0 +1,67 @@
+"""The paper's data mining framework (Sections 2 and 3).
+
+Given a database ``r``, a language ``L`` with a monotone specialization
+relation ``⪯``, and an interestingness predicate ``q``, the task is the
+theory ``Th(L, r, q) = {φ ∈ L : q(r, φ)}`` and in particular its maximal
+elements ``MTh`` (Problem 1, *MaxTh*).  This package defines:
+
+* the sentence/language abstractions (generic, and the subset-lattice
+  specialization that every "representable as sets" problem reduces to);
+* counting ``Is-interesting`` oracles — the paper's model of computation,
+  where data is only reachable through interestingness queries;
+* positive/negative borders and their transversal characterization
+  (Theorem 7);
+* the verification problem (Problem 3) solved with exactly ``|Bd(S)|``
+  queries (Corollary 4).
+"""
+
+from repro.core.errors import (
+    MonotonicityError,
+    ReproError,
+    RepresentationError,
+)
+from repro.core.language import GenericLanguage, SetLanguage
+from repro.core.oracle import (
+    CountingOracle,
+    FlakyOracle,
+    GenericCountingOracle,
+    MonotonicityCheckingOracle,
+)
+from repro.core.borders import (
+    border,
+    downward_closure,
+    negative_border_brute_force,
+    negative_border_from_positive,
+    positive_border,
+)
+from repro.core.theory import Theory, compute_theory_brute_force
+from repro.core.representation import (
+    IdentityRepresentation,
+    SetRepresentationProtocol,
+    check_representation,
+)
+from repro.core.verification import VerificationResult, verify_maxth
+
+__all__ = [
+    "MonotonicityError",
+    "ReproError",
+    "RepresentationError",
+    "GenericLanguage",
+    "SetLanguage",
+    "CountingOracle",
+    "FlakyOracle",
+    "GenericCountingOracle",
+    "MonotonicityCheckingOracle",
+    "border",
+    "downward_closure",
+    "negative_border_brute_force",
+    "negative_border_from_positive",
+    "positive_border",
+    "Theory",
+    "compute_theory_brute_force",
+    "IdentityRepresentation",
+    "SetRepresentationProtocol",
+    "check_representation",
+    "VerificationResult",
+    "verify_maxth",
+]

@@ -1,0 +1,28 @@
+"""Exception hierarchy for the framework."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class MonotonicityError(ReproError):
+    """An interestingness predicate violated monotonicity.
+
+    The paper's framework requires ``q`` to be monotone with respect to
+    the specialization relation: if ``q(φ)`` holds and ``φ' ⪯ φ`` then
+    ``q(φ')`` holds.  :class:`repro.core.oracle.MonotonicityCheckingOracle`
+    raises this when observed answers contradict the requirement (e.g. a
+    statistical-significance predicate, which the paper explicitly notes
+    is *not* monotone).
+    """
+
+
+class RepresentationError(ReproError):
+    """A language is not representable as sets (Definition 6).
+
+    Raised when a representation ``f : L → P(R)`` cannot be one-to-one
+    *and* surjective *and* order-isomorphic — e.g. for the episode
+    language of [21], whose lattice is not a powerset.
+    """

@@ -1,0 +1,132 @@
+"""Languages and specialization relations.
+
+The paper works with a language ``L`` and a partial order ``⪯`` where
+``φ ⪯ θ`` reads "φ is more general than θ".  Two tiers are provided:
+
+* :class:`GenericLanguage` — an abstract base exposing exactly what the
+  generic levelwise algorithm needs: the minimal sentences, immediate
+  specializations (one step up the lattice), and immediate
+  generalizations (one step down).  The episode language implements this
+  tier.
+* :class:`SetLanguage` — the subset lattice ``P(R)`` over a universe,
+  with sentences as bitmasks.  Every problem *representable as sets*
+  (Definition 6) works over this tier, where the paper's quantities have
+  closed forms: ``rank(X) = |X|``, ``dc(k) = 2^k``, ``width = |R|``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Hashable, Iterable
+
+from repro.util.bitset import Universe, iter_bits, popcount
+
+
+class GenericLanguage(ABC):
+    """Abstract language with a specialization relation.
+
+    Sentences must be hashable.  Implementations must guarantee that
+    ``specializations`` and ``generalizations`` are consistent (``t`` is
+    an immediate specialization of ``s`` iff ``s`` is an immediate
+    generalization of ``t``) and that the lattice is graded by
+    :meth:`rank` (immediate steps change rank by one).
+    """
+
+    @abstractmethod
+    def minimal_sentences(self) -> Iterable[Hashable]:
+        """The rank-0 sentences (no sentence is strictly more general)."""
+
+    @abstractmethod
+    def specializations(self, sentence: Hashable) -> Iterable[Hashable]:
+        """Immediate successors: one specialization step."""
+
+    @abstractmethod
+    def generalizations(self, sentence: Hashable) -> Iterable[Hashable]:
+        """Immediate predecessors: one generalization step."""
+
+    @abstractmethod
+    def rank(self, sentence: Hashable) -> int:
+        """Length of the longest generalization chain below the sentence."""
+
+    def is_more_general(self, general: Hashable, specific: Hashable) -> bool:
+        """``general ⪯ specific`` decided by downward search.
+
+        Default implementation walks ``generalizations`` transitively from
+        ``specific``; override with a direct test where one exists.
+        """
+        if general == specific:
+            return True
+        frontier = [specific]
+        seen = {specific}
+        while frontier:
+            sentence = frontier.pop()
+            for parent in self.generalizations(sentence):
+                if parent == general:
+                    return True
+                if parent not in seen:
+                    seen.add(parent)
+                    frontier.append(parent)
+        return False
+
+    def width(self) -> int | None:
+        """``width(L, ⪯)``: max number of immediate specializations.
+
+        ``None`` when unknown/unbounded; :class:`SetLanguage` returns
+        ``|R|``.  Appears in the Theorem 12 and Theorem 21 bounds.
+        """
+        return None
+
+
+class SetLanguage(GenericLanguage):
+    """The powerset lattice over a universe, sentences as bitmasks.
+
+    ``φ ⪯ θ`` is ``φ ⊆ θ``: subsets are more general (they constrain
+    less), matching the frequent-set instance where every subset of an
+    interesting set is interesting.
+    """
+
+    __slots__ = ("universe",)
+
+    def __init__(self, universe: Universe):
+        self.universe = universe
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SetLanguage) and self.universe == other.universe
+
+    def __hash__(self) -> int:
+        return hash(("SetLanguage", self.universe))
+
+    def __repr__(self) -> str:
+        return f"SetLanguage({self.universe!r})"
+
+    def minimal_sentences(self) -> Iterable[int]:
+        """The empty set is the unique minimal sentence."""
+        return (0,)
+
+    def specializations(self, sentence: int) -> Iterable[int]:
+        """All one-item extensions."""
+        full = self.universe.full_mask
+        absent = full & ~sentence
+        for bit_index in iter_bits(absent):
+            yield sentence | (1 << bit_index)
+
+    def generalizations(self, sentence: int) -> Iterable[int]:
+        """All one-item removals."""
+        for bit_index in iter_bits(sentence):
+            yield sentence & ~(1 << bit_index)
+
+    def rank(self, sentence: int) -> int:
+        """Cardinality of the set."""
+        return popcount(sentence)
+
+    def is_more_general(self, general: int, specific: int) -> bool:
+        """Direct subset test."""
+        return general & specific == general
+
+    def width(self) -> int:
+        """``|R|``: a set has at most one extension per absent item."""
+        return len(self.universe)
+
+    def downward_closure_size(self, max_rank: int) -> int:
+        """``dc(k) = 2^k``: the downward closure of a rank-k set."""
+        return 1 << max_rank

@@ -1,0 +1,195 @@
+"""Counting ``Is-interesting`` oracles — the paper's model of computation.
+
+Section 3 assumes "the only way of getting information from the database
+is by asking questions of the form *Is the sentence φ interesting?*".
+All query-complexity results (Theorems 2, 10, 12, 21; Corollaries 4, 13,
+22, 27–29) count these evaluations, so the oracles here are the
+measurement instruments of the whole benchmark harness.
+
+A :class:`CountingOracle` memoizes: re-asking the same sentence is free.
+That matches the accounting of Algorithm 9, whose candidate step
+explicitly excludes sentences evaluated at earlier levels, and of the
+lower bounds, which count *distinct* queries.  ``total_calls`` is still
+tracked separately so wasteful re-asking is visible.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable, Iterable
+
+
+class CountingOracle:
+    """Memoizing, counting wrapper around a mask predicate.
+
+    Args:
+        predicate: the raw ``q``, a function of a sentence bitmask.
+        name: label used in reprs and reports.
+        memoize: when ``False`` the underlying predicate is re-evaluated
+            on repeats (``evaluations`` then exceeds ``distinct_queries``
+            whenever an algorithm re-asks).  The paper's cost model
+            counts *distinct* sentences, so memoization is the faithful
+            default; the flag exists for the ablation benchmark that
+            prices re-asking.
+    """
+
+    __slots__ = ("_predicate", "name", "_cache", "total_calls", "memoize",
+                 "evaluations")
+
+    def __init__(
+        self,
+        predicate: Callable[[int], bool],
+        name: str = "q",
+        memoize: bool = True,
+    ):
+        self._predicate = predicate
+        self.name = name
+        self.memoize = memoize
+        self._cache: dict[int, bool] = {}
+        self.total_calls = 0
+        self.evaluations = 0
+
+    def __call__(self, mask: int) -> bool:
+        self.total_calls += 1
+        cached = self._cache.get(mask)
+        if cached is None or not self.memoize:
+            self.evaluations += 1
+            cached = bool(self._predicate(mask))
+            self._cache[mask] = cached
+        return cached
+
+    @property
+    def distinct_queries(self) -> int:
+        """Number of distinct sentences evaluated — the paper's cost."""
+        return len(self._cache)
+
+    def evaluated(self, mask: int) -> bool:
+        """True when the sentence has already been charged for."""
+        return mask in self._cache
+
+    def history(self) -> dict[int, bool]:
+        """A copy of all (sentence, answer) pairs observed so far."""
+        return dict(self._cache)
+
+    def reset(self) -> None:
+        """Clear counters and memo (a fresh experiment run)."""
+        self._cache.clear()
+        self.total_calls = 0
+        self.evaluations = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"CountingOracle({self.name}, distinct={self.distinct_queries}, "
+            f"total={self.total_calls})"
+        )
+
+
+class GenericCountingOracle:
+    """As :class:`CountingOracle`, for hashable sentences of any language."""
+
+    __slots__ = ("_predicate", "name", "_cache", "total_calls")
+
+    def __init__(
+        self, predicate: Callable[[Hashable], bool], name: str = "q"
+    ):
+        self._predicate = predicate
+        self.name = name
+        self._cache: dict[Hashable, bool] = {}
+        self.total_calls = 0
+
+    def __call__(self, sentence: Hashable) -> bool:
+        self.total_calls += 1
+        cached = self._cache.get(sentence)
+        if cached is None:
+            cached = bool(self._predicate(sentence))
+            self._cache[sentence] = cached
+        return cached
+
+    @property
+    def distinct_queries(self) -> int:
+        """Number of distinct sentences evaluated."""
+        return len(self._cache)
+
+    def reset(self) -> None:
+        """Clear counters and memo."""
+        self._cache.clear()
+        self.total_calls = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"GenericCountingOracle({self.name}, "
+            f"distinct={self.distinct_queries}, total={self.total_calls})"
+        )
+
+
+class MonotonicityCheckingOracle:
+    """A counting oracle that audits answers for monotonicity violations.
+
+    Every new answer is compared against the full history: an interesting
+    set with an uninteresting subset (in the subset-lattice order)
+    raises :class:`~repro.core.errors.MonotonicityError`.  Quadratic in
+    the number of queries — a test/debug instrument, not a production
+    wrapper.
+    """
+
+    __slots__ = ("_inner",)
+
+    def __init__(self, predicate: Callable[[int], bool], name: str = "q"):
+        self._inner = CountingOracle(predicate, name=name)
+
+    def __call__(self, mask: int) -> bool:
+        from repro.core.errors import MonotonicityError
+
+        fresh = not self._inner.evaluated(mask)
+        answer = self._inner(mask)
+        if fresh:
+            for other, other_answer in self._inner.history().items():
+                if other == mask:
+                    continue
+                if other & mask == other and not other_answer and answer:
+                    raise MonotonicityError(
+                        f"{self._inner.name}: superset {mask:#x} interesting "
+                        f"while subset {other:#x} is not"
+                    )
+                if mask & other == mask and not answer and other_answer:
+                    raise MonotonicityError(
+                        f"{self._inner.name}: superset {other:#x} interesting "
+                        f"while subset {mask:#x} is not"
+                    )
+        return answer
+
+    @property
+    def distinct_queries(self) -> int:
+        """Number of distinct sentences evaluated."""
+        return self._inner.distinct_queries
+
+    @property
+    def total_calls(self) -> int:
+        """Total invocations including memo hits."""
+        return self._inner.total_calls
+
+    def reset(self) -> None:
+        """Clear counters, memo, and audit history."""
+        self._inner.reset()
+
+
+class FlakyOracle:
+    """Failure-injection wrapper: flips the answer for chosen sentences.
+
+    Used by tests to confirm that downstream consumers (checking oracles,
+    verification) detect inconsistent predicates rather than silently
+    producing wrong borders.
+    """
+
+    __slots__ = ("_predicate", "_flipped")
+
+    def __init__(
+        self, predicate: Callable[[int], bool], flipped_masks: Iterable[int]
+    ):
+        self._predicate = predicate
+        self._flipped = frozenset(flipped_masks)
+
+    def __call__(self, mask: int) -> bool:
+        answer = bool(self._predicate(mask))
+        if mask in self._flipped:
+            return not answer
+        return answer

@@ -1,0 +1,125 @@
+"""Representation as sets (Definition 6 of the paper).
+
+A function ``f : L → P(R)`` *represents L (and ⪯) as sets* when it is a
+bijection with ``θ ⪯ φ  ⟺  f(θ) ⊆ f(φ)``.  The requirement is strong —
+the lattice must be isomorphic to a full powerset, hence finite with size
+a power of two — and the paper stresses that it is *necessary* for the
+transversal characterization of the negative border: surjectivity is what
+guarantees every transversal has a preimage.  The episode language of
+[21] famously fails it.
+
+This module provides the protocol, the identity representation used by
+all subset-lattice problems, and a checker that certifies or refutes a
+candidate representation on small languages.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+from typing import Protocol, runtime_checkable
+
+from repro.core.errors import RepresentationError
+from repro.core.language import GenericLanguage
+from repro.util.bitset import Universe
+
+
+@runtime_checkable
+class SetRepresentationProtocol(Protocol):
+    """The interface of a representation as sets."""
+
+    universe: Universe
+
+    def to_mask(self, sentence: Hashable) -> int:
+        """``f``: sentence → subset (as a mask over ``universe``)."""
+        ...
+
+    def from_mask(self, mask: int) -> Hashable:
+        """``f⁻¹``: subset → sentence; total on ``P(R)`` by surjectivity."""
+        ...
+
+
+class IdentityRepresentation:
+    """The identity map for languages whose sentences already are masks.
+
+    Frequent sets, keys/functional dependencies with a fixed right-hand
+    side, and inclusion dependencies all use this (the paper notes they
+    are "easily representable as sets").
+    """
+
+    __slots__ = ("universe",)
+
+    def __init__(self, universe: Universe):
+        self.universe = universe
+
+    def to_mask(self, sentence: int) -> int:
+        """Identity (with a range check)."""
+        if sentence & ~self.universe.full_mask:
+            raise RepresentationError("sentence outside the universe")
+        return sentence
+
+    def from_mask(self, mask: int) -> int:
+        """Identity (with a range check)."""
+        if mask & ~self.universe.full_mask:
+            raise RepresentationError("mask outside the universe")
+        return mask
+
+
+def check_representation(
+    language: GenericLanguage,
+    representation: SetRepresentationProtocol,
+    sentences: Iterable[Hashable],
+) -> None:
+    """Certify a representation on an explicit (small) sentence universe.
+
+    Verifies Definition 6 exhaustively over ``sentences``, which must be
+    *all* of ``L``:
+
+    * ``f`` is injective and lands inside ``P(R)``;
+    * ``f`` is surjective onto ``P(R)`` (so ``|L| = 2^{|R|}``);
+    * ``f`` and ``f⁻¹`` are mutually inverse;
+    * order isomorphism: ``θ ⪯ φ ⟺ f(θ) ⊆ f(φ)``.
+
+    Raises:
+        RepresentationError: with a specific diagnosis on first failure.
+    """
+    materialized = list(sentences)
+    universe = representation.universe
+    powerset_cardinality = universe.full_mask + 1
+
+    images: dict[int, Hashable] = {}
+    for sentence in materialized:
+        mask = representation.to_mask(sentence)
+        if mask & ~universe.full_mask:
+            raise RepresentationError(
+                f"f({sentence!r}) leaves the powerset of R"
+            )
+        if mask in images and images[mask] != sentence:
+            raise RepresentationError(
+                f"f is not injective: f({images[mask]!r}) = f({sentence!r})"
+            )
+        images[mask] = sentence
+        round_trip = representation.from_mask(mask)
+        if round_trip != sentence:
+            raise RepresentationError(
+                f"f⁻¹(f({sentence!r})) = {round_trip!r} ≠ {sentence!r}"
+            )
+
+    if len(images) != powerset_cardinality:
+        raise RepresentationError(
+            f"f is not surjective: |L| = {len(images)} but "
+            f"|P(R)| = {powerset_cardinality} "
+            "(the lattice size must be a power of 2)"
+        )
+
+    for theta in materialized:
+        mask_theta = representation.to_mask(theta)
+        for phi in materialized:
+            mask_phi = representation.to_mask(phi)
+            set_order = mask_theta & mask_phi == mask_theta
+            lattice_order = language.is_more_general(theta, phi)
+            if set_order != lattice_order:
+                raise RepresentationError(
+                    "order mismatch: "
+                    f"({theta!r} ⪯ {phi!r}) is {lattice_order} but "
+                    f"(f(θ) ⊆ f(φ)) is {set_order}"
+                )

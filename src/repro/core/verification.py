@@ -1,0 +1,107 @@
+"""The verification problem (Problem 3) at the Corollary 4 optimum.
+
+Given a candidate ``S``, decide whether ``S = MTh(L, r, q)`` using
+``Is-interesting`` queries.  Corollary 4: ``|Bd(S)|`` queries are both
+necessary and sufficient — check that every element of ``Bd+(S)`` is
+interesting and every element of ``Bd-(S)`` is not.  The negative border
+comes from Theorem 7's transversal computation, which reads no data at
+all.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.core.borders import negative_border_from_positive, positive_border
+from repro.core.oracle import CountingOracle
+from repro.util.bitset import Universe
+
+
+@dataclass(frozen=True)
+class VerificationResult:
+    """Outcome of a :func:`verify_maxth` run.
+
+    Attributes:
+        is_valid: whether the candidate equals ``MTh``.
+        queries: distinct predicate evaluations used (``≤ |Bd(S)|``; the
+            run short-circuits at the first witness of invalidity).
+        witness: a mask contradicting the candidate, or ``None``:
+            an uninteresting member of the candidate, or an interesting
+            member of its negative border (meaning the candidate misses a
+            maximal set above it).
+        checked_positive: size of the positive border checked.
+        checked_negative: size of the negative border checked.
+    """
+
+    is_valid: bool
+    queries: int
+    witness: int | None
+    checked_positive: int
+    checked_negative: int
+
+
+def verify_maxth(
+    universe: Universe,
+    predicate: Callable[[int], bool],
+    candidate_maximal: list[int] | tuple[int, ...],
+    method: str = "berge",
+) -> VerificationResult:
+    """Verify ``candidate_maximal == MTh`` with ``|Bd(S)|`` queries.
+
+    Args:
+        universe: attribute universe.
+        predicate: the interestingness predicate ``q`` (monotone).
+        candidate_maximal: the claimed ``MTh``; it must be an antichain —
+            a non-antichain can never equal ``MTh`` and is rejected with
+            ``is_valid=False`` and zero queries.
+        method: transversal engine for the Theorem 7 step.
+
+    The query count is exactly ``|Bd+(S)| + |Bd-(S)|`` on valid
+    candidates, matching the Corollary 4 optimum; invalid candidates may
+    be rejected earlier.
+    """
+    candidates = list(candidate_maximal)
+    antichain = positive_border(candidates)
+    if sorted(antichain) != sorted(candidates):
+        return VerificationResult(
+            is_valid=False,
+            queries=0,
+            witness=None,
+            checked_positive=0,
+            checked_negative=0,
+        )
+
+    oracle = (
+        predicate
+        if isinstance(predicate, CountingOracle)
+        else CountingOracle(predicate)
+    )
+    start = oracle.distinct_queries
+
+    negative = negative_border_from_positive(universe, antichain, method=method)
+    for mask in antichain:
+        if not oracle(mask):
+            return VerificationResult(
+                is_valid=False,
+                queries=oracle.distinct_queries - start,
+                witness=mask,
+                checked_positive=len(antichain),
+                checked_negative=len(negative),
+            )
+    for mask in negative:
+        if oracle(mask):
+            return VerificationResult(
+                is_valid=False,
+                queries=oracle.distinct_queries - start,
+                witness=mask,
+                checked_positive=len(antichain),
+                checked_negative=len(negative),
+            )
+    return VerificationResult(
+        is_valid=True,
+        queries=oracle.distinct_queries - start,
+        witness=None,
+        checked_positive=len(antichain),
+        checked_negative=len(negative),
+    )

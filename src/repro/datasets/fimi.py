@@ -1,0 +1,71 @@
+"""FIMI ``.dat`` format I/O.
+
+The Frequent Itemset Mining Implementations repository format: one
+transaction per line, items as whitespace-separated non-negative
+integers.  The synthetic generators write this format so the on-disk
+path is the same one a user of the public FIMI datasets would exercise.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable
+
+from repro.datasets.transactions import TransactionDatabase
+from repro.util.bitset import Universe, iter_bits
+
+
+def write_fimi(database: TransactionDatabase, path: str | os.PathLike) -> None:
+    """Write a database as FIMI ``.dat``.
+
+    Items are written via ``str()``; integer universes round-trip exactly,
+    other item types need re-mapping on read.
+    Empty transactions produce empty lines (the format allows them).
+    """
+    universe = database.universe
+    with open(path, "w", encoding="ascii") as handle:
+        for row in database:
+            items = (str(universe.item_at(i)) for i in iter_bits(row))
+            handle.write(" ".join(items))
+            handle.write("\n")
+
+
+def read_fimi(
+    path: str | os.PathLike, universe: Universe | None = None
+) -> TransactionDatabase:
+    """Read a FIMI ``.dat`` file into a :class:`TransactionDatabase`.
+
+    Args:
+        path: the file to read.
+        universe: optional pre-built integer universe; when omitted, the
+            universe is the sorted set of item ids seen in the file.
+
+    Blank lines become empty transactions (they still count toward the
+    total row count, matching FIMI tooling conventions).
+    """
+    raw_rows: list[list[int]] = []
+    with open(path, "r", encoding="ascii") as handle:
+        for line in handle:
+            stripped = line.strip()
+            if not stripped:
+                raw_rows.append([])
+                continue
+            raw_rows.append([int(token) for token in stripped.split()])
+    if universe is None:
+        items: set[int] = set()
+        for row in raw_rows:
+            items.update(row)
+        universe = Universe(sorted(items))
+    return TransactionDatabase(
+        universe, (universe.to_mask(row) for row in raw_rows)
+    )
+
+
+def write_transactions(
+    transactions: Iterable[Iterable[int]], path: str | os.PathLike
+) -> None:
+    """Write raw integer transactions as FIMI ``.dat`` without a database."""
+    with open(path, "w", encoding="ascii") as handle:
+        for transaction in transactions:
+            handle.write(" ".join(str(item) for item in sorted(transaction)))
+            handle.write("\n")

@@ -1,0 +1,117 @@
+"""Event sequences for episode mining (the [21] instance of the paper).
+
+An event sequence is a time-ordered list of ``(timestamp, event_type)``
+pairs.  Episodes — partially ordered multisets of event types — are mined
+from the sequence with sliding-window frequency; the paper cites this as
+an instance of MaxTh that is *not* representable as sets, which
+:mod:`repro.core.representation` demonstrates.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Hashable, Iterable, Sequence
+
+from repro.util.rng import make_rng
+
+
+class EventSequence:
+    """An immutable time-ordered sequence of typed events.
+
+    Args:
+        events: ``(timestamp, event_type)`` pairs; sorted by timestamp on
+            construction (stable, so simultaneous events keep input
+            order).  Timestamps are integers (the paper's discrete-time
+            model).
+    """
+
+    __slots__ = ("events", "alphabet")
+
+    def __init__(self, events: Iterable[tuple[int, Hashable]]):
+        ordered = sorted(events, key=lambda pair: pair[0])
+        self.events: tuple[tuple[int, Hashable], ...] = tuple(ordered)
+        self.alphabet: tuple = tuple(
+            sorted({event_type for _, event_type in ordered}, key=repr)
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __repr__(self) -> str:
+        return (
+            f"EventSequence({len(self.events)} events, "
+            f"alphabet size {len(self.alphabet)})"
+        )
+
+    @property
+    def span(self) -> tuple[int, int]:
+        """(first, last) timestamps; ``(0, 0)`` for an empty sequence."""
+        if not self.events:
+            return (0, 0)
+        return (self.events[0][0], self.events[-1][0])
+
+    def windows(self, width: int) -> Iterable[tuple[int, int]]:
+        """Yield all sliding windows ``[start, start+width)``.
+
+        Following Mannila–Toivonen–Verkamo, windows run from the one
+        ending just after the first event to the one starting at the last
+        event, so each event is in exactly ``width`` windows.
+        """
+        if width <= 0:
+            raise ValueError("window width must be positive")
+        if not self.events:
+            return
+        first, last = self.span
+        for start in range(first - width + 1, last + 1):
+            yield (start, start + width)
+
+    def events_in(self, start: int, end: int) -> list[tuple[int, Hashable]]:
+        """Events with ``start <= timestamp < end`` (linear scan)."""
+        return [
+            (timestamp, event_type)
+            for timestamp, event_type in self.events
+            if start <= timestamp < end
+        ]
+
+
+def generate_event_sequence(
+    alphabet: Sequence[Hashable],
+    length: int,
+    planted_episodes: Sequence[Sequence[Hashable]] = (),
+    injection_rate: float = 0.05,
+    seed: int | random.Random | None = None,
+) -> EventSequence:
+    """A random event sequence with optional serial-episode injections.
+
+    Args:
+        alphabet: the event types for background noise.
+        length: number of discrete time slots; each slot gets one noise
+            event.
+        planted_episodes: serial episodes (event-type sequences) to
+            inject; at each slot, with probability ``injection_rate``, a
+            random plant begins, its events placed at consecutive slots.
+        injection_rate: per-slot probability of starting an injection.
+
+    Multiple events may share a timestamp (noise plus injections), which
+    the episode miner must handle — parallel episodes count simultaneous
+    events.
+    """
+    if not alphabet:
+        raise ValueError("alphabet must be non-empty")
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    if not 0.0 <= injection_rate <= 1.0:
+        raise ValueError("injection_rate must be within [0, 1]")
+    rng = make_rng(seed)
+    events: list[tuple[int, Hashable]] = []
+    for slot in range(length):
+        events.append((slot, rng.choice(alphabet)))
+        if planted_episodes and rng.random() < injection_rate:
+            episode = planted_episodes[rng.randrange(len(planted_episodes))]
+            for offset, event_type in enumerate(episode):
+                if slot + offset < length:
+                    events.append((slot + offset, event_type))
+    return EventSequence(events)

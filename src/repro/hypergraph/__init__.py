@@ -1,0 +1,81 @@
+"""Hypergraphs and minimal-transversal (dualization) algorithms.
+
+This package is the substrate behind Theorem 7 of the paper: for problems
+representable as sets, the negative border of a theory is the preimage of
+the minimal transversals of the complement hypergraph of its positive
+border.  Everything downstream — Dualize and Advance, the exact learner,
+functional-dependency inference — calls into this package.
+
+Engines provided:
+
+* :mod:`repro.hypergraph.berge` — classic Berge multiplication, the simple
+  reference algorithm (exponential in the worst case, fine in practice).
+* :mod:`repro.hypergraph.fredman_khachiyan` — the Fredman–Khachiyan
+  duality test, which powers *incremental* enumeration: a non-duality
+  witness is converted into a fresh minimal transversal (Corollary 22's
+  engine).
+* :mod:`repro.hypergraph.levelwise_transversal` — the paper's new special
+  case (Corollary 15): input-polynomial transversals when every edge has
+  at least ``n - k`` vertices with ``k = O(log n)``.
+"""
+
+from repro.hypergraph.certification import (
+    TransversalCertificate,
+    certify_transversal_family,
+)
+from repro.hypergraph.hypergraph import (
+    Hypergraph,
+    NonSimpleHypergraphError,
+    minimize_family,
+)
+from repro.hypergraph.berge import berge_transversal_masks, transversal_hypergraph
+from repro.hypergraph.fredman_khachiyan import (
+    DualityWitness,
+    check_duality,
+    find_new_minimal_transversal,
+)
+from repro.hypergraph.dfs_enumeration import (
+    dfs_transversal_masks,
+    iter_minimal_transversals_dfs,
+)
+from repro.hypergraph.enumeration import (
+    brute_force_transversal_masks,
+    iter_minimal_transversals,
+    minimal_transversals,
+    minimize_transversal_mask,
+)
+from repro.hypergraph.levelwise_transversal import levelwise_transversal_masks
+from repro.hypergraph.generators import (
+    complete_k_uniform_hypergraph,
+    large_edge_hypergraph,
+    matching_hypergraph,
+    matching_transversal_count,
+    path_hypergraph,
+    random_simple_hypergraph,
+)
+
+__all__ = [
+    "TransversalCertificate",
+    "certify_transversal_family",
+    "Hypergraph",
+    "NonSimpleHypergraphError",
+    "minimize_family",
+    "berge_transversal_masks",
+    "transversal_hypergraph",
+    "DualityWitness",
+    "check_duality",
+    "find_new_minimal_transversal",
+    "brute_force_transversal_masks",
+    "dfs_transversal_masks",
+    "iter_minimal_transversals",
+    "iter_minimal_transversals_dfs",
+    "minimal_transversals",
+    "minimize_transversal_mask",
+    "levelwise_transversal_masks",
+    "complete_k_uniform_hypergraph",
+    "large_edge_hypergraph",
+    "matching_hypergraph",
+    "matching_transversal_count",
+    "path_hypergraph",
+    "random_simple_hypergraph",
+]

@@ -1,0 +1,111 @@
+"""Episode rules: the [21] analogue of association rules.
+
+Mannila–Toivonen–Verkamo derive rules ``α ⇒ β`` between episodes where
+``α`` is a sub-episode of ``β``: the confidence is the fraction of
+windows containing ``α`` that also contain ``β``.  Exactly like
+association rules over frequent sets (Section 2 of the paper), this is
+pure post-processing of the mined frequency table — no further passes
+over the event sequence are needed beyond the frequencies the miner
+already computed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.instances.episodes import Episode, EpisodeLanguage
+
+
+@dataclass(frozen=True)
+class EpisodeRule:
+    """A rule ``antecedent ⇒ consequent`` between episodes.
+
+    Attributes:
+        antecedent: the more general episode ``α``.
+        consequent: the more specific episode ``β`` (``α`` is a
+            sub-episode of it).
+        frequency: window frequency of the consequent (rule support).
+        confidence: ``freq(β) / freq(α)``.
+    """
+
+    antecedent: Episode
+    consequent: Episode
+    frequency: float
+    confidence: float
+
+    def __str__(self) -> str:
+        left = "·".join(map(str, self.antecedent)) or "ε"
+        right = "·".join(map(str, self.consequent)) or "ε"
+        return (
+            f"{left} ⇒ {right} "
+            f"(freq={self.frequency:.3f}, conf={self.confidence:.3f})"
+        )
+
+
+def episode_rules_from_frequencies(
+    language: EpisodeLanguage,
+    frequencies: Mapping[Episode, float],
+    min_confidence: float = 0.5,
+) -> list[EpisodeRule]:
+    """Derive all confident rules from an episode-frequency table.
+
+    Args:
+        language: fixes the sub-episode relation (serial or parallel).
+        frequencies: window frequency of every frequent episode (the
+            miner's table; closed downward under the sub-episode
+            relation, which all miners here guarantee).
+        min_confidence: keep rules with confidence ≥ this threshold.
+
+    Rules are generated between each frequent episode and its immediate
+    generalizations *and* all their frequent ancestors via transitivity
+    of the table — concretely, for every pair (α, β) in the table with
+    ``α`` a strict sub-episode of ``β``.  Quadratic in the table size;
+    episode tables are small in practice (they are bounded by the
+    paper's border results like everything else).
+    """
+    if not 0.0 <= min_confidence <= 1.0:
+        raise ValueError("min_confidence must be within [0, 1]")
+    episodes: Sequence[Episode] = sorted(frequencies, key=lambda e: (len(e), e))
+    rules: list[EpisodeRule] = []
+    for consequent in episodes:
+        consequent_frequency = frequencies[consequent]
+        if consequent_frequency <= 0.0:
+            continue
+        for antecedent in episodes:
+            if len(antecedent) >= len(consequent):
+                break  # sorted by length: no more strict sub-episodes
+            if not language.is_more_general(antecedent, consequent):
+                continue
+            antecedent_frequency = frequencies[antecedent]
+            if antecedent_frequency <= 0.0:
+                continue
+            confidence = consequent_frequency / antecedent_frequency
+            if confidence + 1e-12 < min_confidence:
+                continue
+            rules.append(
+                EpisodeRule(
+                    antecedent=antecedent,
+                    consequent=consequent,
+                    frequency=consequent_frequency,
+                    confidence=confidence,
+                )
+            )
+    rules.sort(key=lambda rule: (-rule.confidence, -rule.frequency))
+    return rules
+
+
+def frequency_table(
+    result_interesting: Sequence[Episode],
+    predicate,
+) -> dict[Episode, float]:
+    """Build the (episode → window frequency) table for rule derivation.
+
+    ``predicate`` is the episode predicate used during mining (it caches
+    the window structure); frequencies are recomputed per episode, which
+    matches the miner's own cost model of one evaluation per sentence.
+    """
+    return {
+        episode: predicate.frequency(episode)
+        for episode in result_interesting
+    }

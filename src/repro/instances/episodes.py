@@ -1,0 +1,289 @@
+"""Episode mining (the [21] instance) — and why it is *not* representable
+as sets.
+
+An episode is a collection of event types with ordering constraints;
+this module implements the two classic classes of Mannila–Toivonen–
+Verkamo:
+
+* **parallel episodes** — multisets of event types; an episode occurs in
+  a time window when the window contains the required multiplicity of
+  every type;
+* **serial episodes** — sequences of event types; occurrence requires
+  the types in order at strictly increasing timestamps inside the
+  window.
+
+Frequency is the fraction of sliding windows containing an occurrence;
+``q`` is "frequency ≥ σ", monotone under the sub-episode relation, so
+the *generic* levelwise algorithm mines episodes.  But the episode
+lattice is not a powerset — e.g. parallel episodes over one event type
+form a chain — so Definition 6's representation as sets does not exist,
+and the transversal-based machinery (Theorem 7, Dualize and Advance)
+does not apply.  :func:`attempt_set_representation` makes that failure
+concrete by raising :class:`~repro.core.errors.RepresentationError`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Hashable, Iterable, Sequence
+
+from repro.core.errors import RepresentationError
+from repro.core.language import GenericLanguage
+from repro.core.oracle import GenericCountingOracle
+from repro.datasets.sequences import EventSequence
+from repro.mining.levelwise import GenericLevelwiseResult, levelwise_generic
+
+# Episodes are canonically encoded as tuples of event types:
+# sorted tuples for parallel episodes (multisets), arbitrary-order
+# tuples for serial ones (sequences).  The empty tuple is the minimal
+# sentence of both languages.
+Episode = tuple
+
+
+class EpisodeLanguage(GenericLanguage):
+    """The graded language of episodes over an alphabet.
+
+    Args:
+        alphabet: the event types.
+        serial: ``False`` (default) for parallel episodes — sentences
+            are sorted tuples / multisets — or ``True`` for serial
+            episodes — sentences are ordered tuples.
+        max_length: rank cutoff; specializations beyond it are not
+            generated (keeps the lattice finite for mining).
+    """
+
+    def __init__(
+        self,
+        alphabet: Sequence[Hashable],
+        serial: bool = False,
+        max_length: int | None = None,
+    ):
+        if not alphabet:
+            raise ValueError("alphabet must be non-empty")
+        self.alphabet = tuple(dict.fromkeys(alphabet))
+        self.serial = serial
+        self.max_length = max_length
+
+    def minimal_sentences(self) -> Iterable[Episode]:
+        """The empty episode."""
+        return ((),)
+
+    def specializations(self, sentence: Episode) -> Iterable[Episode]:
+        """Add one event (any position for serial, canonical for
+        parallel)."""
+        if self.max_length is not None and len(sentence) >= self.max_length:
+            return
+        if self.serial:
+            seen: set[Episode] = set()
+            for position in range(len(sentence) + 1):
+                for event in self.alphabet:
+                    child = sentence[:position] + (event,) + sentence[position:]
+                    if child not in seen:
+                        seen.add(child)
+                        yield child
+        else:
+            for event in self.alphabet:
+                yield tuple(sorted((*sentence, event), key=repr))
+
+    def generalizations(self, sentence: Episode) -> Iterable[Episode]:
+        """Remove one event occurrence (deduplicated)."""
+        seen: set[Episode] = set()
+        for position in range(len(sentence)):
+            parent = sentence[:position] + sentence[position + 1 :]
+            if parent not in seen:
+                seen.add(parent)
+                yield parent
+
+    def rank(self, sentence: Episode) -> int:
+        """Episode length."""
+        return len(sentence)
+
+    def is_more_general(self, general: Episode, specific: Episode) -> bool:
+        """Sub-multiset (parallel) or subsequence (serial) test."""
+        if self.serial:
+            iterator = iter(specific)
+            return all(event in iterator for event in general)
+        return not Counter(general) - Counter(specific)
+
+    def width(self) -> int:
+        """Immediate specializations per sentence.
+
+        Parallel episodes gain at most one child per alphabet symbol;
+        serial episodes at most ``(len+1) · |alphabet|``, which is not a
+        constant — report the parallel bound only when applicable.
+        """
+        if self.serial:
+            cap = self.max_length if self.max_length is not None else 0
+            return (cap + 1) * len(self.alphabet) if cap else len(self.alphabet)
+        return len(self.alphabet)
+
+
+class ParallelEpisodePredicate:
+    """``q(α) = "the parallel episode α is σ-frequent"``.
+
+    Frequency counts sliding windows of the given width whose event-type
+    multiset dominates the episode's.
+    """
+
+    __slots__ = ("sequence", "window_width", "min_frequency", "_windows")
+
+    def __init__(
+        self,
+        sequence: EventSequence,
+        window_width: int,
+        min_frequency: float,
+    ):
+        if not 0.0 <= min_frequency <= 1.0:
+            raise ValueError("min_frequency must be within [0, 1]")
+        self.sequence = sequence
+        self.window_width = window_width
+        self.min_frequency = min_frequency
+        self._windows = list(sequence.windows(window_width))
+
+    def frequency(self, episode: Episode) -> float:
+        """Fraction of windows containing the episode (1.0 for empty)."""
+        if not self._windows:
+            return 0.0
+        if not episode:
+            return 1.0
+        required = Counter(episode)
+        hits = 0
+        for start, end in self._windows:
+            window_counts = Counter(
+                event_type
+                for _, event_type in self.sequence.events_in(start, end)
+            )
+            if not required - window_counts:
+                hits += 1
+        return hits / len(self._windows)
+
+    def __call__(self, episode: Episode) -> bool:
+        return self.frequency(episode) >= self.min_frequency
+
+
+class SerialEpisodePredicate:
+    """``q(α) = "the serial episode α is σ-frequent"``.
+
+    Occurrence in a window requires the episode's events in order at
+    strictly increasing timestamps.
+    """
+
+    __slots__ = ("sequence", "window_width", "min_frequency", "_windows")
+
+    def __init__(
+        self,
+        sequence: EventSequence,
+        window_width: int,
+        min_frequency: float,
+    ):
+        if not 0.0 <= min_frequency <= 1.0:
+            raise ValueError("min_frequency must be within [0, 1]")
+        self.sequence = sequence
+        self.window_width = window_width
+        self.min_frequency = min_frequency
+        self._windows = list(sequence.windows(window_width))
+
+    def _occurs_in(self, episode: Episode, start: int, end: int) -> bool:
+        position = 0
+        last_timestamp: int | None = None
+        for timestamp, event_type in self.sequence.events_in(start, end):
+            if position == len(episode):
+                return True
+            if event_type == episode[position] and (
+                last_timestamp is None or timestamp > last_timestamp
+            ):
+                position += 1
+                last_timestamp = timestamp
+        return position == len(episode)
+
+    def frequency(self, episode: Episode) -> float:
+        """Fraction of windows with an occurrence (1.0 for empty)."""
+        if not self._windows:
+            return 0.0
+        if not episode:
+            return 1.0
+        hits = sum(
+            1
+            for start, end in self._windows
+            if self._occurs_in(episode, start, end)
+        )
+        return hits / len(self._windows)
+
+    def __call__(self, episode: Episode) -> bool:
+        return self.frequency(episode) >= self.min_frequency
+
+
+def mine_parallel_episodes(
+    sequence: EventSequence,
+    window_width: int,
+    min_frequency: float,
+    max_length: int | None = None,
+) -> GenericLevelwiseResult:
+    """Mine frequent parallel episodes with generic levelwise."""
+    language = EpisodeLanguage(
+        sequence.alphabet or ("?",), serial=False, max_length=max_length
+    )
+    predicate = GenericCountingOracle(
+        ParallelEpisodePredicate(sequence, window_width, min_frequency),
+        name="parallel-episode",
+    )
+    return levelwise_generic(language, predicate)
+
+
+def mine_serial_episodes(
+    sequence: EventSequence,
+    window_width: int,
+    min_frequency: float,
+    max_length: int | None = None,
+) -> GenericLevelwiseResult:
+    """Mine frequent serial episodes with generic levelwise."""
+    language = EpisodeLanguage(
+        sequence.alphabet or ("?",), serial=True, max_length=max_length
+    )
+    predicate = GenericCountingOracle(
+        SerialEpisodePredicate(sequence, window_width, min_frequency),
+        name="serial-episode",
+    )
+    return levelwise_generic(language, predicate)
+
+
+def attempt_set_representation(
+    alphabet: Sequence[Hashable], max_length: int
+) -> None:
+    """Demonstrate the paper's remark: episodes defeat Definition 6.
+
+    Counts the parallel-episode lattice up to ``max_length`` and raises
+    :class:`RepresentationError` because its size is not ``2^k`` for any
+    ``k`` (except in degenerate corner cases) — so no bijective,
+    order-isomorphic map onto a powerset exists.
+
+    Raises:
+        RepresentationError: always, for non-degenerate inputs.
+    """
+    language = EpisodeLanguage(alphabet, serial=False, max_length=max_length)
+    sentences: set[Episode] = set()
+    frontier: list[Episode] = [()]
+    while frontier:
+        sentence = frontier.pop()
+        if sentence in sentences:
+            continue
+        sentences.add(sentence)
+        frontier.extend(language.specializations(sentence))
+    size = len(sentences)
+    if size & (size - 1) == 0:
+        # A chain of length 2^k still fails order isomorphism unless
+        # k ≤ 1; report that case precisely.
+        if size <= 2:
+            raise RepresentationError(
+                "degenerate episode lattice is representable; enlarge the "
+                "alphabet or max_length to exhibit the failure"
+            )
+        raise RepresentationError(
+            f"episode lattice has {size} sentences (a power of two) but is "
+            "not order-isomorphic to a powerset: multiset chains have no "
+            "subset-lattice counterpart"
+        )
+    raise RepresentationError(
+        f"episode lattice has {size} sentences; a representation as sets "
+        f"requires a power of two (Definition 6 surjectivity fails)"
+    )

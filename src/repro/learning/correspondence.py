@@ -1,0 +1,110 @@
+"""The mining ↔ learning translation of Theorem 24 / Example 25.
+
+Points of ``{0,1}^n`` are subsets of the variables (``1`` ⇔ membership),
+and the hidden function's value is the *negation* of interestingness:
+
+    ``q(S)  ⟺  f(χ_S) = 0``.
+
+Since ``q`` is monotone-decreasing up the subset lattice, ``f`` is a
+monotone-increasing Boolean function, and:
+
+* the maximal interesting sets ``MTh`` are the maximal false points of
+  ``f``, whose complements are the CNF clauses;
+* the negative border ``Bd-`` consists of the minimal true points, i.e.
+  the DNF terms (prime implicants).
+
+Example 25 instantiates this on the Figure 1 problem: ``MTh = {ABC, BD}``
+and ``Bd- = {AD, CD}`` give ``f = AD ∨ CD = (A∨C)(D)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+from repro.boolean.monotone import MonotoneCNF, MonotoneDNF
+from repro.util.bitset import Universe
+
+
+def interestingness_from_membership(
+    membership: Callable[[int], bool],
+) -> Callable[[int], bool]:
+    """Wrap ``MQ(f)`` as an ``Is-interesting`` predicate: ``q = ¬f``."""
+
+    def is_interesting(mask: int) -> bool:
+        return not membership(mask)
+
+    return is_interesting
+
+
+def membership_from_interestingness(
+    predicate: Callable[[int], bool],
+) -> Callable[[int], bool]:
+    """Wrap ``q`` as a membership oracle: ``f = ¬q`` (the inverse map)."""
+
+    def function(assignment: int) -> bool:
+        return not predicate(assignment)
+
+    return function
+
+
+def cnf_from_maximal_sets(
+    universe: Universe, maximal_masks: Iterable[int]
+) -> MonotoneCNF:
+    """``CNF(f)``: clauses are the complements of the ``MTh`` sets.
+
+    Degenerate cases: empty ``MTh`` (nothing interesting, ``f ≡ 1``
+    except... precisely: even ``∅`` is a true point) yields the constant
+    true only when paired with the empty-clause convention — here an
+    empty ``MTh`` maps to the CNF with no clauses *after* complementing
+    nothing, i.e. constant true, which is correct because ``f`` has no
+    false points at all.
+    """
+    full = universe.full_mask
+    return MonotoneCNF(universe, (full & ~mask for mask in maximal_masks))
+
+
+def maximal_sets_from_cnf(cnf: MonotoneCNF) -> list[int]:
+    """Inverse of :func:`cnf_from_maximal_sets`: ``MTh`` from clauses."""
+    full = cnf.universe.full_mask
+    return [full & ~clause for clause in cnf.clauses]
+
+
+def dnf_from_negative_border(
+    universe: Universe, negative_border_masks: Iterable[int]
+) -> MonotoneDNF:
+    """``DNF(f)``: the terms are exactly the ``Bd-`` sets.
+
+    An empty negative border means ``f`` has no true points (``f ≡ 0``,
+    everything is interesting); ``Bd- = {∅}`` means ``f ≡ 1``.
+    """
+    return MonotoneDNF(universe, negative_border_masks)
+
+
+def negative_border_from_dnf(dnf: MonotoneDNF) -> list[int]:
+    """Inverse of :func:`dnf_from_negative_border`."""
+    return list(dnf.terms)
+
+
+def transversals_via_learning(
+    edge_masks: Iterable[int], universe: Universe
+) -> list[int]:
+    """Corollary 30, executed: a learner yields an HTR algorithm.
+
+    The hypergraph's edges are the prime implicants of a monotone ``f``
+    (membership is one subset scan), an exact learner recovers both
+    forms, and the learned CNF's clauses are precisely ``Tr(H)``.  This
+    closes the paper's circle — mining, dualization, and learning are
+    interreducible — and the test suite checks it against every other
+    transversal engine.
+    """
+    from repro.learning.exact import learn_monotone_function
+    from repro.learning.oracles import MembershipOracle
+
+    edges = list(edge_masks)
+
+    def membership(assignment: int) -> bool:
+        return any(edge & assignment == edge for edge in edges)
+
+    oracle = MembershipOracle(membership, name="edge-dnf")
+    learned = learn_monotone_function(oracle, universe)
+    return list(learned.cnf.clauses)

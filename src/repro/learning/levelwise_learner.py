@@ -1,0 +1,53 @@
+"""The levelwise learner for short-complement CNFs (Corollary 26).
+
+When every clause of the target's monotone CNF has at least ``n − k``
+variables, the *false* sets of ``f`` are small: a false point misses at
+least one variable of every clause, so it has at most ``k`` ones... more
+precisely its complement is a transversal of the clauses, hence the
+maximal false points have size ≤ k whenever minimal clause size ≥ n − k.
+The interesting theory ``q = ¬f`` is then shallow, and the levelwise
+algorithm learns the function with polynomially many membership queries
+for ``k = O(log n)`` — the learning-theoretic reading of Corollary 15.
+"""
+
+from __future__ import annotations
+
+from repro.learning.correspondence import (
+    cnf_from_maximal_sets,
+    dnf_from_negative_border,
+    interestingness_from_membership,
+)
+from repro.learning.exact import LearnResult
+from repro.learning.oracles import MembershipOracle
+from repro.mining.levelwise import levelwise
+from repro.util.bitset import Universe
+
+
+def learn_short_complement_cnf(
+    oracle: MembershipOracle,
+    universe: Universe,
+    max_rank: int | None = None,
+) -> LearnResult:
+    """Learn a monotone function whose false sets are small.
+
+    Args:
+        oracle: the ``MQ(f)`` oracle.
+        universe: the variable universe.
+        max_rank: optional safety cutoff on the explored rank; leave
+            ``None`` for exact learning (the walk stops on its own at
+            rank ``k + 1`` when clauses have ≥ n − k variables).
+
+    Returns:
+        A :class:`~repro.learning.exact.LearnResult`.  Queries spent are
+        ``|Th| + |Bd-|`` per Theorem 10, which Corollary 26 bounds
+        polynomially when ``k = O(log n)``.
+    """
+    start = oracle.queries
+    predicate = interestingness_from_membership(oracle)
+    mined = levelwise(universe, predicate, max_rank=max_rank)
+    return LearnResult(
+        dnf=dnf_from_negative_border(universe, mined.negative_border),
+        cnf=cnf_from_maximal_sets(universe, mined.maximal),
+        queries=oracle.queries - start,
+        iterations=len(mined.levels),
+    )

@@ -1,0 +1,66 @@
+"""Membership-query oracles (the ``MQ(f)`` of Angluin's model).
+
+A membership oracle answers ``f(x)`` for a chosen point ``x``; the
+learner's cost is the number of distinct points asked.  The oracle here
+memoizes exactly like the mining-side
+:class:`~repro.core.oracle.CountingOracle` so the correspondence of
+Theorem 24 preserves query counts one-for-one.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.boolean.monotone import MonotoneCNF, MonotoneDNF
+
+
+class MembershipOracle:
+    """Counting, memoizing wrapper around a Boolean function on masks.
+
+    Args:
+        function: the hidden ``f : {0,1}^n → {0,1}`` with assignments as
+            variable masks.
+        name: label for reprs.
+    """
+
+    __slots__ = ("_function", "name", "_cache", "total_calls")
+
+    def __init__(self, function: Callable[[int], bool], name: str = "f"):
+        self._function = function
+        self.name = name
+        self._cache: dict[int, bool] = {}
+        self.total_calls = 0
+
+    @classmethod
+    def from_dnf(cls, dnf: MonotoneDNF) -> "MembershipOracle":
+        """Hide a monotone DNF behind the oracle."""
+        return cls(dnf, name="dnf-target")
+
+    @classmethod
+    def from_cnf(cls, cnf: MonotoneCNF) -> "MembershipOracle":
+        """Hide a monotone CNF behind the oracle."""
+        return cls(cnf, name="cnf-target")
+
+    def __call__(self, assignment: int) -> bool:
+        self.total_calls += 1
+        cached = self._cache.get(assignment)
+        if cached is None:
+            cached = bool(self._function(assignment))
+            self._cache[assignment] = cached
+        return cached
+
+    @property
+    def queries(self) -> int:
+        """Distinct points asked — the learning cost."""
+        return len(self._cache)
+
+    def reset(self) -> None:
+        """Forget all history (fresh experiment)."""
+        self._cache.clear()
+        self.total_calls = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"MembershipOracle({self.name}, queries={self.queries}, "
+            f"total={self.total_calls})"
+        )

@@ -1,0 +1,182 @@
+"""Apriori: the frequent-set specialization of the levelwise algorithm.
+
+This is the [2]-style concrete miner the paper's Section 4 analyzes in
+the abstract: level-at-a-time passes, join-based candidate generation
+(two frequent ``(k-1)``-sets sharing a ``(k-2)``-prefix), subset pruning,
+and vertical-bitmap support counting from
+:class:`~repro.datasets.transactions.TransactionDatabase`.
+
+Its query accounting is identical to :func:`repro.mining.levelwise.levelwise`
+run on the frequency predicate — the tests assert that — but it also
+reports the support of every frequent set, which the association-rule
+step (Section 2) consumes, and it counts *database passes*, the quantity
+practical Apriori variants optimize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datasets.transactions import TransactionDatabase
+from repro.hypergraph.hypergraph import maximize_family
+from repro.util.bitset import Universe, popcount
+
+
+@dataclass(frozen=True)
+class AprioriResult:
+    """Output of an Apriori run.
+
+    Attributes:
+        universe: the item universe.
+        supports: support count of every frequent mask (subset-closed;
+            includes the empty set with support = database size).
+        maximal: the maximal frequent masks.
+        negative_border: evaluated-but-infrequent candidates
+            (``Bd-(Th)``).
+        min_support: the absolute threshold used.
+        database_passes: level count — one counting pass per level.
+        candidate_counts: candidates generated per level (level k at
+            index k-1).
+    """
+
+    universe: Universe
+    supports: dict[int, int]
+    maximal: tuple[int, ...]
+    negative_border: tuple[int, ...]
+    min_support: int
+    database_passes: int
+    candidate_counts: tuple[int, ...] = field(default=(), compare=False)
+
+    def frequent_masks(self) -> list[int]:
+        """All frequent masks, smallest first."""
+        return sorted(self.supports, key=lambda m: (popcount(m), m))
+
+    def n_frequent(self) -> int:
+        """``|Th|`` including the empty set."""
+        return len(self.supports)
+
+    def largest_frequent_size(self) -> int:
+        """``k``: the size of the largest frequent set."""
+        if not self.maximal:
+            return 0
+        return max(popcount(mask) for mask in self.maximal)
+
+
+def apriori(
+    database: TransactionDatabase,
+    min_support: int | float,
+    max_size: int | None = None,
+) -> AprioriResult:
+    """Mine all frequent itemsets of a transaction database.
+
+    Args:
+        database: the 0/1 relation.
+        min_support: absolute row count (``int``) or relative frequency
+            in ``(0, 1]`` (``float``), converted with ceiling semantics.
+        max_size: optional cap on itemset size.
+
+    Returns:
+        An :class:`AprioriResult`.  With the default ``max_size`` the
+        frequent family, maximal sets, and negative border coincide with
+        a generic levelwise run on the frequency predicate.
+    """
+    threshold = (
+        database.absolute_support(min_support)
+        if isinstance(min_support, float)
+        else min_support
+    )
+    if threshold < 0:
+        raise ValueError("min_support must be non-negative")
+    universe = database.universe
+    n = len(universe)
+
+    supports: dict[int, int] = {}
+    negative_border: list[int] = []
+    candidate_counts: list[int] = []
+
+    empty_support = database.n_transactions
+    if empty_support < threshold:
+        # Even the empty set is infrequent (threshold exceeds the
+        # database size): the theory is empty.
+        return AprioriResult(
+            universe=universe,
+            supports={},
+            maximal=(),
+            negative_border=(0,),
+            min_support=threshold,
+            database_passes=1,
+            candidate_counts=(1,),
+        )
+    supports[0] = empty_support
+
+    # Level 1: all singletons are candidates (their only proper subset,
+    # the empty set, is frequent).
+    current_frequent: list[int] = []
+    candidates = universe.singletons()
+    passes = 1  # the empty-set check above reads only the row count
+    level = 1
+    while candidates:
+        candidate_counts.append(len(candidates))
+        passes += 1
+        next_frequent: list[int] = []
+        for candidate in candidates:
+            support = database.support_count(candidate)
+            if support >= threshold:
+                supports[candidate] = support
+                next_frequent.append(candidate)
+            else:
+                negative_border.append(candidate)
+        current_frequent = next_frequent
+        level += 1
+        if max_size is not None and level > max_size:
+            break
+        candidates = _join_candidates(current_frequent, set(current_frequent), n)
+
+    frequent_nonempty = [mask for mask in supports if mask != 0]
+    maximal = maximize_family(frequent_nonempty or [0])
+    return AprioriResult(
+        universe=universe,
+        supports=supports,
+        maximal=tuple(sorted(maximal, key=lambda m: (popcount(m), m))),
+        negative_border=tuple(
+            sorted(negative_border, key=lambda m: (popcount(m), m))
+        ),
+        min_support=threshold,
+        database_passes=passes,
+        candidate_counts=tuple(candidate_counts),
+    )
+
+
+def _join_candidates(
+    frequent: list[int], frequent_set: set[int], n: int
+) -> list[int]:
+    """Classic Apriori-gen: join on shared prefix, prune by subsets.
+
+    Two frequent k-sets that differ only in their highest bit join into
+    a (k+1)-set; the join is realized bit-wise (extend each set with
+    items above its top bit and require the top-removed sibling to be
+    frequent), after which all remaining k-subsets are checked —
+    together equivalent to the textbook prefix join + prune.
+    """
+    candidates: list[int] = []
+    seen: set[int] = set()
+    for mask in frequent:
+        for bit_index in range(mask.bit_length(), n):
+            extended = mask | (1 << bit_index)
+            if extended in seen:
+                continue
+            seen.add(extended)
+            if _subsets_frequent(extended, frequent_set):
+                candidates.append(extended)
+    candidates.sort()
+    return candidates
+
+
+def _subsets_frequent(mask: int, frequent: set[int]) -> bool:
+    remaining = mask
+    while remaining:
+        low = remaining & -remaining
+        if (mask & ~low) not in frequent:
+            return False
+        remaining ^= low
+    return True

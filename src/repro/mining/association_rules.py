@@ -1,0 +1,101 @@
+"""Association rules from frequent sets (Section 2 of the paper).
+
+"Once the frequent sets are found the problem of computing association
+rules from them is straightforward.  For each frequent set Z, and for
+each A ∈ Z one can test the confidence of the rule Z \\ A ⇒ A."  This
+module is exactly that post-processing step: it consumes a support table
+(mask → count), needs no further database access, and emits the rules
+above a confidence threshold.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.util.bitset import Universe, iter_bits, popcount
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """A rule ``antecedent ⇒ consequent`` with its quality measures.
+
+    Attributes:
+        antecedent: the left-hand-side item set ``X`` (as a frozenset).
+        consequent: the single right-hand-side item ``A``.
+        support_count: rows containing ``X ∪ {A}``.
+        frequency: relative support of ``X ∪ {A}`` (the paper's
+            *support* of the rule).
+        confidence: ``supp(X ∪ A) / supp(X)``.
+    """
+
+    antecedent: frozenset
+    consequent: object
+    support_count: int
+    frequency: float
+    confidence: float
+
+    def __str__(self) -> str:
+        lhs = ",".join(sorted(map(str, self.antecedent))) or "∅"
+        return (
+            f"{lhs} ⇒ {self.consequent} "
+            f"(supp={self.frequency:.3f}, conf={self.confidence:.3f})"
+        )
+
+
+def association_rules_from_supports(
+    universe: Universe,
+    supports: Mapping[int, int],
+    n_transactions: int,
+    min_confidence: float = 0.5,
+) -> list[AssociationRule]:
+    """Derive all confident rules from a frequent-set support table.
+
+    Args:
+        universe: the item universe.
+        supports: support counts for every frequent mask; must be
+            subset-closed (every subset of a frequent set is present),
+            which all miners in this library guarantee.
+        n_transactions: database size, for relative frequencies.
+        min_confidence: keep rules with confidence ≥ this threshold.
+
+    Returns:
+        Rules sorted by (descending confidence, descending support).
+        Rules are emitted only when both ``Z`` and ``Z \\ A`` are in the
+        table; singleton ``Z`` yields rules with empty antecedents whose
+        confidence is the item frequency.
+    """
+    if not 0.0 <= min_confidence <= 1.0:
+        raise ValueError("min_confidence must be within [0, 1]")
+    if n_transactions < 0:
+        raise ValueError("n_transactions must be non-negative")
+    rules: list[AssociationRule] = []
+    for mask, support in supports.items():
+        if mask == 0:
+            continue
+        for bit_index in iter_bits(mask):
+            antecedent_mask = mask & ~(1 << bit_index)
+            antecedent_support = supports.get(antecedent_mask)
+            if antecedent_support is None or antecedent_support == 0:
+                continue
+            confidence = support / antecedent_support
+            if confidence + 1e-12 < min_confidence:
+                continue
+            rules.append(
+                AssociationRule(
+                    antecedent=universe.to_set(antecedent_mask),
+                    consequent=universe.item_at(bit_index),
+                    support_count=support,
+                    frequency=(
+                        support / n_transactions if n_transactions else 0.0
+                    ),
+                    confidence=confidence,
+                )
+            )
+    rules.sort(key=lambda rule: (-rule.confidence, -rule.support_count))
+    return rules
+
+
+def rule_count_upper_bound(supports: Mapping[int, int]) -> int:
+    """Total candidate rules: ``Σ_Z |Z|`` over frequent sets."""
+    return sum(popcount(mask) for mask in supports)

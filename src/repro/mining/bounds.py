@@ -1,0 +1,122 @@
+"""Closed forms of the paper's quantitative bounds.
+
+Each function computes one proven bound so that tests and benchmarks can
+assert ``measured ≤ bound`` (and report the tightness ratio).  The
+experiment harness (EXPERIMENTS.md) cites these by theorem number.
+"""
+
+from __future__ import annotations
+
+from repro.util.combinatorics import binomial, sum_binomials
+
+
+def theorem10_exact_query_count(
+    theory_size: int, negative_border_size: int
+) -> int:
+    """Theorem 10: levelwise evaluates ``q`` exactly ``|Th| + |Bd-(Th)|``
+    times.
+
+    (The paper writes ``|Th ∪ Bd+(Th)|`` in one rendering; the two sets
+    ``Th`` and ``Bd-`` are disjoint, so the count is their sum — the
+    worked Example 11 confirms the negative border is what gets charged
+    on top of the theory.)
+    """
+    if theory_size < 0 or negative_border_size < 0:
+        raise ValueError("sizes must be non-negative")
+    return theory_size + negative_border_size
+
+
+def theorem12_levelwise_bound(
+    downward_closure_size: int, width: int, n_maximal: int
+) -> int:
+    """Theorem 12: queries ≤ ``dc(k) · width(L, ⪯) · |MTh|``.
+
+    ``downward_closure_size`` is ``dc(k)`` for ``k = rank(MTh)`` — the
+    largest downward closure of any sentence of rank ≤ k.
+    """
+    if min(downward_closure_size, width, n_maximal) < 0:
+        raise ValueError("arguments must be non-negative")
+    return downward_closure_size * width * n_maximal
+
+
+def corollary13_frequent_sets_bound(k: int, n: int, n_maximal: int) -> int:
+    """Corollary 13: for frequent sets, queries ≤ ``2^k · n · |MTh|``.
+
+    ``k`` is the size of the largest frequent set, ``n`` the number of
+    attributes.  This is Theorem 12 with ``dc(k) = 2^k`` and
+    ``width = n``.
+    """
+    if k < 0 or n < 0 or n_maximal < 0:
+        raise ValueError("arguments must be non-negative")
+    return (1 << k) * n * n_maximal
+
+
+def corollary14_negative_border_bound(n: int, k: int, n_maximal: int) -> int:
+    """Corollary 14: bound on ``|Bd-(Th)]`` for frequent sets.
+
+    Every negative-border set has at most ``k + 1`` items (it is a
+    minimal infrequent set, and all its proper subsets are frequent, so
+    its subsets of size > k would contradict maximality of k).  Hence
+
+        ``|Bd-| ≤ min( C(n, k+1) + ... structural count, 2^k · n · |MTh| )``
+
+    Concretely we take the minimum of the two bounds the paper invokes:
+    the counting bound ``Σ_{i ≤ k+1} C(n, i)`` (polynomial for fixed k,
+    ``n^{O(k)}`` for ``k = O(log n)``) and the Theorem 12 query bound,
+    since ``Bd-`` is a subset of what levelwise evaluates.
+    """
+    if n < 0 or k < 0 or n_maximal < 0:
+        raise ValueError("arguments must be non-negative")
+    counting_bound = sum_binomials(n, k + 1)
+    query_bound = corollary13_frequent_sets_bound(k, n, n_maximal)
+    return min(counting_bound, query_bound)
+
+
+def corollary14_size_cap(n: int, k: int) -> int:
+    """The per-set cap behind Corollary 14: ``C(n, k+1)`` sets of the
+    critical size ``k + 1`` exist at all."""
+    return binomial(n, k + 1)
+
+
+def theorem21_dualize_advance_bound(
+    n_maximal: int, negative_border_size: int, rank: int, width: int
+) -> int:
+    """Theorem 21: D&A queries ≤ ``|MTh| · (|Bd-(MTh)| + rank · width)``.
+
+    The first factor counts iterations (one per maximal set); per
+    iteration, at most ``|Bd-|`` probes find the counterexample
+    (Lemma 20) and the greedy extension costs ``rank · width``.
+    """
+    if min(n_maximal, negative_border_size, rank, width) < 0:
+        raise ValueError("arguments must be non-negative")
+    return n_maximal * (negative_border_size + rank * width)
+
+
+def lemma20_enumeration_bound(negative_border_size: int) -> int:
+    """Lemma 20: per-iteration probes before a counterexample ≤
+    ``|Bd-(MTh)|`` (so including the counterexample itself, ``+ 1``)."""
+    if negative_border_size < 0:
+        raise ValueError("size must be non-negative")
+    return negative_border_size + 1
+
+
+def corollary27_learning_lower_bound(dnf_size: int, cnf_size: int) -> int:
+    """Corollary 27: any MQ learner of monotone functions needs at least
+    ``|DNF(f)| + |CNF(f)|`` queries (it must touch the whole border)."""
+    if dnf_size < 0 or cnf_size < 0:
+        raise ValueError("sizes must be non-negative")
+    return dnf_size + cnf_size
+
+
+def corollary28_learning_query_bound(
+    dnf_size: int, cnf_size: int, n_variables: int
+) -> int:
+    """Corollaries 28/29: the D&A learner uses at most
+    ``|CNF(f)| · (|DNF(f)| + n²)`` membership queries.
+
+    In the mining correspondence ``|CNF| = |MTh|`` and ``|DNF| = |Bd-|``
+    (Example 25), so this is Theorem 21 with ``rank·width ≤ n²``.
+    """
+    if min(dnf_size, cnf_size, n_variables) < 0:
+        raise ValueError("arguments must be non-negative")
+    return cnf_size * (dnf_size + n_variables**2)

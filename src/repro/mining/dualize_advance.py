@@ -1,0 +1,334 @@
+"""Algorithm 16: Dualize and Advance.
+
+The algorithm discovers one new *maximal* interesting set per iteration,
+never enumerating the full theory — which is why it remains feasible
+when maximal sets are large and levelwise is hopeless.  Iteration ``i``
+holds a partial family ``C_i ⊆ MTh``; it computes the minimal
+transversals of the complement family (which, by Theorem 7, form
+``Bd-(C_i)``), and probes them:
+
+* an *interesting* transversal is a counterexample — ``C_i`` is not yet
+  complete — and is greedily extended to a new maximal set (Step 9);
+* if every transversal is uninteresting, ``C_i = MTh`` and the probed
+  family is exactly ``Bd-(MTh)`` (Lemma 18), so the negative border
+  falls out for free.
+
+Complexity (reproduced by experiment E7): the number of iterations is
+``|MTh|`` (+1 final check), each iteration enumerates at most
+``|Bd-(MTh)|`` uninteresting sets before hitting a counterexample
+(Lemma 20), and total queries are at most
+``|MTh| · (|Bd-(MTh)| + rank(MTh) · width)`` (Theorem 21).
+
+Engines: ``"fk"`` enumerates transversals *incrementally* via
+Fredman–Khachiyan witnesses — each iteration does work proportional to
+the sets actually probed, giving the Corollary 22 sub-exponential bound;
+``"berge"`` recomputes the full transversal family per iteration, which
+is simpler and exposes the intermediate blow-up of Example 19 (tracked
+in ``transversal_family_sizes``).
+
+Convention: the empty set is probed first.  If even ``∅`` is
+uninteresting the theory is empty (``MTh = ∅``, ``Bd- = {∅}``).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass, field
+
+from repro.core.oracle import CountingOracle
+from repro.hypergraph.fredman_khachiyan import find_new_minimal_transversal
+from repro.hypergraph.hypergraph import minimize_family
+from repro.mining.maximalize import greedy_maximalize
+from repro.util.bitset import Universe, iter_bits, popcount
+
+_ENGINES = ("fk", "berge")
+
+
+@dataclass(frozen=True)
+class DualizeAdvanceIteration:
+    """Per-iteration trace, the measurement unit of Lemma 20 / E7.
+
+    Attributes:
+        enumerated: transversals probed this iteration (queries made on
+            the candidate border).
+        counterexample: the interesting transversal found, or ``None``
+            on the final (complete) iteration.
+        new_maximal: the maximal set the counterexample was extended to.
+        transversal_family_size: ``|Tr(complement family)|`` when the
+            Berge engine materialized it; ``None`` under FK.
+    """
+
+    enumerated: int
+    counterexample: int | None
+    new_maximal: int | None
+    transversal_family_size: int | None = None
+
+
+@dataclass(frozen=True)
+class DualizeAdvanceResult:
+    """Output of a Dualize and Advance run.
+
+    ``interesting`` is ``None`` by design — the algorithm never
+    enumerates the theory, only its borders.
+    """
+
+    universe: Universe
+    maximal: tuple[int, ...]
+    negative_border: tuple[int, ...]
+    queries: int
+    iterations: tuple[DualizeAdvanceIteration, ...] = field(compare=False)
+
+    def n_iterations(self) -> int:
+        """Number of main-loop iterations, ``= |MTh| + 1`` when nonempty."""
+        return len(self.iterations)
+
+    def max_enumerated(self) -> int:
+        """Largest per-iteration probe count (Lemma 20 bounds it)."""
+        if not self.iterations:
+            return 0
+        return max(step.enumerated for step in self.iterations)
+
+    def rank(self) -> int:
+        """``rank(MTh)``."""
+        if not self.maximal:
+            return 0
+        return max(popcount(mask) for mask in self.maximal)
+
+
+class _IncrementalDualizer:
+    """Maintains ``Tr({R \\ Y : Y ∈ C_i})`` as ``C_i`` grows.
+
+    Both engines exploit that iteration ``i+1`` differs from iteration
+    ``i`` by a single new edge (the complement of the newly found
+    maximal set):
+
+    * ``berge`` performs one Berge multiplication step per new edge, so
+      a whole Dualize-and-Advance run costs one full dualization instead
+      of ``|MTh|`` of them;
+    * ``fk`` keeps the minimal transversals that still hit the new edge
+      (they stay minimal: old edges keep every vertex critical) and asks
+      Fredman–Khachiyan only for the genuinely new ones — the
+      incremental access pattern of Corollary 22.
+
+    ``iterate()`` yields ``(transversal, is_fresh)``; stale survivors
+    were already probed (and memoized) in earlier iterations.
+    """
+
+    def __init__(self, universe: Universe, engine: str):
+        self.universe = universe
+        self.engine = engine
+        self.complements: list[int] = []
+        self._berge_family: list[int] | None = None
+        self._fk_known: list[int] = []
+        self._dead = False  # a full-universe maximal set was added
+
+    def add_maximal(self, maximal_mask: int) -> None:
+        """Grow ``C_i`` by one maximal set."""
+        new_edge = self.universe.full_mask & ~maximal_mask
+        if new_edge == 0:
+            # Theorem 7 degenerate case: the border becomes empty.
+            self._dead = True
+            return
+        self.complements.append(new_edge)
+        if self.engine == "berge":
+            self._berge_family = _berge_step(self._berge_family, new_edge)
+        else:
+            self._fk_known = [
+                transversal
+                for transversal in self._fk_known
+                if transversal & new_edge
+            ]
+
+    def iterate(self) -> Iterator[tuple[int, bool]]:
+        """Yield the current minimal transversals as (mask, is_fresh)."""
+        if self._dead:
+            return
+        if self.engine == "berge":
+            family = self._berge_family or []
+            for transversal in family:
+                yield (transversal, True)
+            return
+        full = self.universe.full_mask
+        for survivor in self._fk_known:
+            yield (survivor, False)
+        while True:
+            transversal = find_new_minimal_transversal(
+                self.complements, self._fk_known, full
+            )
+            if transversal is None:
+                return
+            self._fk_known.append(transversal)
+            yield (transversal, True)
+
+    def exclude(self, transversal: int) -> None:
+        """Drop an interesting transversal (not part of any border).
+
+        Only meaningful for the FK engine; under Berge the family is
+        recomputed from the complements alone.
+        """
+        if self.engine == "fk":
+            self._fk_known = [
+                known for known in self._fk_known if known != transversal
+            ]
+
+    def family_size(self) -> int | None:
+        """``|Tr(D_i)|`` when materialized (Berge engine only)."""
+        if self.engine == "berge":
+            return len(self._berge_family or []) if not self._dead else 0
+        return None
+
+
+def _berge_step(family: list[int] | None, new_edge: int) -> list[int]:
+    """One Berge multiplication: fold ``new_edge`` into ``Tr`` so far."""
+    if family is None:
+        return [1 << bit_index for bit_index in iter_bits(new_edge)]
+    extended: list[int] = []
+    for transversal in family:
+        if transversal & new_edge:
+            extended.append(transversal)
+        else:
+            for bit_index in iter_bits(new_edge):
+                extended.append(transversal | (1 << bit_index))
+    return minimize_family(extended)
+
+
+def dualize_and_advance(
+    universe: Universe,
+    predicate: Callable[[int], bool],
+    engine: str = "fk",
+    shuffle: int | random.Random | None = None,
+    incremental: bool = True,
+) -> DualizeAdvanceResult:
+    """Run Algorithm 16.
+
+    Args:
+        universe: the attribute universe ``R``.
+        predicate: the monotone ``q``; wrapped in a
+            :class:`~repro.core.oracle.CountingOracle` unless it already
+            is one.
+        engine: ``"fk"`` (incremental, default) or ``"berge"``.
+        shuffle: optional seed/RNG; when given, the greedy extension
+            order is randomized per iteration, turning the deterministic
+            advance into the randomized variant of [11].
+        incremental: keep the transversal family across iterations
+            (default).  ``False`` rebuilds it from scratch every
+            iteration — the literal reading of Algorithm 16's Step 4,
+            kept for the ablation benchmark; query counts are identical,
+            only time differs.
+
+    Returns:
+        :class:`DualizeAdvanceResult` with ``MTh``, ``Bd-(MTh)``, the
+        distinct query count, and the per-iteration trace.
+    """
+    if engine not in _ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {_ENGINES}")
+    oracle = (
+        predicate
+        if isinstance(predicate, CountingOracle)
+        else CountingOracle(predicate)
+    )
+    start_queries = oracle.distinct_queries
+    rng = None if shuffle is None else _as_rng(shuffle)
+
+    iterations: list[DualizeAdvanceIteration] = []
+
+    if not oracle(0):
+        # Even the empty sentence is uninteresting: empty theory.
+        return DualizeAdvanceResult(
+            universe=universe,
+            maximal=(),
+            negative_border=(0,),
+            queries=oracle.distinct_queries - start_queries,
+            iterations=(
+                DualizeAdvanceIteration(
+                    enumerated=1,
+                    counterexample=None,
+                    new_maximal=None,
+                    transversal_family_size=1,
+                ),
+            ),
+        )
+
+    first_maximal = greedy_maximalize(
+        universe, oracle, 0, order=_extension_order(universe, rng)
+    )
+    current_maximal: list[int] = [first_maximal]
+    iterations.append(
+        DualizeAdvanceIteration(
+            enumerated=1, counterexample=0, new_maximal=first_maximal
+        )
+    )
+    dualizer = _IncrementalDualizer(universe, engine)
+    dualizer.add_maximal(first_maximal)
+
+    while True:
+        if not incremental:
+            dualizer = _IncrementalDualizer(universe, engine)
+            for maximal_mask in current_maximal:
+                dualizer.add_maximal(maximal_mask)
+        enumerated = 0
+        counterexample: int | None = None
+        border_so_far: list[int] = []
+        for transversal, is_fresh in dualizer.iterate():
+            if is_fresh:
+                enumerated += 1
+            if oracle(transversal):
+                counterexample = transversal
+                break
+            border_so_far.append(transversal)
+        family_size = dualizer.family_size()
+        if counterexample is None:
+            iterations.append(
+                DualizeAdvanceIteration(
+                    enumerated=enumerated,
+                    counterexample=None,
+                    new_maximal=None,
+                    transversal_family_size=family_size,
+                )
+            )
+            negative_border = sorted(
+                border_so_far, key=lambda m: (popcount(m), m)
+            )
+            return DualizeAdvanceResult(
+                universe=universe,
+                maximal=tuple(
+                    sorted(current_maximal, key=lambda m: (popcount(m), m))
+                ),
+                negative_border=tuple(negative_border),
+                queries=oracle.distinct_queries - start_queries,
+                iterations=tuple(iterations),
+            )
+        new_maximal = greedy_maximalize(
+            universe,
+            oracle,
+            counterexample,
+            order=_extension_order(universe, rng),
+        )
+        current_maximal.append(new_maximal)
+        dualizer.exclude(counterexample)
+        dualizer.add_maximal(new_maximal)
+        iterations.append(
+            DualizeAdvanceIteration(
+                enumerated=enumerated,
+                counterexample=counterexample,
+                new_maximal=new_maximal,
+                transversal_family_size=family_size,
+            )
+        )
+
+
+def _extension_order(
+    universe: Universe, rng: random.Random | None
+) -> list[int] | None:
+    if rng is None:
+        return None
+    order = list(range(len(universe)))
+    rng.shuffle(order)
+    return order
+
+
+def _as_rng(seed: int | random.Random) -> random.Random:
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)

@@ -1,0 +1,260 @@
+"""Algorithm 9: the levelwise algorithm.
+
+The algorithm walks the lattice bottom-up, alternating candidate
+generation (a pure lattice computation, no data access) with evaluation
+(one ``Is-interesting`` query per new candidate).  Candidates at level
+``i+1`` are exactly ``Bd-(∪_{j≤i} L_j) \\ ∪_{j≤i} C_j`` — sentences all
+of whose immediate generalizations proved interesting.
+
+Theorem 10: the algorithm is correct and evaluates ``q`` exactly
+``|Th ∪ Bd-(Th)|`` times; the result object exposes everything needed to
+assert that equality, which experiment E2 does.
+
+Convention: the subset-lattice version queries the empty set first (level
+0).  If ``∅`` itself is uninteresting the theory is empty and the
+negative border is ``{∅}`` — one query total, still matching Theorem 10.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable
+from dataclasses import dataclass, field
+
+from repro.core.language import GenericLanguage, SetLanguage
+from repro.core.oracle import CountingOracle, GenericCountingOracle
+from repro.hypergraph.hypergraph import maximize_family
+from repro.util.bitset import Universe, popcount
+
+
+@dataclass(frozen=True)
+class LevelwiseResult:
+    """Output of the subset-lattice levelwise run.
+
+    Attributes:
+        universe: the attribute universe.
+        interesting: the full theory ``Th`` (all interesting masks).
+        maximal: ``MTh`` (positive border of the theory).
+        negative_border: the evaluated-but-uninteresting candidates,
+            which by construction equal ``Bd-(Th)``.
+        queries: distinct ``q`` evaluations (Theorem 10 says this equals
+            ``len(interesting) + len(negative_border)``).
+        levels: the interesting sentences found at each level
+            (``levels[i]`` has the rank-``i`` ones).
+        candidates_per_level: how many candidates each level generated.
+    """
+
+    universe: Universe
+    interesting: tuple[int, ...]
+    maximal: tuple[int, ...]
+    negative_border: tuple[int, ...]
+    queries: int
+    levels: tuple[tuple[int, ...], ...] = field(default=(), compare=False)
+    candidates_per_level: tuple[int, ...] = field(default=(), compare=False)
+
+    def theory_size(self) -> int:
+        """``|Th|``."""
+        return len(self.interesting)
+
+    def border_size(self) -> int:
+        """``|Bd(Th)|`` — the Theorem 2 lower bound for this problem."""
+        return len(self.maximal) + len(self.negative_border)
+
+
+def levelwise(
+    universe: Universe,
+    predicate: Callable[[int], bool],
+    max_rank: int | None = None,
+) -> LevelwiseResult:
+    """Run Algorithm 9 on the subset lattice over ``universe``.
+
+    Args:
+        universe: the attribute universe ``R``.
+        predicate: the monotone interestingness predicate ``q`` on masks;
+            a :class:`~repro.core.oracle.CountingOracle` is accepted and
+            reused, anything else is wrapped in one.
+        max_rank: optional level cutoff (useful for bounded-size mining);
+            when hit, the reported theory/borders are those of the
+            truncated lattice.
+
+    Returns:
+        A :class:`LevelwiseResult`; ``queries`` counts distinct
+        evaluations, which Theorem 10 pins to ``|Th| + |Bd-(Th)|``.
+    """
+    oracle = (
+        predicate
+        if isinstance(predicate, CountingOracle)
+        else CountingOracle(predicate)
+    )
+    start_queries = oracle.distinct_queries
+    n = len(universe)
+
+    interesting_all: list[int] = []
+    negative_border: list[int] = []
+    levels: list[tuple[int, ...]] = []
+    candidates_per_level: list[int] = []
+
+    current_candidates: list[int] = [0]
+    level_rank = 0
+    while current_candidates:
+        candidates_per_level.append(len(current_candidates))
+        level_interesting: list[int] = []
+        for candidate in current_candidates:
+            if oracle(candidate):
+                level_interesting.append(candidate)
+                interesting_all.append(candidate)
+            else:
+                negative_border.append(candidate)
+        levels.append(tuple(level_interesting))
+        level_rank += 1
+        if max_rank is not None and level_rank > max_rank:
+            break
+        current_candidates = _generate_candidates(
+            level_interesting, set(level_interesting), n
+        )
+
+    maximal = maximize_family(interesting_all)
+    return LevelwiseResult(
+        universe=universe,
+        interesting=tuple(
+            sorted(interesting_all, key=lambda m: (popcount(m), m))
+        ),
+        maximal=tuple(sorted(maximal, key=lambda m: (popcount(m), m))),
+        negative_border=tuple(
+            sorted(negative_border, key=lambda m: (popcount(m), m))
+        ),
+        queries=oracle.distinct_queries - start_queries,
+        levels=tuple(levels),
+        candidates_per_level=tuple(candidates_per_level),
+    )
+
+
+def _generate_candidates(
+    level_interesting: list[int], interesting_set: set[int], n: int
+) -> list[int]:
+    """Step 5 of Algorithm 9 on the subset lattice.
+
+    Each candidate of rank ``i+1`` is produced once, from the parent
+    missing its highest bit, then pruned unless *all* its immediate
+    generalizations were interesting — i.e. it lies on the negative
+    border of what is known so far.
+    """
+    candidates: list[int] = []
+    seen: set[int] = set()
+    for mask in level_interesting:
+        for bit_index in range(mask.bit_length(), n):
+            extended = mask | (1 << bit_index)
+            if extended in seen:
+                continue
+            seen.add(extended)
+            if _parents_all_interesting(extended, interesting_set):
+                candidates.append(extended)
+    candidates.sort()
+    return candidates
+
+
+def _parents_all_interesting(mask: int, interesting: set[int]) -> bool:
+    remaining = mask
+    while remaining:
+        low = remaining & -remaining
+        if (mask & ~low) not in interesting:
+            return False
+        remaining ^= low
+    return True
+
+
+@dataclass(frozen=True)
+class GenericLevelwiseResult:
+    """Output of the generic-language levelwise run.
+
+    Sentences are the language's own hashable objects; maximality is
+    computed with the language's order, so this works for lattices that
+    are *not* representable as sets (episodes).
+    """
+
+    interesting: tuple[Hashable, ...]
+    maximal: tuple[Hashable, ...]
+    negative_border: tuple[Hashable, ...]
+    queries: int
+    levels: tuple[tuple[Hashable, ...], ...] = field(default=(), compare=False)
+
+
+def levelwise_generic(
+    language: GenericLanguage,
+    predicate: Callable[[Hashable], bool],
+    max_rank: int | None = None,
+) -> GenericLevelwiseResult:
+    """Algorithm 9 over an arbitrary graded language.
+
+    Candidate generation uses ``language.specializations`` to propose and
+    ``language.generalizations`` to prune, exactly mirroring the
+    negative-border formulation of Step 5.  For a
+    :class:`~repro.core.language.SetLanguage` prefer :func:`levelwise`,
+    which is equivalent but much faster.
+    """
+    oracle = (
+        predicate
+        if isinstance(predicate, GenericCountingOracle)
+        else GenericCountingOracle(predicate)
+    )
+    start_queries = oracle.distinct_queries
+
+    interesting_all: list[Hashable] = []
+    interesting_set: set[Hashable] = set()
+    negative_border: list[Hashable] = []
+    levels: list[tuple[Hashable, ...]] = []
+    evaluated: set[Hashable] = set()
+
+    current_candidates = list(dict.fromkeys(language.minimal_sentences()))
+    level_rank = 0
+    while current_candidates:
+        level_interesting: list[Hashable] = []
+        for candidate in current_candidates:
+            evaluated.add(candidate)
+            if oracle(candidate):
+                level_interesting.append(candidate)
+                interesting_all.append(candidate)
+                interesting_set.add(candidate)
+            else:
+                negative_border.append(candidate)
+        levels.append(tuple(level_interesting))
+        level_rank += 1
+        if max_rank is not None and level_rank > max_rank:
+            break
+        next_candidates: list[Hashable] = []
+        proposed: set[Hashable] = set()
+        for sentence in level_interesting:
+            for child in language.specializations(sentence):
+                if child in proposed or child in evaluated:
+                    continue
+                proposed.add(child)
+                if all(
+                    parent in interesting_set
+                    for parent in language.generalizations(child)
+                ):
+                    next_candidates.append(child)
+        current_candidates = next_candidates
+
+    maximal = [
+        sentence
+        for sentence in interesting_all
+        if not any(
+            child in interesting_set
+            for child in language.specializations(sentence)
+        )
+    ]
+    return GenericLevelwiseResult(
+        interesting=tuple(interesting_all),
+        maximal=tuple(maximal),
+        negative_border=tuple(negative_border),
+        queries=oracle.distinct_queries - start_queries,
+        levels=tuple(levels),
+    )
+
+
+def levelwise_for_language(
+    language: SetLanguage,
+    predicate: Callable[[int], bool],
+    max_rank: int | None = None,
+) -> LevelwiseResult:
+    """Convenience dispatcher: fast path for :class:`SetLanguage`."""
+    return levelwise(language.universe, predicate, max_rank=max_rank)

@@ -1,0 +1,21 @@
+"""Seeded random-number helpers.
+
+Every stochastic component of the library (generators, randomized
+algorithms) takes either an integer seed or an existing
+``random.Random`` so that experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def make_rng(seed: int | random.Random | None = None) -> random.Random:
+    """Return a ``random.Random`` from a seed, an existing RNG, or entropy.
+
+    Passing an existing ``Random`` returns it unchanged, which lets one
+    top-level seed drive an arbitrarily deep pipeline deterministically.
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)

@@ -1,0 +1,67 @@
+"""Tiny statistics helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+
+class RunningStats:
+    """Welford-style running mean/variance accumulator.
+
+    Used by the benchmark harness to aggregate per-trial query counts
+    without storing every sample.
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the accumulator."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations (0.0 when empty)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (0.0 with fewer than two observations)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stddev(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    def __repr__(self) -> str:
+        return (
+            f"RunningStats(count={self.count}, mean={self.mean:.3f}, "
+            f"stddev={self.stddev:.3f}, min={self.minimum}, max={self.maximum})"
+        )
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values; 0.0 for an empty iterable."""
+    log_sum = 0.0
+    count = 0
+    for value in values:
+        if value <= 0:
+            raise ValueError("geometric mean requires positive values")
+        log_sum += math.log(value)
+        count += 1
+    if count == 0:
+        return 0.0
+    return math.exp(log_sum / count)

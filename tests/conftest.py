@@ -1,0 +1,80 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.datasets.planted import PlantedTheory
+from repro.hypergraph.hypergraph import Hypergraph, minimize_family
+from repro.util.bitset import Universe
+
+
+@pytest.fixture
+def figure1_universe() -> Universe:
+    """The four-attribute universe of the paper's Figure 1."""
+    return Universe("ABCD")
+
+
+@pytest.fixture
+def figure1_theory(figure1_universe: Universe) -> PlantedTheory:
+    """The Figure 1 problem: ``MTh = {ABC, BD}``."""
+    return PlantedTheory.from_sets(figure1_universe, [{"A", "B", "C"}, {"B", "D"}])
+
+
+def labels(universe: Universe, masks) -> list[str]:
+    """Render masks with the paper's shorthand, sorted, for assertions."""
+    return sorted(universe.label(mask) for mask in masks)
+
+
+@st.composite
+def mask_families(
+    draw,
+    max_vertices: int = 8,
+    max_edges: int = 6,
+    allow_empty_family: bool = True,
+    min_vertices: int = 1,
+):
+    """Strategy: ``(n, family)`` — a family of non-empty masks over n bits."""
+    n = draw(st.integers(min_value=min_vertices, max_value=max_vertices))
+    n_edges = draw(
+        st.integers(min_value=0 if allow_empty_family else 1, max_value=max_edges)
+    )
+    family = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=(1 << n) - 1),
+            min_size=n_edges,
+            max_size=n_edges,
+        )
+    )
+    return n, family
+
+
+@st.composite
+def simple_hypergraphs(draw, max_vertices: int = 8, max_edges: int = 6):
+    """Strategy: a non-empty simple :class:`Hypergraph`."""
+    n, family = draw(
+        mask_families(
+            max_vertices=max_vertices,
+            max_edges=max_edges,
+            allow_empty_family=False,
+        )
+    )
+    minimized = minimize_family(family)
+    universe = Universe(range(n))
+    return Hypergraph(universe, minimized, validate=False)
+
+
+@st.composite
+def planted_theories(draw, max_attributes: int = 8, max_maximal: int = 5):
+    """Strategy: a :class:`PlantedTheory` over a small universe."""
+    n = draw(st.integers(min_value=1, max_value=max_attributes))
+    n_maximal = draw(st.integers(min_value=0, max_value=max_maximal))
+    masks = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=(1 << n) - 1),
+            min_size=n_maximal,
+            max_size=n_maximal,
+        )
+    )
+    return PlantedTheory(Universe(range(n)), tuple(masks))

@@ -1,0 +1,103 @@
+"""Tests for monotone DNF↔CNF conversion and dualization."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.boolean.dualization import cnf_to_dnf, dnf_to_cnf, dual_dnf
+from repro.boolean.monotone import MonotoneCNF, MonotoneDNF
+from repro.util.bitset import Universe
+
+from tests.conftest import mask_families
+
+
+class TestExample25:
+    """f = AD ∨ CD ⟺ (A∨C)(D), the paper's Example 25."""
+
+    @pytest.fixture
+    def universe(self):
+        return Universe("ABCD")
+
+    @pytest.fixture
+    def f_dnf(self, universe):
+        return MonotoneDNF.from_sets(universe, [{"A", "D"}, {"C", "D"}])
+
+    def test_dnf_to_cnf(self, universe, f_dnf):
+        cnf = dnf_to_cnf(f_dnf)
+        assert sorted(universe.label(c) for c in cnf.clauses) == ["AC", "D"]
+
+    def test_cnf_to_dnf(self, universe, f_dnf):
+        cnf = MonotoneCNF.from_sets(universe, [{"A", "C"}, {"D"}])
+        assert cnf_to_dnf(cnf) == f_dnf
+
+    def test_round_trip(self, f_dnf):
+        assert cnf_to_dnf(dnf_to_cnf(f_dnf)) == f_dnf
+
+
+class TestConstants:
+    @pytest.fixture
+    def universe(self):
+        return Universe("ABC")
+
+    def test_false_dnf(self, universe):
+        cnf = dnf_to_cnf(MonotoneDNF.constant(universe, False))
+        assert cnf.is_constant_false()
+
+    def test_true_dnf(self, universe):
+        cnf = dnf_to_cnf(MonotoneDNF.constant(universe, True))
+        assert cnf.is_constant_true()
+
+    def test_true_cnf(self, universe):
+        dnf = cnf_to_dnf(MonotoneCNF.constant(universe, True))
+        assert dnf.is_constant_true()
+
+    def test_false_cnf(self, universe):
+        dnf = cnf_to_dnf(MonotoneCNF.constant(universe, False))
+        assert dnf.is_constant_false()
+
+    def test_dual_of_constants(self, universe):
+        assert dual_dnf(MonotoneDNF.constant(universe, True)).is_constant_false()
+        assert dual_dnf(MonotoneDNF.constant(universe, False)).is_constant_true()
+
+
+class TestSemanticEquivalence:
+    @settings(max_examples=200)
+    @given(mask_families(max_vertices=6, max_edges=5))
+    def test_cnf_computes_same_function(self, data):
+        n, family = data
+        universe = Universe(range(n))
+        dnf = MonotoneDNF(universe, family)
+        cnf = dnf_to_cnf(dnf)
+        for assignment in range(1 << n):
+            assert dnf(assignment) == cnf(assignment)
+
+    @settings(max_examples=200)
+    @given(mask_families(max_vertices=6, max_edges=5))
+    def test_dual_is_involution(self, data):
+        n, family = data
+        universe = Universe(range(n))
+        dnf = MonotoneDNF(universe, family)
+        assert dual_dnf(dual_dnf(dnf)) == dnf
+
+    @settings(max_examples=200)
+    @given(mask_families(max_vertices=6, max_edges=5))
+    def test_dual_satisfies_definition(self, data):
+        """f^d(x) = ¬f(V \\ x) pointwise."""
+        n, family = data
+        universe = Universe(range(n))
+        dnf = MonotoneDNF(universe, family)
+        dual = dual_dnf(dnf)
+        full = universe.full_mask
+        for assignment in range(1 << n):
+            assert dual(assignment) == (not dnf(full & ~assignment))
+
+
+class TestEngines:
+    @pytest.mark.parametrize("method", ["berge", "fk", "levelwise"])
+    def test_all_engines_agree(self, method):
+        universe = Universe("ABCDE")
+        dnf = MonotoneDNF.from_sets(
+            universe, [{"A", "B"}, {"B", "C", "D"}, {"E"}]
+        )
+        assert dnf_to_cnf(dnf, method=method) == dnf_to_cnf(dnf)

@@ -1,0 +1,100 @@
+"""Tests for the named monotone-function families."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.boolean.dualization import dnf_to_cnf
+from repro.boolean.families import (
+    matching_dnf,
+    planted_cnf_function,
+    random_monotone_dnf,
+    threshold_function,
+    tribes_function,
+)
+from repro.util.bitset import popcount
+from repro.util.combinatorics import binomial
+
+
+class TestThreshold:
+    def test_evaluation(self):
+        f = threshold_function(5, 3)
+        assert f(0b00111)
+        assert not f(0b00011)
+
+    def test_term_count(self):
+        assert len(threshold_function(6, 2)) == binomial(6, 2)
+
+    def test_degenerate_thresholds(self):
+        assert threshold_function(4, 0).is_constant_true()
+        assert threshold_function(4, 5).is_constant_false()
+
+    def test_cnf_size_closed_form(self):
+        """CNF of threshold-t has C(n, n-t+1) clauses."""
+        f = threshold_function(6, 3)
+        assert len(dnf_to_cnf(f)) == binomial(6, 4)
+
+
+class TestMatchingDNF:
+    def test_structure(self):
+        f = matching_dnf(8)
+        assert len(f) == 4
+        assert all(popcount(term) == 2 for term in f.terms)
+
+    def test_cnf_is_exponential(self):
+        """|CNF| = 2^{n/2}: the Corollary 27 separation witness."""
+        f = matching_dnf(10)
+        assert len(dnf_to_cnf(f)) == 32
+
+    def test_odd_n_rejected(self):
+        with pytest.raises(ValueError):
+            matching_dnf(5)
+
+
+class TestTribes:
+    def test_structure(self):
+        f = tribes_function(3, 4)
+        assert len(f) == 4
+        assert all(popcount(term) == 3 for term in f.terms)
+
+    def test_cnf_size(self):
+        """|CNF(tribes(w,h))| = w^h."""
+        f = tribes_function(3, 3)
+        assert len(dnf_to_cnf(f)) == 27
+
+    def test_matches_matching_at_width_two(self):
+        assert tribes_function(2, 4) == matching_dnf(8)
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            tribes_function(0, 3)
+
+
+class TestRandomDNF:
+    def test_deterministic(self):
+        assert random_monotone_dnf(8, 5, seed=3) == random_monotone_dnf(
+            8, 5, seed=3
+        )
+
+    def test_size_band_respected(self):
+        f = random_monotone_dnf(10, 8, min_term_size=2, max_term_size=4, seed=1)
+        assert all(2 <= popcount(term) <= 4 for term in f.terms)
+
+    def test_invalid_band(self):
+        with pytest.raises(ValueError):
+            random_monotone_dnf(5, 3, min_term_size=4, max_term_size=2)
+
+
+class TestPlantedCNF:
+    def test_clause_sizes(self):
+        f = planted_cnf_function(10, 5, min_clause_size=8, seed=2)
+        assert all(popcount(clause) >= 8 for clause in f.clauses)
+
+    def test_deterministic(self):
+        assert planted_cnf_function(8, 4, 6, seed=7) == planted_cnf_function(
+            8, 4, 6, seed=7
+        )
+
+    def test_invalid_clause_size(self):
+        with pytest.raises(ValueError):
+            planted_cnf_function(5, 2, 6)

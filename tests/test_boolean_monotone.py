@@ -1,0 +1,144 @@
+"""Unit tests for monotone DNF/CNF representations."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.boolean.monotone import (
+    MonotoneCNF,
+    MonotoneDNF,
+    is_monotone,
+    maximal_false_points,
+    minimal_true_points,
+)
+from repro.util.bitset import Universe
+
+from tests.conftest import mask_families
+
+
+class TestMonotoneDNF:
+    def test_evaluation(self):
+        universe = Universe("ABCD")
+        f = MonotoneDNF.from_sets(universe, [{"A", "D"}, {"C", "D"}])
+        assert f(universe.to_mask({"A", "D"}))
+        assert f(universe.to_mask({"A", "C", "D"}))
+        assert not f(universe.to_mask({"A", "C"}))
+        assert not f(0)
+
+    def test_terms_minimized_to_prime_implicants(self):
+        universe = Universe("ABC")
+        f = MonotoneDNF(universe, [0b001, 0b011])
+        assert f.terms == (0b001,)
+
+    def test_constants(self):
+        universe = Universe("AB")
+        false = MonotoneDNF.constant(universe, False)
+        true = MonotoneDNF.constant(universe, True)
+        assert false.is_constant_false() and not false(0b11)
+        assert true.is_constant_true() and true(0)
+
+    def test_equality_is_function_equality(self):
+        universe = Universe("ABC")
+        a = MonotoneDNF(universe, [0b001, 0b011])
+        b = MonotoneDNF(universe, [0b001])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_len_counts_prime_implicants(self):
+        universe = Universe("ABC")
+        assert len(MonotoneDNF(universe, [0b001, 0b110])) == 2
+
+    def test_repr(self):
+        universe = Universe("AB")
+        assert "false" in repr(MonotoneDNF(universe, []))
+        assert "true" in repr(MonotoneDNF(universe, [0]))
+        assert "∨" in repr(MonotoneDNF(universe, [0b01, 0b10]))
+
+    def test_foreign_variable_rejected(self):
+        with pytest.raises(ValueError):
+            MonotoneDNF(Universe("AB"), [0b100])
+
+    def test_term_sets(self):
+        universe = Universe("ABC")
+        f = MonotoneDNF(universe, [0b011])
+        assert f.term_sets() == [frozenset({"A", "B"})]
+
+    @given(mask_families(max_vertices=6, max_edges=5))
+    def test_always_monotone(self, data):
+        n, family = data
+        f = MonotoneDNF(Universe(range(n)), family)
+        assert is_monotone(f, n)
+
+
+class TestMonotoneCNF:
+    def test_evaluation(self):
+        universe = Universe("ABCD")
+        f = MonotoneCNF.from_sets(universe, [{"A", "C"}, {"D"}])
+        assert f(universe.to_mask({"A", "D"}))
+        assert not f(universe.to_mask({"A", "B"}))
+
+    def test_constants(self):
+        universe = Universe("AB")
+        true = MonotoneCNF.constant(universe, True)
+        false = MonotoneCNF.constant(universe, False)
+        assert true.is_constant_true() and true(0)
+        assert false.is_constant_false() and not false(0b11)
+
+    def test_clauses_minimized(self):
+        universe = Universe("ABC")
+        f = MonotoneCNF(universe, [0b001, 0b011])
+        assert f.clauses == (0b001,)
+
+    def test_repr(self):
+        universe = Universe("AB")
+        assert "true" in repr(MonotoneCNF(universe, []))
+        assert "false" in repr(MonotoneCNF(universe, [0]))
+
+    def test_clause_sets(self):
+        universe = Universe("ABC")
+        f = MonotoneCNF(universe, [0b110])
+        assert f.clause_sets() == [frozenset({"B", "C"})]
+
+    @given(mask_families(max_vertices=6, max_edges=5))
+    def test_always_monotone(self, data):
+        n, family = data
+        f = MonotoneCNF(Universe(range(n)), family)
+        assert is_monotone(f, n)
+
+
+class TestPointExtraction:
+    def test_minimal_true_points_are_terms(self):
+        universe = Universe("ABCD")
+        f = MonotoneDNF.from_sets(universe, [{"A", "D"}, {"C", "D"}])
+        assert sorted(minimal_true_points(f, 4)) == sorted(f.terms)
+
+    def test_maximal_false_points_complement_clauses(self):
+        """Example 25: maximal false points of f = AD ∨ CD are ABC, BD."""
+        universe = Universe("ABCD")
+        f = MonotoneDNF.from_sets(universe, [{"A", "D"}, {"C", "D"}])
+        points = maximal_false_points(f, 4)
+        assert sorted(universe.label(p) for p in points) == ["ABC", "BD"]
+
+    def test_constant_true_has_no_false_points(self):
+        universe = Universe("AB")
+        f = MonotoneDNF.constant(universe, True)
+        assert maximal_false_points(f, 2) == []
+        assert minimal_true_points(f, 2) == [0]
+
+    def test_constant_false(self):
+        universe = Universe("AB")
+        f = MonotoneDNF.constant(universe, False)
+        assert minimal_true_points(f, 2) == []
+        assert maximal_false_points(f, 2) == [0b11]
+
+
+class TestIsMonotone:
+    def test_detects_non_monotone(self):
+        def parity(mask: int) -> bool:
+            return bin(mask).count("1") % 2 == 1
+
+        assert not is_monotone(parity, 3)
+
+    def test_accepts_threshold(self):
+        assert is_monotone(lambda m: bin(m).count("1") >= 2, 4)

@@ -1,0 +1,176 @@
+"""Tests for transversal certification and categorical encoding."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.categorical import (
+    encode_relation,
+    generate_categorical_relation,
+)
+from repro.datasets.relations import Relation
+from repro.hypergraph.berge import berge_transversal_masks
+from repro.hypergraph.certification import certify_transversal_family
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.util.bitset import Universe
+
+from tests.conftest import simple_hypergraphs
+
+
+class TestCertification:
+    @pytest.fixture
+    def example8(self):
+        universe = Universe("ABCD")
+        return Hypergraph.from_sets([{"D"}, {"A", "C"}], universe)
+
+    def test_true_family_certified(self, example8):
+        family = berge_transversal_masks(example8.edge_masks)
+        assert certify_transversal_family(example8, family).is_valid
+
+    def test_missing_element_detected(self, example8):
+        family = berge_transversal_masks(example8.edge_masks)[:-1]
+        certificate = certify_transversal_family(example8, family)
+        assert not certificate.is_valid
+        assert "incomplete" in certificate.reason
+        assert example8.is_minimal_transversal(certificate.witness)
+        assert certificate.witness not in family
+
+    def test_non_transversal_detected(self, example8):
+        universe = example8.universe
+        family = [universe.to_mask("AD"), universe.to_mask("A")]
+        certificate = certify_transversal_family(example8, family)
+        assert not certificate.is_valid
+        assert "not a transversal" in certificate.reason
+        assert certificate.witness == universe.to_mask("A")
+
+    def test_non_minimal_detected(self, example8):
+        universe = example8.universe
+        family = [
+            universe.to_mask("AD"),
+            universe.to_mask("CD"),
+            universe.to_mask("ABD"),
+        ]
+        certificate = certify_transversal_family(example8, family)
+        assert not certificate.is_valid
+        assert "non-minimal" in certificate.reason
+        assert certificate.witness == universe.to_mask("ABD")
+
+    def test_empty_hypergraph_conventions(self):
+        empty = Hypergraph(Universe("AB"), [])
+        assert certify_transversal_family(empty, [0]).is_valid
+        assert not certify_transversal_family(empty, []).is_valid
+        assert not certify_transversal_family(empty, [0b1]).is_valid
+
+    @settings(max_examples=120, deadline=None)
+    @given(simple_hypergraphs(max_vertices=7))
+    def test_property_true_families_certify(self, hypergraph):
+        family = berge_transversal_masks(hypergraph.edge_masks)
+        assert certify_transversal_family(hypergraph, family).is_valid
+
+    @settings(max_examples=120, deadline=None)
+    @given(simple_hypergraphs(max_vertices=7), st.randoms(use_true_random=False))
+    def test_property_perturbed_families_rejected(self, hypergraph, rng):
+        family = berge_transversal_masks(hypergraph.edge_masks)
+        if not family:
+            return
+        broken = list(family)
+        del broken[rng.randrange(len(broken))]
+        certificate = certify_transversal_family(hypergraph, broken)
+        assert not certificate.is_valid
+        assert certificate.witness is not None
+
+
+class TestCategoricalEncoding:
+    @pytest.fixture
+    def relation(self):
+        return Relation(
+            ["color", "size"],
+            [
+                ("red", "s"),
+                ("red", "l"),
+                ("blue", "s"),
+            ],
+        )
+
+    def test_one_item_per_attribute_per_row(self, relation):
+        database = encode_relation(relation)
+        assert database.n_transactions == 3
+        for mask in database:
+            assert mask.bit_count() == 2  # one value per attribute
+
+    def test_item_universe(self, relation):
+        database = encode_relation(relation)
+        assert ("color", "red") in database.universe
+        assert ("size", "l") in database.universe
+        assert database.n_items == 4
+
+    def test_supports_count_value_combinations(self, relation):
+        database = encode_relation(relation)
+        red = database.universe.to_mask([("color", "red")])
+        assert database.support_count(red) == 2
+        red_s = database.universe.to_mask([("color", "red"), ("size", "s")])
+        assert database.support_count(red_s) == 1
+
+    def test_agreement_preserved(self, relation):
+        """Two rows share an encoded item iff they agree on the
+        attribute — the agree-set structure carries over."""
+        database = encode_relation(relation)
+        masks = database.transaction_masks
+        # Rows 0 and 1 agree exactly on color.
+        shared = masks[0] & masks[1]
+        assert database.universe.to_set(shared) == {("color", "red")}
+
+    def test_empty_relation(self):
+        database = encode_relation(Relation("AB", []))
+        assert database.n_transactions == 0
+
+
+class TestCategoricalGenerator:
+    def test_shape_and_determinism(self):
+        a = generate_categorical_relation(5, 30, seed=3)
+        b = generate_categorical_relation(5, 30, seed=3)
+        assert a.rows == b.rows
+        assert a.n_rows == 30
+        assert len(a.attributes) == 5
+
+    def test_rules_create_correlation(self):
+        relation = generate_categorical_relation(
+            6, 400, domain_size=3, n_rules=4, rule_strength=1.0, seed=7
+        )
+        database = encode_relation(relation)
+        # With deterministic rules some value pair co-occurs far above
+        # independence.
+        n = database.n_transactions
+        counts = database.item_support_counts()
+        best_lift = 0.0
+        for i in range(database.n_items):
+            for j in range(i + 1, database.n_items):
+                if counts[i] < 40 or counts[j] < 40:
+                    continue
+                joint = database.support_count((1 << i) | (1 << j)) / n
+                expected = (counts[i] / n) * (counts[j] / n)
+                if expected:
+                    best_lift = max(best_lift, joint / expected)
+        assert best_lift > 1.5
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            generate_categorical_relation(0, 5)
+        with pytest.raises(ValueError):
+            generate_categorical_relation(3, 5, rule_strength=1.5)
+
+    def test_mining_the_encoding_end_to_end(self):
+        from repro.instances.frequent_itemsets import mine_frequent_itemsets
+
+        relation = generate_categorical_relation(
+            5, 200, domain_size=3, n_rules=2, rule_strength=0.95, seed=11
+        )
+        database = encode_relation(relation)
+        theory = mine_frequent_itemsets(database, 0.2)
+        assert theory.maximal
+        # Every frequent set uses at most one value per attribute.
+        for mask in theory.maximal:
+            attributes = [a for a, _ in theory.universe.to_set(mask)]
+            assert len(attributes) == len(set(attributes))

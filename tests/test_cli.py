@@ -1,0 +1,113 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestFigure1Command:
+    def test_prints_expected_sets(self, capsys):
+        assert main(["figure1"]) == 0
+        output = capsys.readouterr().out
+        assert "['ABC', 'BD']" in output
+        assert "['AD', 'CD']" in output
+        assert "AD ∨ CD" in output
+
+
+class TestGenerateAndMine:
+    def test_round_trip(self, tmp_path, capsys):
+        path = str(tmp_path / "data.dat")
+        assert (
+            main(
+                [
+                    "generate",
+                    path,
+                    "--items",
+                    "15",
+                    "--transactions",
+                    "60",
+                    "--seed",
+                    "7",
+                ]
+            )
+            == 0
+        )
+        assert "wrote 60 transactions" in capsys.readouterr().out
+
+        assert (
+            main(["mine", path, "--min-support", "0.3", "--show", "3"]) == 0
+        )
+        output = capsys.readouterr().out
+        assert "|MTh| =" in output
+
+    def test_absolute_threshold(self, tmp_path, capsys):
+        path = str(tmp_path / "data.dat")
+        main(["generate", path, "--items", "10", "--transactions", "40",
+              "--seed", "1"])
+        capsys.readouterr()
+        assert main(["mine", path, "--min-support", "10"]) == 0
+        assert "algorithm=apriori" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "algorithm", ["levelwise", "dualize_advance", "randomized"]
+    )
+    def test_other_algorithms(self, tmp_path, capsys, algorithm):
+        path = str(tmp_path / "data.dat")
+        main(["generate", path, "--items", "10", "--transactions", "30",
+              "--seed", "2"])
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "mine",
+                    path,
+                    "--min-support",
+                    "0.4",
+                    "--algorithm",
+                    algorithm,
+                ]
+            )
+            == 0
+        )
+
+    def test_missing_file_is_reported(self, capsys):
+        assert main(["mine", "/nonexistent/file.dat"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTransversalsCommand:
+    def test_example8(self, capsys):
+        # Vertices 0..3 for A..D: edges {D} and {A, C}.
+        assert (
+            main(["transversals", "--edges", "3, 0 2", "--method", "berge"])
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "2 minimal transversals" in output
+        assert "0 3" in output and "2 3" in output
+
+    @pytest.mark.parametrize("method", ["berge", "fk", "levelwise", "dfs"])
+    def test_all_methods(self, capsys, method):
+        assert (
+            main(
+                ["transversals", "--edges", "0 1, 1 2", "--method", method]
+            )
+            == 0
+        )
+        assert "minimal transversals" in capsys.readouterr().out
+
+    def test_empty_edge_rejected(self, capsys):
+        assert main(["transversals", "--edges", "0 1,,2"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestParser:
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_no_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,70 @@
+"""Tests for languages and specialization relations."""
+
+from __future__ import annotations
+
+from repro.core.language import SetLanguage
+from repro.util.bitset import Universe
+
+
+class TestSetLanguage:
+    def setup_method(self):
+        self.language = SetLanguage(Universe("ABCD"))
+
+    def test_minimal_sentences(self):
+        assert list(self.language.minimal_sentences()) == [0]
+
+    def test_specializations(self):
+        children = sorted(self.language.specializations(0b0001))
+        assert children == [0b0011, 0b0101, 0b1001]
+
+    def test_specializations_of_full_set(self):
+        assert list(self.language.specializations(0b1111)) == []
+
+    def test_generalizations(self):
+        parents = sorted(self.language.generalizations(0b0101))
+        assert parents == [0b0001, 0b0100]
+
+    def test_generalizations_of_empty(self):
+        assert list(self.language.generalizations(0)) == []
+
+    def test_rank_is_cardinality(self):
+        assert self.language.rank(0b1011) == 3
+        assert self.language.rank(0) == 0
+
+    def test_is_more_general_direct(self):
+        assert self.language.is_more_general(0b001, 0b011)
+        assert self.language.is_more_general(0b011, 0b011)
+        assert not self.language.is_more_general(0b100, 0b011)
+
+    def test_width(self):
+        assert self.language.width() == 4
+
+    def test_downward_closure_size(self):
+        assert self.language.downward_closure_size(3) == 8
+
+    def test_equality(self):
+        assert self.language == SetLanguage(Universe("ABCD"))
+        assert self.language != SetLanguage(Universe("AB"))
+
+    def test_lattice_consistency(self):
+        """specializations and generalizations are mutually inverse."""
+        for sentence in range(16):
+            for child in self.language.specializations(sentence):
+                assert sentence in set(self.language.generalizations(child))
+            for parent in self.language.generalizations(sentence):
+                assert sentence in set(self.language.specializations(parent))
+
+
+class TestGenericDefaultSearch:
+    def test_default_is_more_general_via_walk(self):
+        """The GenericLanguage default (transitive walk) agrees with the
+        direct subset test of SetLanguage."""
+        from repro.core.language import GenericLanguage
+
+        language = SetLanguage(Universe("ABC"))
+        walk = GenericLanguage.is_more_general
+        for general in range(8):
+            for specific in range(8):
+                assert walk(language, general, specific) == (
+                    language.is_more_general(general, specific)
+                )

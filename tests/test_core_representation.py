@@ -1,0 +1,97 @@
+"""Tests for Definition 6 (representing as sets) and its checker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import RepresentationError
+from repro.core.language import SetLanguage
+from repro.core.representation import IdentityRepresentation, check_representation
+from repro.util.bitset import Universe
+
+
+class TestIdentityRepresentation:
+    def test_round_trip(self):
+        representation = IdentityRepresentation(Universe("ABC"))
+        assert representation.to_mask(0b101) == 0b101
+        assert representation.from_mask(0b101) == 0b101
+
+    def test_out_of_range_rejected(self):
+        representation = IdentityRepresentation(Universe("AB"))
+        with pytest.raises(RepresentationError):
+            representation.to_mask(0b100)
+        with pytest.raises(RepresentationError):
+            representation.from_mask(0b100)
+
+
+class TestCheckRepresentation:
+    def test_identity_certifies(self):
+        universe = Universe("ABC")
+        language = SetLanguage(universe)
+        check_representation(
+            language, IdentityRepresentation(universe), range(8)
+        )
+
+    def test_non_surjective_detected(self):
+        """A language smaller than the powerset fails Definition 6 —
+        the paper's surjectivity emphasis."""
+        universe = Universe("ABC")
+        language = SetLanguage(universe)
+        with pytest.raises(RepresentationError, match="surjective"):
+            check_representation(
+                language, IdentityRepresentation(universe), range(7)
+            )
+
+    def test_non_injective_detected(self):
+        universe = Universe("AB")
+        language = SetLanguage(universe)
+
+        class CollapsingRepresentation(IdentityRepresentation):
+            def to_mask(self, sentence):
+                return 0 if sentence == 0b01 else sentence
+
+        with pytest.raises(RepresentationError, match="injective"):
+            check_representation(
+                language, CollapsingRepresentation(universe), range(4)
+            )
+
+    def test_order_mismatch_detected(self):
+        """A bijection that scrambles the order is not a representation."""
+        universe = Universe("AB")
+        language = SetLanguage(universe)
+
+        class SwappingRepresentation(IdentityRepresentation):
+            _swap = {0b01: 0b11, 0b11: 0b01}
+
+            def to_mask(self, sentence):
+                return self._swap.get(sentence, sentence)
+
+            def from_mask(self, mask):
+                return self._swap.get(mask, mask)
+
+        with pytest.raises(RepresentationError, match="order mismatch"):
+            check_representation(
+                language, SwappingRepresentation(universe), range(4)
+            )
+
+    def test_broken_inverse_detected(self):
+        universe = Universe("AB")
+        language = SetLanguage(universe)
+
+        class BrokenInverse(IdentityRepresentation):
+            def from_mask(self, mask):
+                return 0
+
+        with pytest.raises(RepresentationError, match="f⁻¹"):
+            check_representation(language, BrokenInverse(universe), range(1, 4))
+
+    def test_escaping_powerset_detected(self):
+        universe = Universe("AB")
+        language = SetLanguage(universe)
+
+        class Escaping(IdentityRepresentation):
+            def to_mask(self, sentence):
+                return sentence | 0b100 if sentence == 0b11 else sentence
+
+        with pytest.raises(RepresentationError, match="leaves the powerset"):
+            check_representation(language, Escaping(universe), range(4))

@@ -1,0 +1,76 @@
+"""Tests for the Theory result type and brute-force reference miner."""
+
+from __future__ import annotations
+
+from repro.core.theory import Theory, compute_theory_brute_force
+from repro.util.bitset import Universe
+
+from tests.conftest import labels
+
+
+class TestComputeTheoryBruteForce:
+    def test_figure1(self, figure1_universe, figure1_theory):
+        theory = compute_theory_brute_force(
+            figure1_universe, figure1_theory.is_interesting
+        )
+        assert labels(figure1_universe, theory.maximal) == ["ABC", "BD"]
+        assert labels(figure1_universe, theory.negative_border) == ["AD", "CD"]
+        assert theory.theory_size() == 10
+        assert theory.queries == 16
+
+    def test_empty_theory(self):
+        universe = Universe("AB")
+        theory = compute_theory_brute_force(universe, lambda mask: False)
+        assert theory.maximal == ()
+        assert theory.negative_border == (0,)
+        assert theory.interesting == ()
+
+    def test_full_theory(self):
+        universe = Universe("AB")
+        theory = compute_theory_brute_force(universe, lambda mask: True)
+        assert theory.maximal == (0b11,)
+        assert theory.negative_border == ()
+        assert theory.theory_size() == 4
+
+
+class TestTheoryAccessors:
+    def setup_method(self):
+        self.universe = Universe("ABCD")
+        self.theory = Theory(
+            universe=self.universe,
+            maximal=(
+                self.universe.to_mask("ABC"),
+                self.universe.to_mask("BD"),
+            ),
+            negative_border=(
+                self.universe.to_mask("AD"),
+                self.universe.to_mask("CD"),
+            ),
+            interesting=None,
+            queries=12,
+        )
+
+    def test_maximal_sets(self):
+        assert frozenset("ABC") in self.theory.maximal_sets()
+
+    def test_negative_border_sets(self):
+        assert frozenset("AD") in self.theory.negative_border_sets()
+
+    def test_interesting_sets_none_when_not_enumerated(self):
+        assert self.theory.interesting_sets() is None
+        assert self.theory.theory_size() is None
+
+    def test_border_size(self):
+        assert self.theory.border_size() == 4
+
+    def test_rank(self):
+        assert self.theory.rank() == 3
+
+    def test_rank_of_empty(self):
+        empty = Theory(self.universe, (), (0,))
+        assert empty.rank() == 0
+
+    def test_is_interesting_from_maximal(self):
+        assert self.theory.is_interesting(self.universe.to_mask("AB"))
+        assert self.theory.is_interesting(0)
+        assert not self.theory.is_interesting(self.universe.to_mask("AD"))

@@ -1,0 +1,117 @@
+"""Tests for the Corollary 4 verification algorithm."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.core.oracle import CountingOracle
+from repro.core.verification import verify_maxth
+from repro.datasets.planted import PlantedTheory
+from repro.util.bitset import Universe
+
+from tests.conftest import planted_theories
+
+
+class TestVerifyValidCandidates:
+    def test_figure1(self, figure1_universe, figure1_theory):
+        result = verify_maxth(
+            figure1_universe,
+            figure1_theory.is_interesting,
+            list(figure1_theory.maximal_masks),
+        )
+        assert result.is_valid
+        # |Bd+| = 2, |Bd-| = 2: exactly 4 queries (Corollary 4 optimum).
+        assert result.queries == 4
+        assert result.checked_positive == 2
+        assert result.checked_negative == 2
+
+    def test_empty_theory(self):
+        universe = Universe("AB")
+        result = verify_maxth(universe, lambda mask: False, [])
+        assert result.is_valid
+        assert result.queries == 1  # only Bd- = {∅}
+
+    def test_full_theory(self):
+        universe = Universe("AB")
+        result = verify_maxth(universe, lambda mask: True, [0b11])
+        assert result.is_valid
+        assert result.queries == 1  # only Bd+ = {full}; Bd- empty
+
+    @settings(max_examples=150)
+    @given(planted_theories())
+    def test_query_count_is_exactly_border_size(self, planted):
+        result = verify_maxth(
+            planted.universe,
+            planted.is_interesting,
+            list(planted.maximal_masks),
+        )
+        assert result.is_valid
+        expected = len(planted.maximal_masks) + len(
+            planted.negative_border_masks()
+        )
+        assert result.queries == expected
+
+
+class TestVerifyInvalidCandidates:
+    def test_missing_maximal_set_detected(self, figure1_universe, figure1_theory):
+        candidate = [figure1_universe.to_mask("ABC")]  # BD missing
+        result = verify_maxth(
+            figure1_universe, figure1_theory.is_interesting, candidate
+        )
+        assert not result.is_valid
+        assert result.witness is not None
+        # The witness is an interesting set outside the candidate closure.
+        assert figure1_theory.is_interesting(result.witness)
+
+    def test_non_maximal_member_detected(self, figure1_universe, figure1_theory):
+        # AB is interesting but not maximal: its negative border contains
+        # an interesting extension.
+        candidate = [
+            figure1_universe.to_mask("AB"),
+            figure1_universe.to_mask("BD"),
+        ]
+        result = verify_maxth(
+            figure1_universe, figure1_theory.is_interesting, candidate
+        )
+        assert not result.is_valid
+
+    def test_uninteresting_member_detected(self, figure1_universe, figure1_theory):
+        candidate = [
+            figure1_universe.to_mask("ABCD"),
+        ]
+        result = verify_maxth(
+            figure1_universe, figure1_theory.is_interesting, candidate
+        )
+        assert not result.is_valid
+        assert result.witness == figure1_universe.to_mask("ABCD")
+
+    def test_non_antichain_rejected_without_queries(self, figure1_universe):
+        oracle = CountingOracle(lambda mask: True)
+        result = verify_maxth(
+            figure1_universe, oracle, [0b001, 0b011]
+        )
+        assert not result.is_valid
+        assert result.queries == 0
+        assert oracle.distinct_queries == 0
+
+    @settings(max_examples=100)
+    @given(planted_theories(max_attributes=6, max_maximal=4))
+    def test_perturbed_candidates_rejected(self, planted):
+        """Dropping a maximal set must always be detected."""
+        if not planted.maximal_masks:
+            return
+        candidate = list(planted.maximal_masks[1:])
+        result = verify_maxth(
+            planted.universe, planted.is_interesting, candidate
+        )
+        assert not result.is_valid
+
+
+class TestVerifyReusesOracle:
+    def test_counting_oracle_passthrough(self):
+        universe = Universe("ABC")
+        planted = PlantedTheory.from_sets(universe, [{"A", "B"}])
+        oracle = CountingOracle(planted.is_interesting)
+        result = verify_maxth(universe, oracle, [universe.to_mask("AB")])
+        assert result.is_valid
+        assert oracle.distinct_queries == result.queries

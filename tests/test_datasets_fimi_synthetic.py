@@ -1,0 +1,125 @@
+"""Tests for FIMI I/O and the Quest-style generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.fimi import read_fimi, write_fimi, write_transactions
+from repro.datasets.synthetic import QuestParameters, generate_quest_database
+from repro.datasets.transactions import TransactionDatabase
+from repro.util.bitset import Universe
+
+
+class TestFimiRoundTrip:
+    def test_integer_round_trip(self, tmp_path):
+        universe = Universe(range(5))
+        database = TransactionDatabase(universe, [0b00111, 0b10001, 0b00000])
+        path = tmp_path / "data.dat"
+        write_fimi(database, path)
+        loaded = read_fimi(path, universe=universe)
+        assert loaded.transaction_masks == database.transaction_masks
+
+    def test_read_infers_universe(self, tmp_path):
+        path = tmp_path / "data.dat"
+        path.write_text("3 7 11\n7\n")
+        database = read_fimi(path)
+        assert database.universe.items == (3, 7, 11)
+        assert database.n_transactions == 2
+
+    def test_blank_lines_are_empty_transactions(self, tmp_path):
+        path = tmp_path / "data.dat"
+        path.write_text("1 2\n\n2\n")
+        database = read_fimi(path)
+        assert database.n_transactions == 3
+        assert database.support_count(0) == 3
+
+    def test_write_transactions_sorts_items(self, tmp_path):
+        path = tmp_path / "raw.dat"
+        write_transactions([[3, 1, 2], [5]], path)
+        assert path.read_text() == "1 2 3\n5\n"
+
+    def test_written_file_is_plain_ascii(self, tmp_path):
+        universe = Universe(range(3))
+        database = TransactionDatabase(universe, [0b101])
+        path = tmp_path / "data.dat"
+        write_fimi(database, path)
+        assert path.read_text() == "0 2\n"
+
+
+class TestQuestParameters:
+    def test_defaults_valid(self):
+        QuestParameters()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_items": 0},
+            {"avg_transaction_length": 0},
+            {"corruption": 1.0},
+            {"pattern_reuse": -0.1},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            QuestParameters(**kwargs)
+
+
+class TestQuestGenerator:
+    def test_shape(self):
+        params = QuestParameters(n_items=50, n_transactions=200)
+        database = generate_quest_database(params, seed=1)
+        assert database.n_items == 50
+        assert database.n_transactions == 200
+
+    def test_deterministic_with_seed(self):
+        params = QuestParameters(n_items=30, n_transactions=100)
+        a = generate_quest_database(params, seed=7)
+        b = generate_quest_database(params, seed=7)
+        assert a.transaction_masks == b.transaction_masks
+
+    def test_different_seeds_differ(self):
+        params = QuestParameters(n_items=30, n_transactions=100)
+        a = generate_quest_database(params, seed=1)
+        b = generate_quest_database(params, seed=2)
+        assert a.transaction_masks != b.transaction_masks
+
+    def test_average_length_in_ballpark(self):
+        params = QuestParameters(
+            n_items=100, n_transactions=2000, avg_transaction_length=10
+        )
+        database = generate_quest_database(params, seed=3)
+        average = sum(
+            mask.bit_count() for mask in database.transaction_masks
+        ) / len(database)
+        assert 5 <= average <= 20
+
+    def test_patterns_create_correlation(self):
+        """Pattern-driven data has some pair far above independence."""
+        params = QuestParameters(
+            n_items=40,
+            n_transactions=1500,
+            avg_transaction_length=8,
+            n_patterns=5,
+            corruption=0.1,
+        )
+        database = generate_quest_database(params, seed=5)
+        n = database.n_transactions
+        best_lift = 0.0
+        counts = database.item_support_counts()
+        for i in range(database.n_items):
+            for j in range(i + 1, database.n_items):
+                if counts[i] < 30 or counts[j] < 30:
+                    continue
+                joint = database.support_count((1 << i) | (1 << j)) / n
+                expected = (counts[i] / n) * (counts[j] / n)
+                if expected > 0:
+                    best_lift = max(best_lift, joint / expected)
+        assert best_lift > 1.5
+
+    def test_round_trips_through_fimi(self, tmp_path):
+        params = QuestParameters(n_items=20, n_transactions=50)
+        database = generate_quest_database(params, seed=11)
+        path = tmp_path / "quest.dat"
+        write_fimi(database, path)
+        loaded = read_fimi(path, universe=database.universe)
+        assert loaded.transaction_masks == database.transaction_masks

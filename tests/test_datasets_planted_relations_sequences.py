@@ -1,0 +1,220 @@
+"""Tests for planted theories, relation generators, event sequences."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.borders import negative_border_brute_force
+from repro.datasets.planted import PlantedTheory, random_planted_theory
+from repro.datasets.relations import Relation, generate_relation_with_keys
+from repro.datasets.sequences import EventSequence, generate_event_sequence
+from repro.util.bitset import Universe, popcount
+
+from tests.conftest import planted_theories
+
+
+class TestPlantedTheory:
+    def test_figure1_fixture(self, figure1_theory, figure1_universe):
+        assert figure1_theory.is_interesting(figure1_universe.to_mask("AB"))
+        assert figure1_theory.is_interesting(0)
+        assert not figure1_theory.is_interesting(figure1_universe.to_mask("AD"))
+
+    def test_maximals_normalized_to_antichain(self):
+        universe = Universe("ABC")
+        planted = PlantedTheory(universe, (0b001, 0b011))
+        assert planted.maximal_masks == (0b011,)
+
+    def test_theory_masks_and_size(self, figure1_theory):
+        assert figure1_theory.theory_size() == 10
+        assert 0 in figure1_theory.theory_masks()
+
+    def test_negative_border_via_theorem7(self, figure1_theory, figure1_universe):
+        border = figure1_theory.negative_border_masks()
+        assert sorted(figure1_universe.label(m) for m in border) == [
+            "AD",
+            "CD",
+        ]
+
+    def test_empty_plant(self):
+        planted = PlantedTheory(Universe("AB"), ())
+        assert not planted.is_interesting(0)
+        assert planted.negative_border_masks() == [0]
+        assert planted.theory_masks() == []
+        assert planted.rank() == 0
+
+    def test_full_plant(self):
+        planted = PlantedTheory(Universe("AB"), (0b11,))
+        assert planted.negative_border_masks() == []
+        assert planted.theory_size() == 4
+
+    @settings(max_examples=100)
+    @given(planted_theories(max_attributes=6))
+    def test_negative_border_matches_brute_force(self, planted):
+        expected = negative_border_brute_force(
+            planted.universe,
+            list(planted.maximal_masks),
+        )
+        if not planted.maximal_masks:
+            expected = [0]
+        assert planted.negative_border_masks() == expected
+
+    def test_random_planted_is_deterministic(self):
+        a = random_planted_theory(8, 4, seed=5)
+        b = random_planted_theory(8, 4, seed=5)
+        assert a.maximal_masks == b.maximal_masks
+
+    def test_random_planted_size_band(self):
+        planted = random_planted_theory(10, 6, min_size=2, max_size=5, seed=1)
+        assert all(2 <= popcount(m) <= 5 for m in planted.maximal_masks)
+
+    def test_invalid_band_rejected(self):
+        with pytest.raises(ValueError):
+            random_planted_theory(5, 2, min_size=4, max_size=2)
+
+
+class TestRelation:
+    @pytest.fixture
+    def relation(self):
+        return Relation(
+            "ABC",
+            [
+                (1, 1, 1),
+                (1, 2, 1),
+                (2, 2, 2),
+            ],
+        )
+
+    def test_shape(self, relation):
+        assert relation.n_rows == 3
+        assert relation.attributes == ("A", "B", "C")
+
+    def test_row_width_validated(self):
+        with pytest.raises(ValueError):
+            Relation("AB", [(1,)])
+
+    def test_agree_sets(self, relation):
+        universe = relation.universe
+        agree = relation.agree_set_masks()
+        # Rows 0,1 agree on {A, C}; rows 1,2 agree on {B}; rows 0,2 on ∅.
+        assert universe.to_mask({"A", "C"}) in agree
+        assert universe.to_mask({"B"}) in agree
+        assert 0 in agree
+
+    def test_maximal_agree_sets(self, relation):
+        universe = relation.universe
+        maximal = relation.maximal_agree_set_masks()
+        assert sorted(maximal) == sorted(
+            [universe.to_mask({"A", "C"}), universe.to_mask({"B"})]
+        )
+
+    def test_is_superkey(self, relation):
+        universe = relation.universe
+        assert relation.is_superkey(universe.to_mask({"A", "B"}))
+        assert not relation.is_superkey(universe.to_mask({"A"}))
+        assert not relation.is_superkey(0)
+
+    def test_empty_mask_key_for_tiny_relation(self):
+        assert Relation("A", [(1,)]).is_superkey(0)
+        assert Relation("A", []).is_superkey(0)
+
+    def test_satisfies_fd(self, relation):
+        universe = relation.universe
+        # A determines C (1→1, 2→2).
+        assert relation.satisfies_fd(universe.to_mask({"A"}), 2)
+        # B does not determine A (2 maps to both 1 and 2).
+        assert not relation.satisfies_fd(universe.to_mask({"B"}), 0)
+
+    def test_projection_values(self, relation):
+        universe = relation.universe
+        values = relation.projection_values(universe.to_mask({"A"}))
+        assert values == {(1,), (2,)}
+
+
+class TestRelationGenerator:
+    def test_planted_keys_are_superkeys(self):
+        relation = generate_relation_with_keys(
+            6, 40, planted_keys=[(0, 1), (3, 4, 5)], domain_size=10, seed=3
+        )
+        assert relation.is_superkey(0b000011)
+        assert relation.is_superkey(0b111000)
+
+    def test_deterministic(self):
+        a = generate_relation_with_keys(5, 20, domain_size=4, seed=9)
+        b = generate_relation_with_keys(5, 20, domain_size=4, seed=9)
+        assert a.rows == b.rows
+
+    def test_infeasible_plant_rejected(self):
+        with pytest.raises(ValueError):
+            generate_relation_with_keys(
+                4, 100, planted_keys=[(0,)], domain_size=2, seed=1
+            )
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ValueError):
+            generate_relation_with_keys(0, 5)
+
+
+class TestEventSequence:
+    def test_sorted_on_construction(self):
+        sequence = EventSequence([(3, "B"), (1, "A")])
+        assert sequence.events == ((1, "A"), (3, "B"))
+
+    def test_alphabet(self):
+        sequence = EventSequence([(1, "B"), (2, "A"), (3, "B")])
+        assert sequence.alphabet == ("A", "B")
+
+    def test_span_and_len(self):
+        sequence = EventSequence([(2, "A"), (9, "B")])
+        assert sequence.span == (2, 9)
+        assert len(sequence) == 2
+
+    def test_empty_sequence(self):
+        sequence = EventSequence([])
+        assert sequence.span == (0, 0)
+        assert list(sequence.windows(3)) == []
+
+    def test_each_event_in_width_windows(self):
+        """MTV convention: every event lies in exactly `width` windows."""
+        sequence = EventSequence([(5, "A")])
+        windows = list(sequence.windows(4))
+        containing = [
+            (start, end) for start, end in windows if start <= 5 < end
+        ]
+        assert len(containing) == 4
+
+    def test_events_in(self):
+        sequence = EventSequence([(1, "A"), (2, "B"), (5, "C")])
+        assert sequence.events_in(1, 3) == [(1, "A"), (2, "B")]
+
+    def test_invalid_window_width(self):
+        with pytest.raises(ValueError):
+            list(EventSequence([(1, "A")]).windows(0))
+
+
+class TestEventSequenceGenerator:
+    def test_length_and_alphabet(self):
+        sequence = generate_event_sequence("ABC", 100, seed=1)
+        assert len(sequence) == 100
+        assert set(sequence.alphabet) <= set("ABC")
+
+    def test_deterministic(self):
+        a = generate_event_sequence("AB", 50, seed=2)
+        b = generate_event_sequence("AB", 50, seed=2)
+        assert a.events == b.events
+
+    def test_injections_add_events(self):
+        noisy = generate_event_sequence(
+            "AB", 200, planted_episodes=[("A", "B", "A")],
+            injection_rate=0.5, seed=3,
+        )
+        clean = generate_event_sequence("AB", 200, seed=3)
+        assert len(noisy) > len(clean)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            generate_event_sequence([], 10)
+        with pytest.raises(ValueError):
+            generate_event_sequence("AB", -1)
+        with pytest.raises(ValueError):
+            generate_event_sequence("AB", 10, injection_rate=2.0)

@@ -1,0 +1,140 @@
+"""Tests for the TransactionDatabase substrate."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.transactions import TransactionDatabase
+from repro.util.bitset import Universe
+
+
+class TestConstruction:
+    def test_from_transactions_infers_universe(self):
+        database = TransactionDatabase.from_transactions(
+            [{"milk", "bread"}, {"milk"}]
+        )
+        assert database.universe.items == ("bread", "milk")
+        assert database.n_transactions == 2
+
+    def test_explicit_universe(self):
+        universe = Universe("ABCD")
+        database = TransactionDatabase.from_transactions([{"B"}], universe)
+        assert database.n_items == 4
+
+    def test_out_of_universe_mask_rejected(self):
+        with pytest.raises(ValueError):
+            TransactionDatabase(Universe("AB"), [0b100])
+
+    def test_duplicate_rows_kept(self):
+        database = TransactionDatabase(Universe("AB"), [0b11, 0b11])
+        assert database.n_transactions == 2
+        assert database.support_count(0b11) == 2
+
+    def test_empty_database(self):
+        database = TransactionDatabase(Universe("AB"), [])
+        assert database.n_transactions == 0
+        assert database.support_count(0b01) == 0
+        assert database.frequency(0b01) == 0.0
+
+
+class TestSupportCounting:
+    @pytest.fixture
+    def database(self):
+        return TransactionDatabase.from_transactions(
+            [{"A", "B", "C"}, {"A", "B"}, {"B", "C"}, {"C"}]
+        )
+
+    def test_empty_itemset_support_is_row_count(self, database):
+        assert database.support_count(0) == 4
+
+    def test_singleton_support(self, database):
+        assert database.support_count(database.universe.to_mask({"B"})) == 3
+
+    def test_pair_support(self, database):
+        assert (
+            database.support_count(database.universe.to_mask({"A", "B"})) == 2
+        )
+
+    def test_unsupported_set(self, database):
+        mask = database.universe.to_mask({"A", "C"})
+        assert database.support_count(mask) == 1
+
+    def test_frequency(self, database):
+        assert database.frequency(database.universe.to_mask({"B"})) == 0.75
+
+    def test_is_frequent(self, database):
+        mask = database.universe.to_mask({"B"})
+        assert database.is_frequent(mask, 3)
+        assert not database.is_frequent(mask, 4)
+
+    def test_item_support_counts(self, database):
+        assert database.item_support_counts() == [2, 3, 3]
+
+    @settings(max_examples=80)
+    @given(
+        st.integers(min_value=1, max_value=7),
+        st.lists(st.integers(min_value=0, max_value=127), max_size=15),
+        st.integers(min_value=0, max_value=127),
+    )
+    def test_vertical_counting_matches_row_scan(self, n_items, rows, probe):
+        universe = Universe(range(n_items))
+        mask_limit = universe.full_mask
+        rows = [row & mask_limit for row in rows]
+        probe &= mask_limit
+        database = TransactionDatabase(universe, rows)
+        expected = sum(1 for row in rows if probe & row == probe)
+        assert database.support_count(probe) == expected
+
+
+class TestAbsoluteSupport:
+    def test_ceiling_semantics(self):
+        database = TransactionDatabase(Universe("A"), [0b1] * 10)
+        assert database.absolute_support(0.25) == 3
+        assert database.absolute_support(0.0) == 0
+        assert database.absolute_support(1.0) == 10
+
+    def test_tiny_positive_threshold_needs_one_row(self):
+        database = TransactionDatabase(Universe("A"), [0b1] * 10)
+        assert database.absolute_support(1e-9) == 1
+
+    def test_out_of_range_rejected(self):
+        database = TransactionDatabase(Universe("A"), [0b1])
+        with pytest.raises(ValueError):
+            database.absolute_support(1.5)
+
+
+class TestProjection:
+    def test_project_keeps_row_count(self):
+        database = TransactionDatabase.from_transactions(
+            [{"A", "B"}, {"C"}], Universe("ABC")
+        )
+        projected = database.project(database.universe.to_mask({"A", "B"}))
+        assert projected.n_transactions == 2
+        assert projected.n_items == 2
+
+    def test_projected_supports(self):
+        database = TransactionDatabase.from_transactions(
+            [{"A", "B"}, {"A"}, {"B"}], Universe("AB")
+        )
+        projected = database.project(database.universe.to_mask({"A"}))
+        assert projected.support_count(projected.universe.to_mask({"A"})) == 2
+
+
+class TestDunders:
+    def test_len_iter_repr(self):
+        database = TransactionDatabase(Universe("AB"), [0b01, 0b10])
+        assert len(database) == 2
+        assert list(database) == [0b01, 0b10]
+        assert "2 transactions" in repr(database)
+
+    def test_transactions_as_sets(self):
+        database = TransactionDatabase(Universe("AB"), [0b01])
+        assert database.transactions_as_sets() == [frozenset({"A"})]
+
+    def test_transaction_masks_is_copy(self):
+        database = TransactionDatabase(Universe("AB"), [0b01])
+        masks = database.transaction_masks
+        masks.append(0b10)
+        assert database.n_transactions == 1

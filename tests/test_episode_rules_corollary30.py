@@ -1,0 +1,125 @@
+"""Tests for episode rules and the Corollary 30 direction."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.datasets.sequences import generate_event_sequence
+from repro.instances.episode_rules import (
+    EpisodeRule,
+    episode_rules_from_frequencies,
+    frequency_table,
+)
+from repro.instances.episodes import (
+    EpisodeLanguage,
+    ParallelEpisodePredicate,
+    mine_parallel_episodes,
+)
+from repro.hypergraph.berge import berge_transversal_masks
+from repro.learning.correspondence import transversals_via_learning
+from repro.util.bitset import Universe
+
+from tests.conftest import simple_hypergraphs
+
+
+class TestEpisodeRules:
+    @pytest.fixture
+    def language(self):
+        return EpisodeLanguage("AB")
+
+    def test_basic_rule_derivation(self, language):
+        frequencies = {
+            (): 1.0,
+            ("A",): 0.6,
+            ("B",): 0.5,
+            ("A", "B"): 0.45,
+        }
+        rules = episode_rules_from_frequencies(language, frequencies, 0.7)
+        rendered = {str(rule).split(" (")[0] for rule in rules}
+        # A ⇒ A·B has confidence 0.45/0.6 = 0.75.
+        assert "A ⇒ A·B" in rendered
+        # B ⇒ A·B has confidence 0.9.
+        assert "B ⇒ A·B" in rendered
+
+    def test_confidence_values(self, language):
+        frequencies = {(): 1.0, ("A",): 0.5, ("A", "B"): 0.25}
+        rules = episode_rules_from_frequencies(language, frequencies, 0.0)
+        rule = next(
+            r for r in rules
+            if r.antecedent == ("A",) and r.consequent == ("A", "B")
+        )
+        assert rule.confidence == pytest.approx(0.5)
+        assert rule.frequency == pytest.approx(0.25)
+
+    def test_threshold_filters(self, language):
+        frequencies = {(): 1.0, ("A",): 0.9, ("A", "A"): 0.1}
+        strict = episode_rules_from_frequencies(language, frequencies, 0.9)
+        loose = episode_rules_from_frequencies(language, frequencies, 0.0)
+        assert len(strict) < len(loose)
+
+    def test_sorted_by_confidence(self, language):
+        frequencies = {(): 1.0, ("A",): 0.8, ("B",): 0.4, ("A", "B"): 0.3}
+        rules = episode_rules_from_frequencies(language, frequencies, 0.0)
+        confidences = [rule.confidence for rule in rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_only_subepisode_pairs(self):
+        serial = EpisodeLanguage("AB", serial=True)
+        frequencies = {("A", "B"): 0.5, ("B", "A"): 0.5, ("A",): 0.8}
+        rules = episode_rules_from_frequencies(serial, frequencies, 0.0)
+        pairs = {(rule.antecedent, rule.consequent) for rule in rules}
+        assert (("A", "B"), ("B", "A")) not in pairs
+
+    def test_invalid_confidence_rejected(self, language):
+        with pytest.raises(ValueError):
+            episode_rules_from_frequencies(language, {}, 1.2)
+
+    def test_rule_str(self):
+        rule = EpisodeRule(("A",), ("A", "B"), 0.3, 0.75)
+        assert "A ⇒ A·B" in str(rule)
+        empty = EpisodeRule((), ("A",), 0.3, 0.3)
+        assert str(empty).startswith("ε ⇒ A")
+
+    def test_end_to_end_from_mined_sequence(self):
+        sequence = generate_event_sequence(
+            "ABC", 300, planted_episodes=[("A", "B")],
+            injection_rate=0.3, seed=11,
+        )
+        predicate = ParallelEpisodePredicate(sequence, 4, 0.2)
+        mined = mine_parallel_episodes(
+            sequence, window_width=4, min_frequency=0.2, max_length=3
+        )
+        table = frequency_table(mined.interesting, predicate)
+        language = EpisodeLanguage(sequence.alphabet)
+        rules = episode_rules_from_frequencies(language, table, 0.5)
+        assert all(rule.confidence >= 0.5 - 1e-12 for rule in rules)
+        # The planted co-occurrence should yield at least one rule.
+        assert any(
+            set(rule.consequent) >= {"A", "B"} for rule in rules
+        )
+
+
+class TestCorollary30:
+    def test_example8(self):
+        universe = Universe("ABCD")
+        edges = [universe.to_mask({"D"}), universe.to_mask({"A", "C"})]
+        clauses = transversals_via_learning(edges, universe)
+        assert sorted(clauses) == sorted(berge_transversal_masks(edges))
+
+    @settings(max_examples=60, deadline=None)
+    @given(simple_hypergraphs(max_vertices=7, max_edges=5))
+    def test_matches_berge_everywhere(self, hypergraph):
+        clauses = transversals_via_learning(
+            hypergraph.edge_masks, hypergraph.universe
+        )
+        assert sorted(clauses) == sorted(
+            berge_transversal_masks(hypergraph.edge_masks)
+        )
+
+    def test_empty_hypergraph(self):
+        universe = Universe("AB")
+        # f ≡ 0: its CNF is the empty clause — Tr convention for the
+        # empty family is {∅}, matching berge_transversal_masks([]).
+        clauses = transversals_via_learning([], universe)
+        assert clauses == [0]

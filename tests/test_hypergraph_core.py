@@ -1,0 +1,184 @@
+"""Unit tests for the Hypergraph value type and family minimization."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.hypergraph.hypergraph import (
+    Hypergraph,
+    NonSimpleHypergraphError,
+    maximize_family,
+    minimize_family,
+)
+from repro.util.bitset import Universe
+
+from tests.conftest import mask_families
+
+
+class TestMinimizeFamily:
+    def test_empty(self):
+        assert minimize_family([]) == []
+
+    def test_removes_supersets(self):
+        assert minimize_family([0b111, 0b001, 0b011]) == [0b001]
+
+    def test_keeps_antichain(self):
+        assert minimize_family([0b001, 0b110]) == [0b001, 0b110]
+
+    def test_deduplicates(self):
+        assert minimize_family([0b01, 0b01]) == [0b01]
+
+    def test_empty_set_dominates(self):
+        assert minimize_family([0, 0b1, 0b11]) == [0]
+
+    @given(mask_families())
+    def test_result_is_antichain_covering_input(self, data):
+        _, family = data
+        minimized = minimize_family(family)
+        # Antichain:
+        for i, a in enumerate(minimized):
+            for b in minimized[i + 1 :]:
+                assert a & b != a and a & b != b
+        # Every input has a kept subset:
+        for mask in family:
+            assert any(kept & mask == kept for kept in minimized)
+
+
+class TestMaximizeFamily:
+    def test_removes_subsets(self):
+        assert maximize_family([0b111, 0b001, 0b011]) == [0b111]
+
+    def test_empty(self):
+        assert maximize_family([]) == []
+
+    @given(mask_families())
+    def test_result_is_antichain_covered_by_input(self, data):
+        _, family = data
+        maximized = maximize_family(family)
+        for i, a in enumerate(maximized):
+            for b in maximized[i + 1 :]:
+                assert a & b != a and a & b != b
+        for mask in family:
+            assert any(mask & kept == mask for kept in maximized)
+
+
+class TestHypergraphConstruction:
+    def test_valid(self):
+        hypergraph = Hypergraph(Universe("ABC"), [0b001, 0b110])
+        assert hypergraph.n_edges == 2
+        assert hypergraph.n_vertices == 3
+
+    def test_empty_edge_rejected(self):
+        with pytest.raises(NonSimpleHypergraphError):
+            Hypergraph(Universe("AB"), [0])
+
+    def test_nested_edges_rejected(self):
+        with pytest.raises(NonSimpleHypergraphError):
+            Hypergraph(Universe("ABC"), [0b001, 0b011])
+
+    def test_out_of_universe_rejected(self):
+        with pytest.raises(NonSimpleHypergraphError):
+            Hypergraph(Universe("AB"), [0b100])
+
+    def test_simple_constructor_minimizes(self):
+        hypergraph = Hypergraph.simple(Universe("ABC"), [0b111, 0b001])
+        assert hypergraph.edge_masks == (0b001,)
+
+    def test_simple_rejects_empty_edge(self):
+        with pytest.raises(NonSimpleHypergraphError):
+            Hypergraph.simple(Universe("AB"), [0, 0b01])
+
+    def test_from_sets_infers_universe(self):
+        hypergraph = Hypergraph.from_sets([{"b"}, {"a", "c"}])
+        assert hypergraph.universe.items == ("a", "b", "c")
+        assert hypergraph.n_edges == 2
+
+    def test_from_sets_with_explicit_universe(self):
+        universe = Universe("ABCD")
+        hypergraph = Hypergraph.from_sets([{"D"}], universe)
+        assert hypergraph.universe is universe
+
+    def test_empty_hypergraph_allowed(self):
+        hypergraph = Hypergraph(Universe("AB"), [])
+        assert hypergraph.n_edges == 0
+
+    def test_duplicate_edges_collapse(self):
+        hypergraph = Hypergraph(Universe("AB"), [0b01, 0b01])
+        assert hypergraph.n_edges == 1
+
+    def test_equality_and_hash(self):
+        a = Hypergraph(Universe("AB"), [0b01])
+        b = Hypergraph(Universe("AB"), [0b01])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestHypergraphQueries:
+    @pytest.fixture
+    def triangle(self):
+        # Edges AB, BC, CA on three vertices.
+        return Hypergraph(Universe("ABC"), [0b011, 0b110, 0b101])
+
+    def test_edge_sizes(self, triangle):
+        assert triangle.min_edge_size() == 2
+        assert triangle.max_edge_size() == 2
+
+    def test_covered_vertices(self, triangle):
+        assert triangle.covered_vertices_mask() == 0b111
+
+    def test_is_transversal(self, triangle):
+        assert triangle.is_transversal(0b011)  # {A, B} hits all edges
+        assert not triangle.is_transversal(0b001)  # {A} misses BC
+
+    def test_is_minimal_transversal(self, triangle):
+        assert triangle.is_minimal_transversal(0b011)
+        assert not triangle.is_minimal_transversal(0b111)
+        assert not triangle.is_minimal_transversal(0b001)
+
+    def test_is_independent(self, triangle):
+        assert triangle.is_independent(0b001)
+        assert not triangle.is_independent(0b011)
+
+    def test_edges_as_sets(self, triangle):
+        assert frozenset({"A", "B"}) in triangle.edges_as_sets()
+
+    def test_empty_hypergraph_edge_sizes(self):
+        empty = Hypergraph(Universe("AB"), [])
+        assert empty.min_edge_size() == 0
+        assert empty.max_edge_size() == 0
+        assert empty.is_transversal(0)
+
+
+class TestDerivedHypergraphs:
+    def test_complement(self):
+        universe = Universe("ABCD")
+        hypergraph = Hypergraph.from_sets([{"A", "B", "C"}, {"B", "D"}], universe)
+        complemented = hypergraph.complement_hypergraph()
+        assert sorted(universe.label(m) for m in complemented) == ["AC", "D"]
+
+    def test_complement_of_full_edge_rejected(self):
+        universe = Universe("AB")
+        hypergraph = Hypergraph(universe, [0b11])
+        with pytest.raises(NonSimpleHypergraphError):
+            hypergraph.complement_hypergraph()
+
+    def test_complement_involution(self):
+        universe = Universe("ABCDE")
+        hypergraph = Hypergraph.from_sets([{"A", "B"}, {"C", "D"}], universe)
+        assert hypergraph.complement_hypergraph().complement_hypergraph() == (
+            hypergraph
+        )
+
+    def test_restrict_drops_empty_and_reminimizes(self):
+        universe = Universe("ABCD")
+        hypergraph = Hypergraph.from_sets(
+            [{"A", "B"}, {"C"}, {"A", "D"}], universe
+        )
+        traced = hypergraph.restrict(universe.to_mask({"A", "B", "D"}))
+        assert sorted(universe.label(m) for m in traced) == ["AB", "AD"]
+
+    def test_restrict_to_nothing(self):
+        universe = Universe("AB")
+        hypergraph = Hypergraph(universe, [0b01])
+        assert hypergraph.restrict(0).n_edges == 0

@@ -1,0 +1,111 @@
+"""Tests for the named hypergraph families."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hypergraph.berge import berge_transversal_masks
+from repro.hypergraph.generators import (
+    complete_k_uniform_hypergraph,
+    large_edge_hypergraph,
+    matching_hypergraph,
+    matching_transversal_count,
+    path_hypergraph,
+    random_simple_hypergraph,
+)
+from repro.util.bitset import popcount
+from repro.util.combinatorics import binomial
+
+
+class TestMatchingHypergraph:
+    def test_structure(self):
+        hypergraph = matching_hypergraph(6)
+        assert hypergraph.n_edges == 3
+        assert all(popcount(edge) == 2 for edge in hypergraph)
+
+    def test_edges_disjoint(self):
+        hypergraph = matching_hypergraph(8)
+        edges = list(hypergraph)
+        for i, a in enumerate(edges):
+            for b in edges[i + 1 :]:
+                assert a & b == 0
+
+    @pytest.mark.parametrize("n", [2, 6, 10])
+    def test_transversal_count_closed_form(self, n):
+        hypergraph = matching_hypergraph(n)
+        assert len(berge_transversal_masks(hypergraph.edge_masks)) == (
+            matching_transversal_count(n)
+        )
+
+    @pytest.mark.parametrize("n", [0, 3, -2])
+    def test_invalid_n_rejected(self, n):
+        with pytest.raises(ValueError):
+            matching_hypergraph(n)
+        with pytest.raises(ValueError):
+            matching_transversal_count(n)
+
+
+class TestCompleteKUniform:
+    def test_edge_count(self):
+        hypergraph = complete_k_uniform_hypergraph(5, 2)
+        assert hypergraph.n_edges == binomial(5, 2)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            complete_k_uniform_hypergraph(4, 0)
+        with pytest.raises(ValueError):
+            complete_k_uniform_hypergraph(4, 5)
+
+    def test_k_equals_n(self):
+        hypergraph = complete_k_uniform_hypergraph(3, 3)
+        assert hypergraph.n_edges == 1
+
+
+class TestPathHypergraph:
+    def test_structure(self):
+        hypergraph = path_hypergraph(5)
+        assert hypergraph.n_edges == 4
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            path_hypergraph(1)
+
+    def test_transversals_are_vertex_covers(self):
+        hypergraph = path_hypergraph(4)
+        for transversal in berge_transversal_masks(hypergraph.edge_masks):
+            assert hypergraph.is_minimal_transversal(transversal)
+
+
+class TestLargeEdgeHypergraph:
+    @pytest.mark.parametrize("n,k", [(8, 2), (10, 3), (6, 0)])
+    def test_edges_have_min_size(self, n, k):
+        hypergraph = large_edge_hypergraph(n, k, n_edges=10, seed=1)
+        assert hypergraph.min_edge_size() >= n - k
+
+    def test_deterministic_with_seed(self):
+        a = large_edge_hypergraph(8, 2, 5, seed=42)
+        b = large_edge_hypergraph(8, 2, 5, seed=42)
+        assert a == b
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            large_edge_hypergraph(5, 5, 3)
+
+
+class TestRandomSimpleHypergraph:
+    def test_simple_and_in_band(self):
+        hypergraph = random_simple_hypergraph(
+            10, 15, min_edge_size=2, max_edge_size=4, seed=9
+        )
+        assert hypergraph.n_edges >= 1
+        assert hypergraph.min_edge_size() >= 2
+        assert hypergraph.max_edge_size() <= 4
+
+    def test_deterministic_with_seed(self):
+        a = random_simple_hypergraph(8, 6, seed=5)
+        b = random_simple_hypergraph(8, 6, seed=5)
+        assert a == b
+
+    def test_invalid_band(self):
+        with pytest.raises(ValueError):
+            random_simple_hypergraph(5, 3, min_edge_size=4, max_edge_size=2)

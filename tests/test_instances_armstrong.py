@@ -1,0 +1,187 @@
+"""Tests for FD inference and Armstrong relations."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.instances.armstrong import (
+    FunctionalDependency,
+    armstrong_relation,
+    compile_fds,
+    fd_closure,
+    implied_fds,
+    implies,
+    max_sets,
+)
+from repro.util.bitset import Universe, iter_bits
+
+
+def FD(lhs: str, rhs: str) -> FunctionalDependency:
+    return FunctionalDependency(lhs=frozenset(lhs), rhs=rhs)
+
+
+class TestClosure:
+    def test_reflexive(self):
+        assert fd_closure(0b101, []) == 0b101
+
+    def test_single_step(self):
+        # A → B over ABC.
+        assert fd_closure(0b001, [(0b001, 0b010)]) == 0b011
+
+    def test_transitive_chain(self):
+        # A → B, B → C.
+        fds = [(0b001, 0b010), (0b010, 0b100)]
+        assert fd_closure(0b001, fds) == 0b111
+
+    def test_no_firing_below_lhs(self):
+        # AB → C fires only with both A and B.
+        fds = [(0b011, 0b100)]
+        assert fd_closure(0b001, fds) == 0b001
+        assert fd_closure(0b011, fds) == 0b111
+
+    def test_closure_is_idempotent_and_monotone(self):
+        rng = random.Random(4)
+        for _ in range(100):
+            n = rng.randint(1, 6)
+            fds = [
+                (rng.randrange(1 << n), 1 << rng.randrange(n))
+                for _ in range(rng.randint(0, 5))
+            ]
+            x = rng.randrange(1 << n)
+            y = x | rng.randrange(1 << n)
+            cx = fd_closure(x, fds)
+            assert fd_closure(cx, fds) == cx
+            assert cx & fd_closure(y, fds) == cx  # monotone
+
+
+class TestImplies:
+    def test_transitivity(self):
+        universe = Universe("ABC")
+        fds = [FD("A", "B"), FD("B", "C")]
+        assert implies(universe, fds, FD("A", "C"))
+
+    def test_non_implication(self):
+        universe = Universe("ABC")
+        fds = [FD("A", "B")]
+        assert not implies(universe, fds, FD("B", "A"))
+
+    def test_trivial_always_implied(self):
+        universe = Universe("AB")
+        assert implies(universe, [], FD("AB", "A"))
+
+
+class TestMaxSets:
+    def test_simple_chain(self):
+        universe = Universe("ABC")
+        fds = [FD("A", "B"), FD("B", "C")]
+        # Sets whose closure misses A: anything ⊆ BC → max set BC.
+        result = max_sets(universe, fds, "A")
+        assert result == [universe.to_mask("BC")]
+
+    def test_constant_attribute_has_no_max_sets(self):
+        universe = Universe("AB")
+        fds = [FD("", "B")]  # ∅ → B: B is constant.
+        assert max_sets(universe, fds, "B") == []
+
+    def test_max_sets_are_closed(self):
+        universe = Universe("ABCD")
+        fds = [FD("AB", "C"), FD("C", "D"), FD("D", "A")]
+        compiled = compile_fds(universe, fds)
+        for rhs in universe.items:
+            for mask in max_sets(universe, fds, rhs):
+                assert fd_closure(mask, compiled) == mask
+
+
+class TestArmstrongRelation:
+    def _assert_armstrong(self, attributes: str, fds):
+        """The relation must satisfy X→A iff F implies it (all X, A)."""
+        universe = Universe(attributes)
+        relation = armstrong_relation(attributes, fds)
+        compiled = compile_fds(universe, fds)
+        n = len(attributes)
+        for lhs_mask in range(1 << n):
+            closure = fd_closure(lhs_mask, compiled)
+            for rhs_index in range(n):
+                implied = bool(closure >> rhs_index & 1)
+                holds = relation.satisfies_fd(lhs_mask, rhs_index)
+                assert holds == implied, (
+                    f"{attributes}: lhs={lhs_mask:b} rhs={rhs_index} "
+                    f"implied={implied} holds={holds}"
+                )
+
+    def test_chain(self):
+        self._assert_armstrong("ABC", [FD("A", "B"), FD("B", "C")])
+
+    def test_key_dependency(self):
+        self._assert_armstrong("ABCD", [FD("AB", "C"), FD("AB", "D")])
+
+    def test_cycle(self):
+        self._assert_armstrong("ABC", [FD("A", "B"), FD("B", "A")])
+
+    def test_empty_fd_set(self):
+        self._assert_armstrong("ABC", [])
+
+    def test_constant_attribute(self):
+        self._assert_armstrong("ABC", [FD("", "C")])
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.randoms(use_true_random=False))
+    def test_random_fd_sets(self, rng):
+        n = rng.randint(1, 4)
+        attributes = "ABCD"[:n]
+        fds = []
+        for _ in range(rng.randint(0, 4)):
+            lhs_size = rng.randint(0, n - 1)
+            lhs = frozenset(rng.sample(attributes, lhs_size))
+            rhs = rng.choice(attributes)
+            fds.append(FunctionalDependency(lhs=lhs, rhs=rhs))
+        self._assert_armstrong(attributes, fds)
+
+    def test_round_trip_with_agree_set_miner(self):
+        """FDs mined back from the Armstrong relation = implied FDs."""
+        from repro.instances.functional_dependencies import (
+            fd_lhs_via_agree_sets,
+        )
+
+        attributes = "ABCD"
+        universe = Universe(attributes)
+        fds = [FD("A", "B"), FD("BC", "D")]
+        relation = armstrong_relation(attributes, fds)
+        compiled = compile_fds(universe, fds)
+        for rhs in attributes:
+            mined_lhs = fd_lhs_via_agree_sets(relation, rhs)
+            reduced = [a for a in attributes if a != rhs]
+            rhs_bit = 1 << universe.index_of(rhs)
+            for lhs_mask in mined_lhs:
+                full_lhs = universe.to_mask(
+                    reduced[i] for i in iter_bits(lhs_mask)
+                )
+                assert fd_closure(full_lhs, compiled) & rhs_bit
+
+
+class TestImpliedFds:
+    def test_minimal_lhs_only(self):
+        universe = Universe("ABC")
+        fds = [FD("A", "B"), FD("B", "C")]
+        result = implied_fds(universe, fds)
+        rendered = {str(fd) for fd in result}
+        assert "A → B" in rendered
+        assert "A → C" in rendered
+        assert "B → C" in rendered
+        # AB → C has a non-minimal LHS; it must not be listed.
+        assert "A,B → C" not in rendered
+
+    def test_max_lhs_size_filter(self):
+        universe = Universe("ABCD")
+        fds = [FD("ABC", "D")]
+        full = implied_fds(universe, fds)
+        capped = implied_fds(universe, fds, max_lhs_size=1)
+        assert len(capped) < len(full)
+
+    def test_str_rendering(self):
+        assert str(FD("AB", "C")) == "A,B → C"
+        assert str(FD("", "C")) == "∅ → C"

@@ -1,0 +1,173 @@
+"""Tests for episode mining and the non-representability demonstration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import RepresentationError
+from repro.datasets.sequences import EventSequence, generate_event_sequence
+from repro.instances.episodes import (
+    EpisodeLanguage,
+    ParallelEpisodePredicate,
+    SerialEpisodePredicate,
+    attempt_set_representation,
+    mine_parallel_episodes,
+    mine_serial_episodes,
+)
+
+
+class TestEpisodeLanguage:
+    def test_parallel_specializations_are_sorted_multisets(self):
+        language = EpisodeLanguage("BA", serial=False)
+        children = set(language.specializations(("A",)))
+        assert ("A", "A") in children
+        assert ("A", "B") in children
+        assert ("B", "A") not in children  # canonical order
+
+    def test_serial_specializations_are_ordered(self):
+        language = EpisodeLanguage("AB", serial=True)
+        children = set(language.specializations(("A",)))
+        assert ("A", "B") in children and ("B", "A") in children
+
+    def test_generalizations(self):
+        language = EpisodeLanguage("AB")
+        parents = set(language.generalizations(("A", "A", "B")))
+        assert parents == {("A", "B"), ("A", "A")}
+
+    def test_rank_is_length(self):
+        language = EpisodeLanguage("AB")
+        assert language.rank(("A", "B", "B")) == 3
+
+    def test_max_length_truncates(self):
+        language = EpisodeLanguage("AB", max_length=1)
+        assert list(language.specializations(("A",))) == []
+
+    def test_parallel_submultiset_order(self):
+        language = EpisodeLanguage("AB")
+        assert language.is_more_general(("A",), ("A", "B"))
+        assert not language.is_more_general(("A", "A"), ("A", "B"))
+
+    def test_serial_subsequence_order(self):
+        language = EpisodeLanguage("AB", serial=True)
+        assert language.is_more_general(("A", "B"), ("A", "A", "B"))
+        assert not language.is_more_general(("B", "A"), ("A", "B"))
+
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(ValueError):
+            EpisodeLanguage([])
+
+    def test_width(self):
+        assert EpisodeLanguage("ABC").width() == 3
+
+
+class TestPredicates:
+    @pytest.fixture
+    def sequence(self):
+        # A at even slots, B right after each A.
+        events = []
+        for slot in range(0, 20, 2):
+            events.append((slot, "A"))
+            events.append((slot + 1, "B"))
+        return EventSequence(events)
+
+    def test_empty_episode_frequency_one(self, sequence):
+        predicate = ParallelEpisodePredicate(sequence, 4, 0.5)
+        assert predicate.frequency(()) == 1.0
+
+    def test_parallel_frequency_monotone(self, sequence):
+        predicate = ParallelEpisodePredicate(sequence, 4, 0.5)
+        assert predicate.frequency(("A",)) >= predicate.frequency(("A", "B"))
+        assert predicate.frequency(("A", "B")) >= predicate.frequency(
+            ("A", "A", "B")
+        )
+
+    def test_parallel_finds_cooccurrence(self, sequence):
+        predicate = ParallelEpisodePredicate(sequence, 4, 0.0)
+        assert predicate.frequency(("A", "B")) > 0.5
+
+    def test_serial_order_matters(self, sequence):
+        predicate = SerialEpisodePredicate(sequence, 3, 0.0)
+        ab = predicate.frequency(("A", "B"))
+        ba = predicate.frequency(("B", "A"))
+        assert ab > ba
+
+    def test_serial_requires_strictly_increasing_time(self):
+        sequence = EventSequence([(1, "A"), (1, "B")])
+        predicate = SerialEpisodePredicate(sequence, 3, 0.0)
+        assert predicate.frequency(("A", "B")) == 0.0
+
+    def test_invalid_frequency_rejected(self, sequence):
+        with pytest.raises(ValueError):
+            ParallelEpisodePredicate(sequence, 3, 1.5)
+
+    def test_empty_sequence(self):
+        sequence = EventSequence([])
+        predicate = ParallelEpisodePredicate(sequence, 3, 0.5)
+        assert predicate.frequency(("A",)) == 0.0
+
+
+class TestMining:
+    def test_planted_episode_is_found(self):
+        sequence = generate_event_sequence(
+            "ABCD",
+            400,
+            planted_episodes=[("A", "B")],
+            injection_rate=0.4,
+            seed=13,
+        )
+        result = mine_parallel_episodes(
+            sequence, window_width=4, min_frequency=0.25, max_length=3
+        )
+        assert ("A", "B") in result.interesting
+
+    def test_interesting_closed_downwards(self):
+        sequence = generate_event_sequence("AB", 100, seed=3)
+        result = mine_parallel_episodes(
+            sequence, window_width=5, min_frequency=0.3, max_length=3
+        )
+        language = EpisodeLanguage(sequence.alphabet)
+        interesting = set(result.interesting)
+        for episode in interesting:
+            for parent in language.generalizations(episode):
+                assert parent in interesting
+
+    def test_maximal_episodes_have_no_interesting_children(self):
+        sequence = generate_event_sequence("AB", 150, seed=5)
+        result = mine_parallel_episodes(
+            sequence, window_width=5, min_frequency=0.2, max_length=4
+        )
+        interesting = set(result.interesting)
+        language = EpisodeLanguage(sequence.alphabet, max_length=4)
+        for episode in result.maximal:
+            children = set(language.specializations(episode))
+            assert not children & interesting
+
+    def test_serial_mining_runs(self):
+        sequence = generate_event_sequence(
+            "ABC",
+            150,
+            planted_episodes=[("A", "B", "C")],
+            injection_rate=0.3,
+            seed=7,
+        )
+        result = mine_serial_episodes(
+            sequence, window_width=5, min_frequency=0.2, max_length=3
+        )
+        assert result.queries > 0
+        assert () in result.interesting
+
+
+class TestNonRepresentability:
+    def test_raises_representation_error(self):
+        with pytest.raises(RepresentationError):
+            attempt_set_representation("AB", 2)
+
+    def test_message_mentions_lattice_size(self):
+        with pytest.raises(RepresentationError, match="sentences"):
+            attempt_set_representation("ABC", 2)
+
+    def test_chain_case(self):
+        """A single event type gives a chain 𝜖 < A < AA < ... — size
+        max_length+1, representable only when trivially short."""
+        with pytest.raises(RepresentationError):
+            attempt_set_representation("A", 3)

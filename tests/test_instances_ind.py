@@ -1,0 +1,140 @@
+"""Tests for inclusion-dependency mining."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.relations import Relation
+from repro.instances.inclusion_dependencies import (
+    InclusionPredicate,
+    mine_inclusion_dependencies,
+    unary_inclusion_dependencies,
+)
+from repro.util.bitset import iter_bits
+
+
+@pytest.fixture
+def source() -> Relation:
+    """Small ``R`` whose A column is a subset of S.X and B of S.Y."""
+    return Relation("AB", [(1, 10), (2, 20)])
+
+
+@pytest.fixture
+def target() -> Relation:
+    return Relation(
+        "XY",
+        [
+            (1, 10),
+            (2, 20),
+            (3, 30),
+        ],
+    )
+
+
+class TestInclusionPredicate:
+    def test_empty_pair_set_vacuously_valid(self, source, target):
+        predicate = InclusionPredicate(source, target)
+        assert predicate(0)
+
+    def test_unary_validity(self, source, target):
+        predicate = InclusionPredicate(source, target)
+        index_ax = predicate.universe.index_of(("A", "X"))
+        index_ay = predicate.universe.index_of(("A", "Y"))
+        assert predicate(1 << index_ax)
+        assert not predicate(1 << index_ay)
+
+    def test_binary_tuplewise_semantics(self, source, target):
+        """R[A,B] ⊆ S[X,Y] requires matching *rows*, not just columns."""
+        predicate = InclusionPredicate(source, target)
+        mask = predicate.universe.to_mask({("A", "X"), ("B", "Y")})
+        assert predicate(mask)
+
+    def test_binary_can_fail_despite_unary_validity(self):
+        source = Relation("AB", [(1, 20)])
+        target = Relation("XY", [(1, 10), (2, 20)])
+        predicate = InclusionPredicate(source, target)
+        assert predicate(1 << predicate.universe.index_of(("A", "X")))
+        assert predicate(1 << predicate.universe.index_of(("B", "Y")))
+        # But (1, 20) is not a row of the target projection.
+        mask = predicate.universe.to_mask({("A", "X"), ("B", "Y")})
+        assert not predicate(mask)
+
+    def test_monotone_downward(self, source, target):
+        predicate = InclusionPredicate(source, target)
+        full = predicate.universe.full_mask
+        for mask in range(full + 1):
+            if predicate(mask):
+                for bit_index in iter_bits(mask):
+                    assert predicate(mask & ~(1 << bit_index))
+
+
+class TestUnaryINDs:
+    def test_enumeration(self, source, target):
+        valid = unary_inclusion_dependencies(source, target)
+        assert ("A", "X") in valid
+        assert ("B", "Y") in valid
+        assert ("A", "Y") not in valid
+
+    def test_self_inclusion(self, source):
+        valid = unary_inclusion_dependencies(source, source)
+        assert ("A", "A") in valid and ("B", "B") in valid
+
+
+class TestMineInclusionDependencies:
+    def test_maximal_ind_found(self, source, target):
+        theory = mine_inclusion_dependencies(source, target)
+        maximal_sets = theory.maximal_sets()
+        assert frozenset({("A", "X"), ("B", "Y")}) in maximal_sets
+
+    def test_restriction_prunes_universe(self, source, target):
+        restricted = mine_inclusion_dependencies(source, target)
+        unrestricted = mine_inclusion_dependencies(
+            source, target, restrict_to_unary_valid=False
+        )
+        assert len(restricted.universe) < len(unrestricted.universe)
+        # Maximal INDs agree as pair sets.
+        assert sorted(map(sorted, restricted.maximal_sets())) == sorted(
+            map(sorted, unrestricted.maximal_sets())
+        )
+
+    def test_dualize_advance_agrees(self, source, target):
+        levelwise_theory = mine_inclusion_dependencies(source, target)
+        advance_theory = mine_inclusion_dependencies(
+            source, target, algorithm="dualize_advance"
+        )
+        assert sorted(map(sorted, levelwise_theory.maximal_sets())) == sorted(
+            map(sorted, advance_theory.maximal_sets())
+        )
+
+    def test_unknown_algorithm_rejected(self, source, target):
+        with pytest.raises(ValueError):
+            mine_inclusion_dependencies(source, target, algorithm="x")
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.randoms(use_true_random=False))
+    def test_algorithms_agree_on_random_relations(self, rng):
+        n_source_cols = rng.randint(1, 3)
+        n_target_cols = rng.randint(1, 3)
+        source = Relation(
+            [f"a{i}" for i in range(n_source_cols)],
+            [
+                tuple(rng.randrange(3) for _ in range(n_source_cols))
+                for _ in range(rng.randint(0, 4))
+            ],
+        )
+        target = Relation(
+            [f"b{i}" for i in range(n_target_cols)],
+            [
+                tuple(rng.randrange(3) for _ in range(n_target_cols))
+                for _ in range(rng.randint(0, 4))
+            ],
+        )
+        a = mine_inclusion_dependencies(source, target)
+        b = mine_inclusion_dependencies(
+            source, target, algorithm="dualize_advance"
+        )
+        assert sorted(map(sorted, a.maximal_sets())) == sorted(
+            map(sorted, b.maximal_sets())
+        )

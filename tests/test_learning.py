@@ -1,0 +1,219 @@
+"""Tests for Section 6: the mining↔learning correspondence and learners."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.boolean.dualization import dnf_to_cnf
+from repro.boolean.families import (
+    matching_dnf,
+    planted_cnf_function,
+    random_monotone_dnf,
+    threshold_function,
+    tribes_function,
+)
+from repro.boolean.monotone import MonotoneCNF, MonotoneDNF
+from repro.learning.correspondence import (
+    cnf_from_maximal_sets,
+    dnf_from_negative_border,
+    interestingness_from_membership,
+    maximal_sets_from_cnf,
+    membership_from_interestingness,
+    negative_border_from_dnf,
+)
+from repro.learning.exact import learn_monotone_function
+from repro.learning.levelwise_learner import learn_short_complement_cnf
+from repro.learning.oracles import MembershipOracle
+from repro.mining.bounds import (
+    corollary27_learning_lower_bound,
+    corollary28_learning_query_bound,
+)
+from repro.util.bitset import Universe
+
+from tests.conftest import mask_families
+
+
+class TestMembershipOracle:
+    def test_counts_distinct_points(self):
+        oracle = MembershipOracle(lambda x: x != 0)
+        oracle(1)
+        oracle(1)
+        oracle(2)
+        assert oracle.queries == 2
+        assert oracle.total_calls == 3
+
+    def test_from_dnf_and_cnf(self):
+        universe = Universe("AB")
+        dnf = MonotoneDNF(universe, [0b11])
+        cnf = MonotoneCNF(universe, [0b01, 0b10])
+        assert MembershipOracle.from_dnf(dnf)(0b11)
+        assert MembershipOracle.from_cnf(cnf)(0b11)
+
+    def test_reset(self):
+        oracle = MembershipOracle(lambda x: True)
+        oracle(0)
+        oracle.reset()
+        assert oracle.queries == 0
+
+
+class TestCorrespondence:
+    def test_example25_forward(self, figure1_universe, figure1_theory):
+        """MTh = {ABC, BD} and Bd- = {AD, CD} translate to
+        f = AD ∨ CD = (A∨C)(D)."""
+        cnf = cnf_from_maximal_sets(
+            figure1_universe, figure1_theory.maximal_masks
+        )
+        dnf = dnf_from_negative_border(
+            figure1_universe, figure1_theory.negative_border_masks()
+        )
+        expected_dnf = MonotoneDNF.from_sets(
+            figure1_universe, [{"A", "D"}, {"C", "D"}]
+        )
+        expected_cnf = MonotoneCNF.from_sets(
+            figure1_universe, [{"A", "C"}, {"D"}]
+        )
+        assert dnf == expected_dnf
+        assert cnf == expected_cnf
+        assert dnf_to_cnf(dnf) == cnf
+
+    def test_round_trip_inverses(self, figure1_universe, figure1_theory):
+        cnf = cnf_from_maximal_sets(
+            figure1_universe, figure1_theory.maximal_masks
+        )
+        assert sorted(maximal_sets_from_cnf(cnf)) == sorted(
+            figure1_theory.maximal_masks
+        )
+        dnf = dnf_from_negative_border(
+            figure1_universe, figure1_theory.negative_border_masks()
+        )
+        assert sorted(negative_border_from_dnf(dnf)) == sorted(
+            figure1_theory.negative_border_masks()
+        )
+
+    def test_predicate_wrappers_negate(self):
+        predicate = interestingness_from_membership(lambda x: x == 3)
+        assert predicate(0) and not predicate(3)
+        function = membership_from_interestingness(predicate)
+        assert function(3) and not function(0)
+
+    def test_interestingness_of_q_is_falseness_of_f(self, figure1_theory):
+        """q(S) ⟺ f(χ_S) = 0 on the Figure 1 instance."""
+        universe = figure1_theory.universe
+        f = dnf_from_negative_border(
+            universe, figure1_theory.negative_border_masks()
+        )
+        for mask in range(16):
+            assert figure1_theory.is_interesting(mask) == (not f(mask))
+
+
+class TestExactLearner:
+    @pytest.mark.parametrize(
+        "target",
+        [
+            threshold_function(5, 2),
+            threshold_function(6, 6),
+            matching_dnf(6),
+            tribes_function(3, 2),
+            random_monotone_dnf(7, 5, seed=1),
+        ],
+        ids=["threshold", "and6", "matching", "tribes", "random"],
+    )
+    def test_learns_exactly(self, target):
+        universe = target.universe
+        oracle = MembershipOracle.from_dnf(target)
+        result = learn_monotone_function(oracle, universe)
+        assert result.dnf == target
+        assert result.cnf == dnf_to_cnf(target)
+
+    def test_learns_constants(self):
+        universe = Universe(range(4))
+        for value in (True, False):
+            target = MonotoneDNF.constant(universe, value)
+            result = learn_monotone_function(
+                MembershipOracle.from_dnf(target), universe
+            )
+            assert result.dnf == target
+
+    def test_corollary28_query_bound(self):
+        """Queries ≤ |CNF| · (|DNF| + n²) (with the small +Bd- slack of
+        the final certification pass)."""
+        for target in [
+            threshold_function(6, 3),
+            matching_dnf(8),
+            random_monotone_dnf(7, 4, seed=9),
+        ]:
+            universe = target.universe
+            oracle = MembershipOracle.from_dnf(target)
+            result = learn_monotone_function(oracle, universe)
+            bound = corollary28_learning_query_bound(
+                result.dnf_size(), result.cnf_size(), len(universe)
+            )
+            assert result.queries <= bound + result.dnf_size() + 1
+
+    def test_corollary27_lower_bound_respected(self):
+        """No learner can beat |DNF| + |CNF|; ours certainly does not."""
+        target = matching_dnf(8)
+        oracle = MembershipOracle.from_dnf(target)
+        result = learn_monotone_function(oracle, target.universe)
+        assert result.queries >= corollary27_learning_lower_bound(
+            result.dnf_size(), result.cnf_size()
+        )
+
+    @settings(max_examples=80, deadline=None)
+    @given(mask_families(max_vertices=6, max_edges=4))
+    def test_property_round_trip(self, data):
+        n, family = data
+        universe = Universe(range(n))
+        target = MonotoneDNF(universe, family)
+        result = learn_monotone_function(
+            MembershipOracle.from_dnf(target), universe
+        )
+        assert result.dnf == target
+        # CNF and DNF must be duals of each other.
+        assert dnf_to_cnf(result.dnf) == result.cnf
+
+
+class TestLevelwiseLearner:
+    def test_learns_short_complement_cnf(self):
+        target_cnf = planted_cnf_function(8, 4, min_clause_size=6, seed=3)
+        universe = target_cnf.universe
+        oracle = MembershipOracle.from_cnf(target_cnf)
+        result = learn_short_complement_cnf(oracle, universe)
+        assert result.cnf == target_cnf
+        for assignment in range(1 << 8):
+            assert result.dnf(assignment) == target_cnf(assignment)
+
+    def test_agrees_with_exact_learner(self):
+        target = threshold_function(6, 5)  # clauses have n-t+1 = 2... large?
+        universe = target.universe
+        a = learn_short_complement_cnf(
+            MembershipOracle.from_dnf(target), universe
+        )
+        b = learn_monotone_function(
+            MembershipOracle.from_dnf(target), universe
+        )
+        assert a.dnf == b.dnf
+        assert a.cnf == b.cnf
+
+    def test_query_count_small_for_shallow_theories(self):
+        """Clauses of size ≥ n−1 ⇒ false sets of size ≤ 1: queries are
+        O(n²), far below 2^n."""
+        n = 12
+        target_cnf = planted_cnf_function(n, 6, min_clause_size=n - 1, seed=5)
+        universe = target_cnf.universe
+        oracle = MembershipOracle.from_cnf(target_cnf)
+        result = learn_short_complement_cnf(oracle, universe)
+        assert result.cnf == target_cnf
+        assert result.queries <= 1 + n + n * (n - 1) // 2
+
+    @settings(max_examples=60, deadline=None)
+    @given(mask_families(max_vertices=6, max_edges=4))
+    def test_property_agrees_with_exact(self, data):
+        n, family = data
+        universe = Universe(range(n))
+        target = MonotoneDNF(universe, family)
+        levelwise_result = learn_short_complement_cnf(
+            MembershipOracle.from_dnf(target), universe
+        )
+        assert levelwise_result.dnf == target

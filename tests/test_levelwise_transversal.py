@@ -1,0 +1,94 @@
+"""Tests for the Corollary 15 special-case transversal algorithm."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.hypergraph.berge import berge_transversal_masks
+from repro.hypergraph.generators import large_edge_hypergraph
+from repro.hypergraph.levelwise_transversal import levelwise_transversal_masks
+from repro.util.bitset import Universe, popcount
+from repro.util.combinatorics import sum_binomials
+
+from tests.conftest import mask_families
+
+
+class TestLevelwiseTransversalBasics:
+    def test_empty_family(self):
+        assert levelwise_transversal_masks([], 3) == [0]
+
+    def test_empty_edge(self):
+        assert levelwise_transversal_masks([0, 0b1], 3) == []
+
+    def test_example8(self):
+        universe = Universe("ABCD")
+        edges = [universe.to_mask({"D"}), universe.to_mask({"A", "C"})]
+        transversals = levelwise_transversal_masks(edges, 4)
+        assert sorted(universe.label(m) for m in transversals) == ["AD", "CD"]
+
+    def test_vertex_in_every_edge(self):
+        # Vertex 0 hits everything: {0} is a minimal transversal.
+        transversals = levelwise_transversal_masks([0b011, 0b101], 3)
+        assert 0b001 in transversals
+
+
+class TestLevelwiseTransversalProperty:
+    @given(mask_families(max_vertices=7, max_edges=5))
+    def test_matches_berge(self, data):
+        n, family = data
+        assert sorted(levelwise_transversal_masks(family, n)) == sorted(
+            berge_transversal_masks(family)
+        )
+
+
+class TestCorollary15QueryComplexity:
+    @pytest.mark.parametrize("n,k", [(10, 2), (12, 3), (16, 2)])
+    def test_query_count_within_bound(self, n, k):
+        """Predicate evaluations ≤ (|non-transversals ∪ Tr|) ≤
+        Σ_{i≤k+1} C(n,i) when all edges have ≥ n−k vertices."""
+        hypergraph = large_edge_hypergraph(n, k, n_edges=8, seed=7)
+        queries = 0
+        edge_masks = hypergraph.edge_masks
+
+        def counting_is_transversal(mask: int) -> bool:
+            nonlocal queries
+            queries += 1
+            return all(mask & edge for edge in edge_masks)
+
+        transversals = levelwise_transversal_masks(
+            edge_masks, n, is_transversal=counting_is_transversal
+        )
+        assert sorted(transversals) == sorted(
+            berge_transversal_masks(edge_masks)
+        )
+        assert queries <= sum_binomials(n, k + 1)
+
+    @pytest.mark.parametrize("n,k", [(12, 2), (14, 3)])
+    def test_all_transversals_small(self, n, k):
+        """With edges ≥ n−k, every minimal transversal found has ≤ k+1
+        vertices (pigeonhole: k+1 vertices hit every (n−k)-edge)."""
+        hypergraph = large_edge_hypergraph(n, k, n_edges=10, seed=3)
+        transversals = levelwise_transversal_masks(hypergraph.edge_masks, n)
+        assert all(popcount(t) <= k + 1 for t in transversals)
+
+
+class TestBlackBoxAccess:
+    def test_custom_predicate_is_the_only_data_access(self):
+        """The algorithm must work from the predicate alone (the paper
+        stresses it never inspects the hypergraph structure)."""
+        universe = Universe("ABCD")
+        edges = [universe.to_mask({"A", "B", "C"}), universe.to_mask({"B", "C", "D"})]
+        seen: list[int] = []
+
+        def spying_predicate(mask: int) -> bool:
+            seen.append(mask)
+            return all(mask & edge for edge in edges)
+
+        transversals = levelwise_transversal_masks(
+            [0b1, 0b10],  # deliberately wrong edges: predicate rules
+            4,
+            is_transversal=spying_predicate,
+        )
+        assert sorted(transversals) == sorted(berge_transversal_masks(edges))
+        assert seen  # the predicate was exercised

@@ -1,0 +1,132 @@
+"""Tests for the MaxMiner baseline and the DFS transversal engine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.theory import compute_theory_brute_force
+from repro.datasets.transactions import TransactionDatabase
+from repro.hypergraph.dfs_enumeration import (
+    dfs_transversal_masks,
+    dfs_transversal_masks_iter,
+    iter_minimal_transversals_dfs,
+)
+from repro.hypergraph.enumeration import brute_force_transversal_masks
+from repro.hypergraph.generators import matching_hypergraph
+from repro.mining.levelwise import levelwise
+from repro.mining.maxminer import maxminer, maxminer_maxth
+from repro.util.bitset import Universe
+
+from tests.conftest import labels, planted_theories, simple_hypergraphs
+
+
+class TestDfsEngine:
+    def test_empty_family(self):
+        assert list(dfs_transversal_masks_iter([])) == [0]
+
+    def test_empty_edge(self):
+        assert list(dfs_transversal_masks_iter([0, 0b1])) == []
+
+    def test_example8(self):
+        universe = Universe("ABCD")
+        edges = [universe.to_mask({"D"}), universe.to_mask({"A", "C"})]
+        assert labels(universe, dfs_transversal_masks(edges)) == ["AD", "CD"]
+
+    def test_matching_family(self):
+        hypergraph = matching_hypergraph(10)
+        results = list(iter_minimal_transversals_dfs(hypergraph))
+        assert len(results) == 32
+        assert len(set(results)) == 32
+
+    def test_lazy_iteration(self):
+        hypergraph = matching_hypergraph(12)
+        iterator = iter_minimal_transversals_dfs(hypergraph)
+        first = next(iterator)
+        assert hypergraph.is_minimal_transversal(first)
+
+    @settings(max_examples=200, deadline=None)
+    @given(simple_hypergraphs(max_vertices=7))
+    def test_matches_brute_force(self, hypergraph):
+        assert sorted(dfs_transversal_masks(hypergraph.edge_masks)) == sorted(
+            brute_force_transversal_masks(
+                hypergraph.edge_masks, len(hypergraph.universe)
+            )
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(simple_hypergraphs(max_vertices=7))
+    def test_no_duplicates_streamed(self, hypergraph):
+        seen = list(dfs_transversal_masks_iter(hypergraph.edge_masks))
+        assert len(seen) == len(set(seen))
+
+
+class TestMaxMiner:
+    def test_figure1(self, figure1_universe, figure1_theory):
+        result = maxminer_maxth(
+            figure1_universe, figure1_theory.is_interesting
+        )
+        assert labels(figure1_universe, result.maximal) == ["ABC", "BD"]
+
+    def test_empty_theory(self):
+        universe = Universe("ABC")
+        result = maxminer_maxth(universe, lambda mask: False)
+        assert result.maximal == ()
+        assert result.queries == 1
+
+    def test_full_theory_uses_one_lookahead(self):
+        universe = Universe("ABCDE")
+        result = maxminer_maxth(universe, lambda mask: True)
+        assert result.maximal == (universe.full_mask,)
+        assert result.lookahead_hits == 1
+        assert result.queries == 2  # ∅ plus the single lookahead
+
+    @settings(max_examples=120, deadline=None)
+    @given(planted_theories())
+    def test_matches_brute_force(self, planted):
+        ground = compute_theory_brute_force(
+            planted.universe, planted.is_interesting
+        )
+        result = maxminer_maxth(planted.universe, planted.is_interesting)
+        assert result.maximal == ground.maximal
+
+    def test_lookahead_beats_levelwise_on_deep_theories(self):
+        from repro.datasets.planted import random_planted_theory
+
+        planted = random_planted_theory(14, 2, min_size=11, max_size=12, seed=3)
+        walk = levelwise(planted.universe, planted.is_interesting)
+        result = maxminer_maxth(planted.universe, planted.is_interesting)
+        assert result.maximal == walk.maximal
+        assert result.queries < walk.queries / 2
+
+    def test_single_deep_set_is_one_lookahead(self):
+        """One maximal set containing everything viable: the first
+        lookahead closes the search after O(n) queries, versus 2^rank
+        for levelwise."""
+        from repro.datasets.planted import random_planted_theory
+
+        planted = random_planted_theory(16, 1, min_size=13, max_size=13, seed=5)
+        walk = levelwise(planted.universe, planted.is_interesting)
+        result = maxminer_maxth(planted.universe, planted.is_interesting)
+        assert result.maximal == walk.maximal
+        assert result.queries < walk.queries / 50
+
+    def test_database_front_end(self):
+        database = TransactionDatabase.from_transactions(
+            [{"A", "B", "C"}, {"A", "B", "C"}, {"B", "D"}, {"B", "D"}]
+        )
+        result = maxminer(database, 2)
+        assert labels(database.universe, result.maximal) == ["ABC", "BD"]
+
+    def test_database_relative_threshold(self):
+        database = TransactionDatabase.from_transactions(
+            [{"A"}, {"A"}, {"B"}]
+        )
+        by_ratio = maxminer(database, 0.5)
+        by_count = maxminer(database, 2)
+        assert by_ratio.maximal == by_count.maximal
+
+    def test_negative_threshold_rejected(self):
+        database = TransactionDatabase.from_transactions([{"A"}])
+        with pytest.raises(ValueError):
+            maxminer(database, -1)

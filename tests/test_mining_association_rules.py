@@ -1,0 +1,122 @@
+"""Tests for association-rule generation from frequent sets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.transactions import TransactionDatabase
+from repro.mining.apriori import apriori
+from repro.mining.association_rules import (
+    AssociationRule,
+    association_rules_from_supports,
+    rule_count_upper_bound,
+)
+
+
+@pytest.fixture
+def market() -> TransactionDatabase:
+    return TransactionDatabase.from_transactions(
+        [
+            {"bread", "milk"},
+            {"bread", "milk", "eggs"},
+            {"bread", "eggs"},
+            {"milk"},
+            {"bread", "milk"},
+        ]
+    )
+
+
+class TestRuleGeneration:
+    def test_confident_rule_found(self, market):
+        result = apriori(market, 2)
+        rules = association_rules_from_supports(
+            market.universe, result.supports, market.n_transactions, 0.7
+        )
+        as_text = {str(rule).split(" (")[0] for rule in rules}
+        # bread ∧ eggs appear twice, always together with each other.
+        assert "eggs ⇒ bread" in as_text
+
+    def test_confidence_values(self, market):
+        result = apriori(market, 1)
+        rules = association_rules_from_supports(
+            market.universe, result.supports, market.n_transactions, 0.0
+        )
+        rule = next(
+            r
+            for r in rules
+            if r.antecedent == frozenset({"milk"}) and r.consequent == "bread"
+        )
+        # supp(milk)=4, supp(milk,bread)=3.
+        assert rule.confidence == pytest.approx(3 / 4)
+        assert rule.support_count == 3
+        assert rule.frequency == pytest.approx(3 / 5)
+
+    def test_threshold_filters(self, market):
+        result = apriori(market, 1)
+        permissive = association_rules_from_supports(
+            market.universe, result.supports, market.n_transactions, 0.0
+        )
+        strict = association_rules_from_supports(
+            market.universe, result.supports, market.n_transactions, 1.0
+        )
+        assert len(strict) < len(permissive)
+        assert all(rule.confidence >= 1.0 - 1e-12 for rule in strict)
+
+    def test_sorted_by_confidence(self, market):
+        result = apriori(market, 1)
+        rules = association_rules_from_supports(
+            market.universe, result.supports, market.n_transactions, 0.0
+        )
+        confidences = [rule.confidence for rule in rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_singleton_rules_have_empty_antecedent(self, market):
+        result = apriori(market, 4)
+        rules = association_rules_from_supports(
+            market.universe, result.supports, market.n_transactions, 0.0
+        )
+        empties = [rule for rule in rules if not rule.antecedent]
+        assert empties
+        # Their confidence equals the item frequency.
+        for rule in empties:
+            assert rule.confidence == pytest.approx(rule.frequency)
+
+    def test_invalid_confidence_rejected(self, market):
+        with pytest.raises(ValueError):
+            association_rules_from_supports(market.universe, {}, 5, 1.5)
+
+    def test_empty_supports(self, market):
+        assert association_rules_from_supports(
+            market.universe, {}, 5, 0.5
+        ) == []
+
+    def test_rule_count_upper_bound(self, market):
+        result = apriori(market, 2)
+        rules = association_rules_from_supports(
+            market.universe, result.supports, market.n_transactions, 0.0
+        )
+        assert len(rules) <= rule_count_upper_bound(result.supports)
+
+
+class TestRuleStr:
+    def test_rendering(self):
+        rule = AssociationRule(
+            antecedent=frozenset({"a", "b"}),
+            consequent="c",
+            support_count=3,
+            frequency=0.3,
+            confidence=0.75,
+        )
+        text = str(rule)
+        assert "a,b ⇒ c" in text
+        assert "conf=0.750" in text
+
+    def test_empty_antecedent_rendering(self):
+        rule = AssociationRule(
+            antecedent=frozenset(),
+            consequent="c",
+            support_count=1,
+            frequency=0.1,
+            confidence=0.1,
+        )
+        assert str(rule).startswith("∅ ⇒ c")

@@ -1,0 +1,100 @@
+"""Tests for the closed-form bound calculators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mining.bounds import (
+    corollary13_frequent_sets_bound,
+    corollary14_negative_border_bound,
+    corollary14_size_cap,
+    corollary27_learning_lower_bound,
+    corollary28_learning_query_bound,
+    lemma20_enumeration_bound,
+    theorem10_exact_query_count,
+    theorem12_levelwise_bound,
+    theorem21_dualize_advance_bound,
+)
+
+
+class TestTheorem10:
+    def test_sum(self):
+        assert theorem10_exact_query_count(10, 2) == 12
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            theorem10_exact_query_count(-1, 0)
+
+
+class TestTheorem12:
+    def test_product(self):
+        assert theorem12_levelwise_bound(8, 4, 2) == 64
+
+    def test_figure1_instance(self):
+        """dc(3)=8, width=4, |MTh|=2 → bound 64 ≥ the 12 measured."""
+        assert theorem12_levelwise_bound(2**3, 4, 2) == 64
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            theorem12_levelwise_bound(1, -1, 1)
+
+
+class TestCorollary13:
+    def test_specializes_theorem12(self):
+        assert corollary13_frequent_sets_bound(3, 4, 2) == (
+            theorem12_levelwise_bound(8, 4, 2)
+        )
+
+    def test_values(self):
+        assert corollary13_frequent_sets_bound(2, 10, 5) == 200
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            corollary13_frequent_sets_bound(1, 1, -1)
+
+
+class TestCorollary14:
+    def test_counting_bound_dominates_for_small_k(self):
+        # n=10, k=1: at most C(10,2)+C(10,1)+1 = 56 sets of size ≤ 2.
+        assert corollary14_negative_border_bound(10, 1, 100) == 56
+
+    def test_query_bound_dominates_for_large_k(self):
+        # Huge k: counting bound is 2^n, query bound smaller with 1 max set.
+        assert corollary14_negative_border_bound(10, 9, 1) == min(
+            1 << 10, (1 << 9) * 10 * 1
+        )
+
+    def test_size_cap(self):
+        assert corollary14_size_cap(10, 1) == 45
+
+
+class TestTheorem21:
+    def test_product(self):
+        assert theorem21_dualize_advance_bound(3, 5, 2, 4) == 3 * (5 + 8)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            theorem21_dualize_advance_bound(1, 1, 1, -1)
+
+
+class TestLemma20:
+    def test_plus_one(self):
+        assert lemma20_enumeration_bound(7) == 8
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            lemma20_enumeration_bound(-1)
+
+
+class TestLearningBounds:
+    def test_corollary27(self):
+        assert corollary27_learning_lower_bound(4, 16) == 20
+
+    def test_corollary28(self):
+        assert corollary28_learning_query_bound(4, 16, 8) == 16 * (4 + 64)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            corollary27_learning_lower_bound(-1, 0)
+        with pytest.raises(ValueError):
+            corollary28_learning_query_bound(1, 1, -1)

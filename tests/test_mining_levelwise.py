@@ -1,0 +1,143 @@
+"""Tests for Algorithm 9 (levelwise), including Theorem 10 exactness."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.core.language import SetLanguage
+from repro.core.oracle import CountingOracle, GenericCountingOracle
+from repro.core.theory import compute_theory_brute_force
+from repro.mining.levelwise import levelwise, levelwise_generic
+from repro.util.bitset import Universe, popcount
+
+from tests.conftest import labels, planted_theories
+
+
+class TestLevelwiseOnFigure1:
+    def test_example11_trace(self, figure1_universe, figure1_theory):
+        """Example 11: singletons all frequent; level 2 keeps AB, AC, BC,
+        BD; level 3 confirms ABC; the negative border is {AD, CD}."""
+        result = levelwise(figure1_universe, figure1_theory.is_interesting)
+        # Level 0 is the empty set, level 1 the singletons.
+        assert labels(figure1_universe, result.levels[1]) == ["A", "B", "C", "D"]
+        assert labels(figure1_universe, result.levels[2]) == [
+            "AB",
+            "AC",
+            "BC",
+            "BD",
+        ]
+        assert labels(figure1_universe, result.levels[3]) == ["ABC"]
+        assert labels(figure1_universe, result.maximal) == ["ABC", "BD"]
+        assert labels(figure1_universe, result.negative_border) == ["AD", "CD"]
+
+    def test_theorem10_exact_count(self, figure1_universe, figure1_theory):
+        result = levelwise(figure1_universe, figure1_theory.is_interesting)
+        assert result.queries == result.theory_size() + len(
+            result.negative_border
+        )
+        # Concretely: 10 interesting sets (incl. ∅) + 2 rejected.
+        assert result.queries == 12
+
+
+class TestLevelwiseEdgeCases:
+    def test_empty_theory(self):
+        universe = Universe("ABC")
+        result = levelwise(universe, lambda mask: False)
+        assert result.maximal == ()
+        assert result.negative_border == (0,)
+        assert result.queries == 1
+
+    def test_full_theory(self):
+        universe = Universe("ABC")
+        result = levelwise(universe, lambda mask: True)
+        assert result.maximal == (0b111,)
+        assert result.negative_border == ()
+        assert result.queries == 8
+
+    def test_single_attribute(self):
+        universe = Universe("A")
+        result = levelwise(universe, lambda mask: mask == 0)
+        assert result.maximal == (0,)
+        assert result.negative_border == (1,)
+
+    def test_max_rank_truncation(self):
+        universe = Universe("ABCD")
+        result = levelwise(universe, lambda mask: True, max_rank=2)
+        assert all(popcount(mask) <= 2 for mask in result.interesting)
+        # Truncated: positive border is the rank-2 layer.
+        assert all(popcount(mask) == 2 for mask in result.maximal)
+
+    def test_counting_oracle_reused(self):
+        universe = Universe("AB")
+        oracle = CountingOracle(lambda mask: True)
+        result = levelwise(universe, oracle)
+        assert oracle.distinct_queries == result.queries
+
+
+class TestLevelwiseProperty:
+    @settings(max_examples=150)
+    @given(planted_theories())
+    def test_matches_brute_force(self, planted):
+        ground = compute_theory_brute_force(
+            planted.universe, planted.is_interesting
+        )
+        result = levelwise(planted.universe, planted.is_interesting)
+        assert result.maximal == ground.maximal
+        assert result.negative_border == ground.negative_border
+        assert result.interesting == ground.interesting
+
+    @settings(max_examples=150)
+    @given(planted_theories())
+    def test_theorem10_exactness(self, planted):
+        """Query count is |Th| + |Bd-(Th)|, always and exactly."""
+        result = levelwise(planted.universe, planted.is_interesting)
+        assert result.queries == len(result.interesting) + len(
+            result.negative_border
+        )
+
+    @settings(max_examples=100)
+    @given(planted_theories())
+    def test_never_queries_outside_th_union_border(self, planted):
+        """Every query lies in Th ∪ Bd-(Th) — the other half of the
+        Theorem 10 equality."""
+        oracle = CountingOracle(planted.is_interesting)
+        result = levelwise(planted.universe, oracle)
+        allowed = set(result.interesting) | set(result.negative_border)
+        assert set(oracle.history()) == allowed
+
+
+class TestLevelwiseGeneric:
+    def test_agrees_with_set_version(self, figure1_universe, figure1_theory):
+        language = SetLanguage(figure1_universe)
+        generic = levelwise_generic(language, figure1_theory.is_interesting)
+        fast = levelwise(figure1_universe, figure1_theory.is_interesting)
+        assert sorted(generic.interesting) == sorted(fast.interesting)
+        assert sorted(generic.maximal) == sorted(fast.maximal)
+        assert sorted(generic.negative_border) == sorted(fast.negative_border)
+        assert generic.queries == fast.queries
+
+    @settings(max_examples=60)
+    @given(planted_theories(max_attributes=6))
+    def test_property_agreement(self, planted):
+        language = SetLanguage(planted.universe)
+        generic = levelwise_generic(language, planted.is_interesting)
+        fast = levelwise(planted.universe, planted.is_interesting)
+        assert sorted(generic.maximal) == sorted(fast.maximal)
+        assert sorted(generic.negative_border) == sorted(fast.negative_border)
+        assert generic.queries == fast.queries
+
+    def test_generic_oracle_reused(self):
+        language = SetLanguage(Universe("AB"))
+        oracle = GenericCountingOracle(lambda mask: True)
+        result = levelwise_generic(language, oracle)
+        assert oracle.distinct_queries == result.queries
+
+    def test_levelwise_for_language_dispatch(self, figure1_universe, figure1_theory):
+        from repro.mining.levelwise import levelwise_for_language
+
+        language = SetLanguage(figure1_universe)
+        via_language = levelwise_for_language(
+            language, figure1_theory.is_interesting
+        )
+        direct = levelwise(figure1_universe, figure1_theory.is_interesting)
+        assert via_language == direct

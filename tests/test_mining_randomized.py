@@ -1,0 +1,98 @@
+"""Tests for the randomized MaxTh discovery ([11])."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.theory import compute_theory_brute_force
+from repro.mining.randomized import random_maximal_set, randomized_maxth
+from repro.util.bitset import Universe
+
+from tests.conftest import labels, planted_theories
+
+
+class TestRandomMaximalSet:
+    def test_returns_maximal_interesting(self, figure1_universe, figure1_theory):
+        for seed in range(20):
+            maximal = random_maximal_set(
+                figure1_universe, figure1_theory.is_interesting, seed=seed
+            )
+            assert figure1_theory.is_interesting(maximal)
+            # Maximality: every extension is uninteresting.
+            for bit_index in range(4):
+                extended = maximal | (1 << bit_index)
+                if extended != maximal:
+                    assert not figure1_theory.is_interesting(extended)
+
+    def test_reaches_every_maximal_set(self, figure1_universe, figure1_theory):
+        """Both ABC and BD must appear across seeds (positive probability
+        for each maximal set)."""
+        seen = {
+            random_maximal_set(
+                figure1_universe, figure1_theory.is_interesting, seed=seed
+            )
+            for seed in range(50)
+        }
+        assert seen == set(figure1_theory.maximal_masks)
+
+    def test_deterministic_given_seed(self, figure1_universe, figure1_theory):
+        a = random_maximal_set(
+            figure1_universe, figure1_theory.is_interesting, seed=9
+        )
+        b = random_maximal_set(
+            figure1_universe, figure1_theory.is_interesting, seed=9
+        )
+        assert a == b
+
+
+class TestRandomizedMaxTh:
+    def test_figure1(self, figure1_universe, figure1_theory):
+        result = randomized_maxth(
+            figure1_universe, figure1_theory.is_interesting, seed=1
+        )
+        assert labels(figure1_universe, result.maximal) == ["ABC", "BD"]
+        assert labels(figure1_universe, result.negative_border) == ["AD", "CD"]
+
+    def test_empty_theory(self):
+        universe = Universe("AB")
+        result = randomized_maxth(universe, lambda mask: False, seed=0)
+        assert result.maximal == ()
+        assert result.negative_border == (0,)
+
+    def test_full_theory(self):
+        universe = Universe("ABC")
+        result = randomized_maxth(universe, lambda mask: True, seed=0)
+        assert result.maximal == (0b111,)
+        assert result.negative_border == ()
+
+    def test_accounting_fields(self, figure1_universe, figure1_theory):
+        result = randomized_maxth(
+            figure1_universe, figure1_theory.is_interesting, seed=2
+        )
+        assert result.sampled + result.advanced == len(result.maximal)
+        assert result.dualizations >= 1
+        assert result.queries > 0
+
+    @settings(max_examples=100, deadline=None)
+    @given(planted_theories(max_attributes=7), st.integers(0, 2**16))
+    def test_matches_brute_force(self, planted, seed):
+        ground = compute_theory_brute_force(
+            planted.universe, planted.is_interesting
+        )
+        result = randomized_maxth(
+            planted.universe, planted.is_interesting, seed=seed
+        )
+        assert result.maximal == ground.maximal
+        assert result.negative_border == ground.negative_border
+
+    def test_patience_affects_sampling_only_not_result(
+        self, figure1_universe, figure1_theory
+    ):
+        lazy = randomized_maxth(
+            figure1_universe, figure1_theory.is_interesting, patience=1, seed=4
+        )
+        eager = randomized_maxth(
+            figure1_universe, figure1_theory.is_interesting, patience=10, seed=4
+        )
+        assert lazy.maximal == eager.maximal

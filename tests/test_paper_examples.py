@@ -1,0 +1,171 @@
+"""Integration tests: every worked example of the paper, verbatim.
+
+Figure 1 and Examples 8, 11, 17, 19, and 25 all concern the same
+four-attribute problem with ``MTh = {ABC, BD}``; these tests execute the
+paper's narratives end to end and assert the stated intermediate values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.borders import downward_closure, negative_border_from_positive
+from repro.core.oracle import CountingOracle
+from repro.datasets.planted import PlantedTheory
+from repro.hypergraph.berge import berge_transversal_masks
+from repro.hypergraph.generators import (
+    matching_hypergraph,
+    matching_transversal_count,
+)
+from repro.learning.correspondence import (
+    cnf_from_maximal_sets,
+    dnf_from_negative_border,
+)
+from repro.mining.dualize_advance import dualize_and_advance
+from repro.mining.levelwise import levelwise
+from repro.util.bitset import Universe, popcount
+
+from tests.conftest import labels
+
+
+class TestExample8:
+    """S = {ABC, BD}: closure, H(S) = {D, AC}, Tr(H(S)) = {AD, CD}."""
+
+    def setup_method(self):
+        self.universe = Universe("ABCD")
+        self.s = [self.universe.to_mask("ABC"), self.universe.to_mask("BD")]
+
+    def test_downward_closure(self):
+        closure = downward_closure(self.s)
+        assert labels(self.universe, closure) == sorted(
+            ["{}", "A", "B", "C", "D", "AB", "AC", "BC", "BD", "ABC"]
+        )
+
+    def test_h_of_s(self):
+        complements = [self.universe.complement(mask) for mask in self.s]
+        assert labels(self.universe, complements) == ["AC", "D"]
+
+    def test_transversals_of_h(self):
+        complements = [self.universe.complement(mask) for mask in self.s]
+        transversals = berge_transversal_masks(complements)
+        assert labels(self.universe, transversals) == ["AD", "CD"]
+
+    def test_theorem7_composition(self):
+        negative = negative_border_from_positive(self.universe, self.s)
+        assert labels(self.universe, negative) == ["AD", "CD"]
+
+
+class TestExample11:
+    """The levelwise walk: singletons → pairs → ABC; the negative border
+    is exactly the rejected candidates AD, CD."""
+
+    def test_walk(self, figure1_universe, figure1_theory):
+        oracle = CountingOracle(figure1_theory.is_interesting)
+        result = levelwise(figure1_universe, oracle)
+        assert labels(figure1_universe, result.levels[1]) == ["A", "B", "C", "D"]
+        assert labels(figure1_universe, result.levels[2]) == [
+            "AB", "AC", "BC", "BD",
+        ]
+        assert labels(figure1_universe, result.levels[3]) == ["ABC"]
+        rejected = [
+            mask for mask, answer in oracle.history().items() if not answer
+        ]
+        assert labels(figure1_universe, rejected) == ["AD", "CD"]
+
+
+class TestExample17:
+    """The Dualize-and-Advance walk.
+
+    The paper finds ABC first (extending counterexample A), then BD
+    (extending D), then certifies with Tr({D, AC}) = {AD, CD} all
+    uninteresting.
+    """
+
+    def test_walk(self, figure1_universe, figure1_theory):
+        result = dualize_and_advance(
+            figure1_universe, figure1_theory.is_interesting
+        )
+        found_order = [
+            step.new_maximal
+            for step in result.iterations
+            if step.new_maximal is not None
+        ]
+        assert labels(figure1_universe, found_order[:1]) == ["ABC"]
+        assert labels(figure1_universe, found_order[1:]) == ["BD"]
+        final = result.iterations[-1]
+        assert final.counterexample is None
+        assert final.enumerated == 2  # exactly {AD, CD}
+        assert labels(figure1_universe, result.negative_border) == ["AD", "CD"]
+
+
+class TestExample19:
+    """MTh = all (n−2)-sets ⇒ Bd+ = those sets; an intermediate C_i whose
+    complements form a perfect matching has 2^{n/2} transversals while
+    the final borders stay polynomial."""
+
+    @pytest.mark.parametrize("n", [6, 8, 10])
+    def test_intermediate_blowup(self, n):
+        universe = Universe(range(n))
+        # C_i with complements {x_{2i}, x_{2i+1}}: the D_i of the paper.
+        matching = matching_hypergraph(n)
+        intermediate_c = [
+            universe.complement(edge) for edge in matching.edge_masks
+        ]
+        transversals = berge_transversal_masks(matching.edge_masks)
+        assert len(transversals) == matching_transversal_count(n) == 2 ** (n // 2)
+        # Meanwhile the *final* problem (all (n-2)-sets maximal) has a
+        # small negative border: all (n-1)-sets, i.e. n of them.
+        from itertools import combinations
+
+        maximal = [
+            universe.to_mask(combo)
+            for combo in combinations(range(n), n - 2)
+        ]
+        final_border = negative_border_from_positive(universe, maximal)
+        assert len(final_border) == n
+        assert all(popcount(mask) == n - 1 for mask in final_border)
+        # The blow-up is real: intermediate >> final for n ≥ 8.
+        if n >= 8:
+            assert len(transversals) > len(final_border)
+        assert len(intermediate_c) == n // 2
+
+
+class TestExample25:
+    """f = AD ∨ CD with CNF (A∨C)(D): terms = Bd-, clauses = complements
+    of MTh."""
+
+    def test_translation(self, figure1_universe, figure1_theory):
+        dnf = dnf_from_negative_border(
+            figure1_universe, figure1_theory.negative_border_masks()
+        )
+        cnf = cnf_from_maximal_sets(
+            figure1_universe, figure1_theory.maximal_masks
+        )
+        assert sorted(
+            figure1_universe.label(term) for term in dnf.terms
+        ) == ["AD", "CD"]
+        assert sorted(
+            figure1_universe.label(clause) for clause in cnf.clauses
+        ) == ["AC", "D"]
+        # And they are the same function.
+        for assignment in range(16):
+            assert dnf(assignment) == cnf(assignment)
+
+
+class TestFigure1Consistency:
+    """All algorithm families agree on the Figure 1 problem, and their
+    borders satisfy the structural identities of Section 3."""
+
+    def test_borders_partition_evaluations(self, figure1_universe):
+        planted = PlantedTheory.from_sets(
+            figure1_universe, [{"A", "B", "C"}, {"B", "D"}]
+        )
+        result = levelwise(figure1_universe, planted.is_interesting)
+        theory_set = set(result.interesting)
+        border_set = set(result.negative_border)
+        assert not theory_set & border_set
+        assert result.queries == len(theory_set) + len(border_set)
+
+    def test_bd_plus_subset_of_theory(self, figure1_universe, figure1_theory):
+        result = levelwise(figure1_universe, figure1_theory.is_interesting)
+        assert set(result.maximal) <= set(result.interesting)

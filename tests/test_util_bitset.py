@@ -1,0 +1,173 @@
+"""Unit tests for repro.util.bitset."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bitset import (
+    Universe,
+    is_antichain,
+    iter_bits,
+    iter_submasks,
+    lowest_bit,
+    mask_of_indices,
+    masks_from_sets,
+    popcount,
+    sets_from_masks,
+)
+
+
+class TestPopcount:
+    def test_zero(self):
+        assert popcount(0) == 0
+
+    def test_full_byte(self):
+        assert popcount(0xFF) == 8
+
+    def test_sparse(self):
+        assert popcount(0b1010001) == 3
+
+    @given(st.integers(min_value=0, max_value=2**64))
+    def test_matches_bin_count(self, mask):
+        assert popcount(mask) == bin(mask).count("1")
+
+
+class TestLowestBit:
+    def test_single_bit(self):
+        assert lowest_bit(0b1000) == 3
+
+    def test_mixed(self):
+        assert lowest_bit(0b101100) == 2
+
+    def test_zero_raises(self):
+        with pytest.raises(ValueError):
+            lowest_bit(0)
+
+    @given(st.integers(min_value=1, max_value=2**40))
+    def test_is_minimum_of_iter_bits(self, mask):
+        assert lowest_bit(mask) == min(iter_bits(mask))
+
+
+class TestIterBits:
+    def test_empty(self):
+        assert list(iter_bits(0)) == []
+
+    def test_increasing_order(self):
+        assert list(iter_bits(0b10110)) == [1, 2, 4]
+
+    @given(st.sets(st.integers(min_value=0, max_value=30)))
+    def test_round_trip_with_mask_of_indices(self, indices):
+        mask = mask_of_indices(indices)
+        assert set(iter_bits(mask)) == indices
+
+
+class TestMaskOfIndices:
+    def test_empty(self):
+        assert mask_of_indices([]) == 0
+
+    def test_values(self):
+        assert mask_of_indices([0, 2]) == 0b101
+
+    def test_duplicates_collapse(self):
+        assert mask_of_indices([1, 1, 1]) == 0b10
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            mask_of_indices([-1])
+
+
+class TestIterSubmasks:
+    def test_zero_has_one_submask(self):
+        assert list(iter_submasks(0)) == [0]
+
+    def test_count_is_power_of_two(self):
+        submasks = list(iter_submasks(0b1011))
+        assert len(submasks) == 8
+        assert len(set(submasks)) == 8
+
+    @given(st.integers(min_value=0, max_value=(1 << 10) - 1))
+    def test_all_are_submasks(self, mask):
+        for sub in iter_submasks(mask):
+            assert sub & mask == sub
+
+
+class TestUniverse:
+    def test_basic_round_trip(self):
+        universe = Universe("ABCD")
+        mask = universe.to_mask({"A", "C"})
+        assert mask == 0b101
+        assert universe.to_set(mask) == frozenset({"A", "C"})
+
+    def test_duplicate_items_rejected(self):
+        with pytest.raises(ValueError):
+            Universe("AAB")
+
+    def test_full_mask(self):
+        assert Universe(range(5)).full_mask == 0b11111
+
+    def test_index_and_item(self):
+        universe = Universe(["x", "y", "z"])
+        assert universe.index_of("y") == 1
+        assert universe.item_at(2) == "z"
+
+    def test_foreign_item_raises(self):
+        with pytest.raises(KeyError):
+            Universe("AB").to_mask({"C"})
+
+    def test_complement(self):
+        universe = Universe("ABC")
+        assert universe.complement(0b001) == 0b110
+
+    def test_singletons(self):
+        assert Universe("AB").singletons() == [1, 2]
+
+    def test_label_shorthand(self):
+        universe = Universe("ABCD")
+        assert universe.label(0b1011) == "ABD"
+        assert universe.label(0) == "{}"
+
+    def test_label_multichar_items_get_separator(self):
+        universe = Universe(["item1", "item2"])
+        assert universe.label(0b11) == "item1,item2"
+
+    def test_contains_len_iter(self):
+        universe = Universe("AB")
+        assert "A" in universe and "Z" not in universe
+        assert len(universe) == 2
+        assert list(universe) == ["A", "B"]
+
+    def test_equality_and_hash(self):
+        assert Universe("AB") == Universe("AB")
+        assert Universe("AB") != Universe("BA")
+        assert hash(Universe("AB")) == hash(Universe("AB"))
+
+    def test_to_sorted_tuple(self):
+        universe = Universe("ABCD")
+        assert universe.to_sorted_tuple(0b1010) == ("B", "D")
+
+    @given(st.sets(st.integers(min_value=0, max_value=11)))
+    def test_mask_set_round_trip(self, subset):
+        universe = Universe(range(12))
+        assert universe.to_set(universe.to_mask(subset)) == frozenset(subset)
+
+
+class TestFamilyHelpers:
+    def test_masks_from_sets_preserves_order(self):
+        universe = Universe("ABC")
+        masks = masks_from_sets(universe, [{"B"}, {"A", "C"}])
+        assert masks == [0b010, 0b101]
+
+    def test_sets_from_masks(self):
+        universe = Universe("ABC")
+        assert sets_from_masks(universe, [0b011]) == [frozenset({"A", "B"})]
+
+    def test_is_antichain_true(self):
+        assert is_antichain([0b001, 0b010, 0b100])
+
+    def test_is_antichain_false_on_nesting(self):
+        assert not is_antichain([0b001, 0b011])
+
+    def test_is_antichain_empty(self):
+        assert is_antichain([])

@@ -1,0 +1,16 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test perf lint bench
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+perf:
+	$(PYTHON) -m benchmarks.run_perf
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q
+
+lint:
+	ruff check src tests benchmarks

@@ -19,7 +19,6 @@ from repro.datasets.planted import random_planted_theory
 from repro.learning.correspondence import (
     cnf_from_maximal_sets,
     dnf_from_negative_border,
-    interestingness_from_membership,
     maximal_sets_from_cnf,
     negative_border_from_dnf,
 )

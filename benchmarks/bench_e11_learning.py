@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import math
 
-from repro.boolean.dualization import dnf_to_cnf
 from repro.boolean.families import (
     matching_dnf,
     planted_cnf_function,

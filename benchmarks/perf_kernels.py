@@ -1,0 +1,76 @@
+"""Frozen pre-PR-1 reference kernels for the tracked perf harness.
+
+These are verbatim copies of the seed implementations that PR 1
+replaced: the quadratic antichain reductions, the list-rebuilding Berge
+multiplication loop, and per-itemset big-int support counting.  They are
+kept here — not imported from the library — so that ``run_perf`` always
+compares the *current* kernels against the same fixed baseline, and so
+the equivalence assertions (old output == new output, bit for bit) keep
+guarding the rewrite.
+
+Nothing here is exported to the library; the only consumers are
+``benchmarks.run_perf`` and the kernel property tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.datasets.transactions import TransactionDatabase
+from repro.util.bitset import iter_bits, popcount
+
+
+def reference_minimize(masks: Iterable[int]) -> list[int]:
+    """Seed ``minimize_family``: sorted dedupe + quadratic subset scan."""
+    unique = sorted(set(masks), key=lambda m: (popcount(m), m))
+    kept: list[int] = []
+    for mask in unique:
+        if any(kept_mask & mask == kept_mask for kept_mask in kept):
+            continue
+        kept.append(mask)
+    return kept
+
+
+def reference_maximize(masks: Iterable[int]) -> list[int]:
+    """Seed ``maximize_family``: dual quadratic superset scan."""
+    unique = sorted(set(masks), key=lambda m: (-popcount(m), m))
+    kept: list[int] = []
+    for mask in unique:
+        if any(kept_mask & mask == mask for kept_mask in kept):
+            continue
+        kept.append(mask)
+    return kept
+
+
+def reference_berge_transversals(edge_masks: Sequence[int]) -> list[int]:
+    """Seed ``berge_transversal_masks``: re-minimize from scratch per edge."""
+    edges = reference_minimize(edge_masks)
+    if not edges:
+        return [0]
+    if edges[0] == 0:
+        return []
+    transversals = [1 << i for i in iter_bits(edges[0])]
+    for edge in edges[1:]:
+        extended: list[int] = []
+        for transversal in transversals:
+            if transversal & edge:
+                extended.append(transversal)
+            else:
+                for bit_index in iter_bits(edge):
+                    extended.append(transversal | (1 << bit_index))
+        transversals = reference_minimize(extended)
+    return sorted(transversals, key=lambda m: (popcount(m), m))
+
+
+def reference_level_supports(
+    database: TransactionDatabase, levels: Sequence[Sequence[int]]
+) -> list[list[int]]:
+    """Seed Apriori counting: one big-int AND-chain per candidate.
+
+    ``support_count`` itself is unchanged since the seed, so calling it
+    per mask *is* the frozen baseline — the PR's change is the batched
+    dispatch around it, not the scalar kernel.
+    """
+    return [
+        [database.support_count(mask) for mask in level] for level in levels
+    ]

@@ -21,7 +21,8 @@ from collections.abc import Iterable
 
 from repro.hypergraph.berge import berge_transversal_masks
 from repro.hypergraph.enumeration import minimal_transversals
-from repro.hypergraph.hypergraph import Hypergraph, maximize_family
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.util.antichain import maximize_masks
 from repro.util.bitset import Universe, iter_submasks, popcount
 
 
@@ -44,8 +45,12 @@ def positive_border(masks: Iterable[int]) -> list[int]:
     Accepts arbitrary families (not only downward-closed ones), per the
     paper's generalized definition ``Bd(S) = Bd(closure(S))`` — the
     maximal sets of a family equal those of its downward closure.
+    Border maintenance goes through the antichain kernel layer
+    (:mod:`repro.util.antichain`); incremental consumers should hold a
+    :class:`~repro.util.antichain.MaximalFamilyTracker` instead of
+    re-reducing on every insertion.
     """
-    return sorted(maximize_family(masks), key=lambda m: (popcount(m), m))
+    return sorted(maximize_masks(masks), key=lambda m: (popcount(m), m))
 
 
 def negative_border_from_positive(
@@ -62,7 +67,7 @@ def negative_border_from_positive(
     * the full universe in the border (everything is interesting): the
       negative border is empty.
     """
-    maximal = maximize_family(positive_border_masks)
+    maximal = maximize_masks(positive_border_masks)
     full = universe.full_mask
     if not maximal:
         return [0]

@@ -57,6 +57,45 @@ class CountingOracle:
             self._cache[mask] = cached
         return cached
 
+    def batch_query(self, masks: Iterable[int]) -> list[bool]:
+        """Evaluate a whole level of sentences with one dispatch.
+
+        Accounting is *identical* to calling the oracle on each mask in
+        order — same ``total_calls``, ``evaluations``, ``distinct_queries``,
+        and cache-insertion order — so every Theorem 10/21 query-count
+        assertion is unaffected.  What changes is dispatch: when the
+        wrapped predicate exposes a ``batch(masks)`` method (e.g. a
+        frequency predicate backed by
+        :meth:`~repro.datasets.transactions.TransactionDatabase.support_counts`),
+        all uncached sentences of the level are resolved in one call.
+        """
+        masks = list(masks)
+        self.total_calls += len(masks)
+        cache = self._cache
+        if self.memoize:
+            fresh: list[int] = []
+            pending: set[int] = set()
+            for mask in masks:
+                if mask not in cache and mask not in pending:
+                    fresh.append(mask)
+                    pending.add(mask)
+            if fresh:
+                for mask, answer in zip(fresh, self._evaluate_batch(fresh)):
+                    cache[mask] = answer
+                self.evaluations += len(fresh)
+            return [cache[mask] for mask in masks]
+        answers = self._evaluate_batch(masks)
+        self.evaluations += len(masks)
+        for mask, answer in zip(masks, answers):
+            cache[mask] = answer  # last write wins, as in sequential calls
+        return answers
+
+    def _evaluate_batch(self, masks: list[int]) -> list[bool]:
+        batch = getattr(self._predicate, "batch", None)
+        if callable(batch):
+            return [bool(answer) for answer in batch(masks)]
+        return [bool(self._predicate(mask)) for mask in masks]
+
     @property
     def distinct_queries(self) -> int:
         """Number of distinct sentences evaluated — the paper's cost."""

@@ -8,14 +8,69 @@ intermediate size — Example 19 of the paper is exactly such a family —
 but it is simple, exact, and a good reference implementation against
 which the Fredman–Khachiyan path and the levelwise special case are
 cross-validated.
+
+Since PR 1 the re-minimization is not a fresh ``O(m²)`` pass per edge:
+a live :class:`~repro.util.antichain.AntichainIndex` is kept across
+multiplication steps.  Two structural facts make the step cheap:
+
+* transversals that already hit the new edge stay minimal and can never
+  be subsumed by an extension, so they are carried over untouched;
+* extensions of equal cardinality are mutually incomparable, so each
+  popcount level only queries the index, never its own level.
+
+On the Example 19 matching family (all intermediate transversals share
+one cardinality) the step degenerates to deduplication — the source of
+the order-of-magnitude speedup recorded in ``BENCH_PR1.json``.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
+from itertools import groupby
 
 from repro.hypergraph.hypergraph import Hypergraph, minimize_family
+from repro.util.antichain import AntichainIndex
 from repro.util.bitset import iter_bits, popcount
+
+
+def _multiply_into(index: AntichainIndex, edge: int) -> None:
+    """One Berge multiplication step, in place on the live index."""
+    non_hitters = [t for t in index if not t & edge]
+    if not non_hitters:
+        return
+    index.discard_many(set(non_hitters))
+    bits = [1 << bit_index for bit_index in iter_bits(edge)]
+    extended = {t | bit for t in non_hitters for bit in bits}
+    # Equal-cardinality extensions cannot subsume each other, so each
+    # level is screened against the index and registered wholesale.
+    for _, level in groupby(
+        sorted(extended, key=lambda m: (popcount(m), m)), key=int.bit_count
+    ):
+        survivors = [cand for cand in level if not index.covers(cand)]
+        for cand in survivors:
+            index.add_unchecked(cand)
+
+
+def berge_step(transversals: Sequence[int] | None, new_edge: int) -> list[int]:
+    """Fold one edge into a minimal-transversal family.
+
+    Args:
+        transversals: the current minimal transversals (an antichain),
+            or ``None`` for the first edge.
+        new_edge: the edge mask being multiplied in (non-empty).
+
+    Returns:
+        ``min({T : T ∩ e ≠ ∅} ∪ {T ∪ {v} : T ∩ e = ∅, v ∈ e})`` sorted
+        by (cardinality, value).  This is the incremental-dualization
+        primitive shared with Dualize and Advance, where iteration
+        ``i+1``'s complement family differs from iteration ``i``'s by a
+        single edge.
+    """
+    if transversals is None:
+        return [1 << bit_index for bit_index in iter_bits(new_edge)]
+    index = AntichainIndex(transversals, assume_antichain=True)
+    _multiply_into(index, new_edge)
+    return index.sorted_masks()
 
 
 def berge_transversal_masks(edge_masks: Sequence[int]) -> list[int]:
@@ -38,17 +93,13 @@ def berge_transversal_masks(edge_masks: Sequence[int]) -> list[int]:
 
     # Process small edges first (minimize_family sorts by cardinality):
     # they branch least, keeping the intermediate antichain small longer.
-    transversals = [1 << i for i in iter_bits(edges[0])]
+    index = AntichainIndex(
+        (1 << bit_index for bit_index in iter_bits(edges[0])),
+        assume_antichain=True,
+    )
     for edge in edges[1:]:
-        extended: list[int] = []
-        for transversal in transversals:
-            if transversal & edge:
-                extended.append(transversal)
-            else:
-                for bit_index in iter_bits(edge):
-                    extended.append(transversal | (1 << bit_index))
-        transversals = minimize_family(extended)
-    return sorted(transversals, key=lambda m: (popcount(m), m))
+        _multiply_into(index, edge)
+    return index.sorted_masks()
 
 
 def transversal_hypergraph(hypergraph: Hypergraph) -> Hypergraph:

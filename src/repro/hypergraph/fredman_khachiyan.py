@@ -29,6 +29,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.hypergraph.hypergraph import minimize_family
+from repro.util.antichain import merge_antichains
 from repro.util.bitset import iter_bits
 
 
@@ -150,6 +151,9 @@ def _check_recursive(
     x = 1 << split_bit
     remaining = variables_mask & ~x
 
+    # Splitting a minimized antichain on a variable yields two antichains
+    # (removing one shared bit preserves incomparability), so the ∨-fusions
+    # below need only cross-family subsumption, not a full re-minimization.
     f1 = [term & ~x for term in f_terms if term & x]
     f0 = [term for term in f_terms if not term & x]
     g1 = [term & ~x for term in g_terms if term & x]
@@ -157,13 +161,13 @@ def _check_recursive(
 
     # Subproblem for assignments containing x: (f0)^d must equal g0 ∨ g1.
     witness = _check_recursive(
-        f0, minimize_family(g0 + g1), remaining, variable_rule
+        f0, merge_antichains(g0, g1), remaining, variable_rule
     )
     if witness is not None:
         return witness | x
     # Subproblem for assignments missing x: (f0 ∨ f1)^d must equal g0.
     witness = _check_recursive(
-        minimize_family(f0 + f1), g0, remaining, variable_rule
+        merge_antichains(f0, f1), g0, remaining, variable_rule
     )
     if witness is not None:
         return witness

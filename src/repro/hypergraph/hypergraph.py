@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
 
+from repro.util.antichain import maximize_masks, minimize_masks
 from repro.util.bitset import Universe, iter_bits, popcount
 
 
@@ -30,30 +31,21 @@ def minimize_family(masks: Iterable[int]) -> list[int]:
     ``min``-operation used throughout hypergraph dualization (e.g. after a
     Berge multiplication step, or when fusing ``g0 ∨ g1`` inside the
     Fredman–Khachiyan recursion).
+
+    Thin wrapper over :func:`repro.util.antichain.minimize_masks`, the
+    popcount-bucketed kernel (same output, bit for bit).
     """
-    unique = sorted(set(masks), key=lambda m: (popcount(m), m))
-    kept: list[int] = []
-    for mask in unique:
-        # Any already-kept set has cardinality <= ours; subset test only.
-        if any(kept_mask & mask == kept_mask for kept_mask in kept):
-            continue
-        kept.append(mask)
-    return kept
+    return minimize_masks(masks)
 
 
 def maximize_family(masks: Iterable[int]) -> list[int]:
     """Return the maximal sets of a family of masks, deduplicated.
 
     Dual to :func:`minimize_family`; used when forming positive borders
-    from arbitrary collections of interesting sentences.
+    from arbitrary collections of interesting sentences.  Thin wrapper
+    over :func:`repro.util.antichain.maximize_masks`.
     """
-    unique = sorted(set(masks), key=lambda m: (-popcount(m), m))
-    kept: list[int] = []
-    for mask in unique:
-        if any(kept_mask & mask == mask for kept_mask in kept):
-            continue
-        kept.append(mask)
-    return kept
+    return maximize_masks(masks)
 
 
 class Hypergraph:
@@ -70,7 +62,7 @@ class Hypergraph:
     minimal transversal is the empty set.
     """
 
-    __slots__ = ("universe", "edge_masks")
+    __slots__ = ("universe", "edge_masks", "_covered_mask", "_max_size")
 
     def __init__(
         self,
@@ -97,6 +89,10 @@ class Hypergraph:
                             f"{universe.label(a)} ⊆ {universe.label(b)}"
                         )
         self.edge_masks: tuple[int, ...] = tuple(masks)
+        # Lazily cached derived facts (the class is immutable, but these
+        # were recomputed on every call before PR 1).
+        self._covered_mask: int | None = None
+        self._max_size: int | None = None
 
     @classmethod
     def simple(cls, universe: Universe, edges: Iterable[int]) -> "Hypergraph":
@@ -167,23 +163,31 @@ class Hypergraph:
         return [self.universe.to_set(mask) for mask in self.edge_masks]
 
     def covered_vertices_mask(self) -> int:
-        """Mask of vertices that belong to at least one edge."""
-        covered = 0
-        for mask in self.edge_masks:
-            covered |= mask
-        return covered
+        """Mask of vertices that belong to at least one edge (cached)."""
+        if self._covered_mask is None:
+            covered = 0
+            for mask in self.edge_masks:
+                covered |= mask
+            self._covered_mask = covered
+        return self._covered_mask
 
     def min_edge_size(self) -> int:
-        """Cardinality of the smallest edge (0 for the empty hypergraph)."""
+        """Cardinality of the smallest edge (0 for the empty hypergraph).
+
+        Edges are stored sorted by cardinality, so this is the first one.
+        """
         if not self.edge_masks:
             return 0
         return popcount(self.edge_masks[0])
 
     def max_edge_size(self) -> int:
-        """Cardinality of the largest edge (0 for the empty hypergraph)."""
+        """Cardinality of the largest edge (0 for the empty hypergraph,
+        cached otherwise)."""
         if not self.edge_masks:
             return 0
-        return max(popcount(mask) for mask in self.edge_masks)
+        if self._max_size is None:
+            self._max_size = max(popcount(mask) for mask in self.edge_masks)
+        return self._max_size
 
     # -- transversal predicates -------------------------------------------
 

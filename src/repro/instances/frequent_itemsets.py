@@ -58,6 +58,20 @@ class FrequencyPredicate:
     def __call__(self, itemset_mask: int) -> bool:
         return self.database.support_count(itemset_mask) >= self.threshold
 
+    def batch(self, itemset_masks) -> list[bool]:
+        """Vectorized form of ``__call__`` over a whole candidate level.
+
+        Recognized by :meth:`CountingOracle.batch_query`, which routes
+        every uncached sentence of a level here so the counts come from
+        one :meth:`~repro.datasets.transactions.TransactionDatabase.support_counts`
+        pass instead of one big-int chain per itemset.
+        """
+        threshold = self.threshold
+        return [
+            count >= threshold
+            for count in self.database.support_counts(itemset_masks)
+        ]
+
     def __repr__(self) -> str:
         return (
             f"FrequencyPredicate(threshold={self.threshold}, "

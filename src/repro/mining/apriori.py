@@ -119,8 +119,10 @@ def apriori(
         candidate_counts.append(len(candidates))
         passes += 1
         next_frequent: list[int] = []
-        for candidate in candidates:
-            support = database.support_count(candidate)
+        # One database pass counts the whole level: the batched vertical
+        # kernel amortizes per-candidate dispatch (bit-identical counts).
+        counts = database.support_counts(candidates)
+        for candidate, support in zip(candidates, counts):
             if support >= threshold:
                 supports[candidate] = support
                 next_frequent.append(candidate)

@@ -37,10 +37,10 @@ from collections.abc import Callable, Iterator
 from dataclasses import dataclass, field
 
 from repro.core.oracle import CountingOracle
+from repro.hypergraph.berge import berge_step
 from repro.hypergraph.fredman_khachiyan import find_new_minimal_transversal
-from repro.hypergraph.hypergraph import minimize_family
 from repro.mining.maximalize import greedy_maximalize
-from repro.util.bitset import Universe, iter_bits, popcount
+from repro.util.bitset import Universe, popcount
 
 _ENGINES = ("fk", "berge")
 
@@ -132,7 +132,7 @@ class _IncrementalDualizer:
             return
         self.complements.append(new_edge)
         if self.engine == "berge":
-            self._berge_family = _berge_step(self._berge_family, new_edge)
+            self._berge_family = berge_step(self._berge_family, new_edge)
         else:
             self._fk_known = [
                 transversal
@@ -177,20 +177,6 @@ class _IncrementalDualizer:
         if self.engine == "berge":
             return len(self._berge_family or []) if not self._dead else 0
         return None
-
-
-def _berge_step(family: list[int] | None, new_edge: int) -> list[int]:
-    """One Berge multiplication: fold ``new_edge`` into ``Tr`` so far."""
-    if family is None:
-        return [1 << bit_index for bit_index in iter_bits(new_edge)]
-    extended: list[int] = []
-    for transversal in family:
-        if transversal & new_edge:
-            extended.append(transversal)
-        else:
-            for bit_index in iter_bits(new_edge):
-                extended.append(transversal | (1 << bit_index))
-    return minimize_family(extended)
 
 
 def dualize_and_advance(

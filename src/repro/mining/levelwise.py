@@ -98,8 +98,12 @@ def levelwise(
     while current_candidates:
         candidates_per_level.append(len(current_candidates))
         level_interesting: list[int] = []
-        for candidate in current_candidates:
-            if oracle(candidate):
+        # Whole-level evaluation: accounting is identical to asking the
+        # oracle per candidate (Theorem 10 query counts unchanged), but a
+        # batch-capable predicate resolves the level in one dispatch.
+        answers = oracle.batch_query(current_candidates)
+        for candidate, answer in zip(current_candidates, answers):
+            if answer:
                 level_interesting.append(candidate)
                 interesting_all.append(candidate)
             else:

@@ -23,8 +23,8 @@ from dataclasses import dataclass, field
 
 from repro.core.oracle import CountingOracle
 from repro.datasets.transactions import TransactionDatabase
-from repro.hypergraph.hypergraph import maximize_family
-from repro.util.bitset import Universe, iter_bits, popcount
+from repro.mining.maximalize import maximal_set_tracker
+from repro.util.bitset import Universe, popcount
 
 
 @dataclass(frozen=True)
@@ -75,7 +75,10 @@ def maxminer_maxth(
     n = len(universe)
     order = list(range(n)) if tail_order is None else list(tail_order)
 
-    found: list[int] = []
+    # Live Bd+ maintenance: `covered` (the subtree-pruning test) and the
+    # final maximal family both come from one incremental tracker instead
+    # of a linear scan per node plus a terminal re-maximization.
+    found = maximal_set_tracker(universe)
     stats = {"nodes": 0, "lookaheads": 0}
 
     if not oracle(0):
@@ -83,8 +86,7 @@ def maxminer_maxth(
             universe=universe, maximal=(), queries=oracle.distinct_queries - start_queries
         )
 
-    def covered(mask: int) -> bool:
-        return any(mask & known == mask for known in found)
+    covered = found.dominates
 
     def expand(head: int, tail: list[int]) -> None:
         stats["nodes"] += 1
@@ -95,11 +97,11 @@ def maxminer_maxth(
         # dominated by one maximal candidate.
         if tail and not covered(head | tail_mask) and oracle(head | tail_mask):
             stats["lookaheads"] += 1
-            found.append(head | tail_mask)
+            found.add(head | tail_mask)
             return
         if not tail:
             if not covered(head):
-                found.append(head)
+                found.add(head)
             return
         # Split the tail: items whose one-step extension stays
         # interesting continue downward; the rest are dropped here.
@@ -110,7 +112,7 @@ def maxminer_maxth(
                 viable.append(item_index)
         if not viable:
             if not covered(head):
-                found.append(head)
+                found.add(head)
             return
         for position, item_index in enumerate(viable):
             child_head = head | (1 << item_index)
@@ -120,7 +122,7 @@ def maxminer_maxth(
             expand(child_head, child_tail)
 
     expand(0, order)
-    maximal = maximize_family(found)
+    maximal = found.masks()
     return MaxMinerResult(
         universe=universe,
         maximal=tuple(sorted(maximal, key=lambda m: (popcount(m), m))),

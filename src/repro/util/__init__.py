@@ -5,6 +5,13 @@ The public surface is re-exported here so that callers can write
 internal module layout.
 """
 
+from repro.util.antichain import (
+    AntichainIndex,
+    MaximalFamilyTracker,
+    maximize_masks,
+    merge_antichains,
+    minimize_masks,
+)
 from repro.util.bitset import (
     Universe,
     iter_bits,
@@ -24,6 +31,11 @@ from repro.util.rng import make_rng
 from repro.util.stats import RunningStats, geometric_mean
 
 __all__ = [
+    "AntichainIndex",
+    "MaximalFamilyTracker",
+    "maximize_masks",
+    "merge_antichains",
+    "minimize_masks",
     "Universe",
     "iter_bits",
     "iter_submasks",

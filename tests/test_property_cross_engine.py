@@ -18,7 +18,7 @@ from repro.hypergraph.enumeration import (
     iter_minimal_transversals,
     minimal_transversals,
 )
-from repro.hypergraph.hypergraph import Hypergraph, minimize_family
+from repro.hypergraph.hypergraph import minimize_family
 from repro.mining.dualize_advance import dualize_and_advance
 from repro.mining.levelwise import levelwise
 from repro.mining.randomized import randomized_maxth

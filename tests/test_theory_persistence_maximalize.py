@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import json
 
-import pytest
 from hypothesis import given, settings
 
 from repro.core.oracle import CountingOracle

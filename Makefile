@@ -1,10 +1,15 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test perf lint bench
+.PHONY: test perf lint bench faults
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+faults:
+	$(PYTHON) -m pytest -x -q tests/test_failure_injection.py \
+		tests/test_runtime_resilient.py tests/test_runtime_budget.py \
+		tests/test_runtime_checkpoint.py
 
 perf:
 	$(PYTHON) -m benchmarks.run_perf

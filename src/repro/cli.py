@@ -9,6 +9,12 @@ Four subcommands mirror the library's main entry points::
 
 ``figure1`` replays the paper's worked example, which doubles as a
 smoke test of an installation.
+
+Exit codes: ``0`` — complete result; ``2`` — usage or input error
+(bad file, malformed ``--edges``, invalid checkpoint); ``3`` — a budget
+limit tripped and a *certified partial* result was printed (resume with
+``--resume`` if ``--checkpoint`` was given); ``130`` — interrupted
+(Ctrl-C), also with a partial when the engine supports one.
 """
 
 from __future__ import annotations
@@ -17,12 +23,20 @@ import argparse
 import sys
 from collections.abc import Sequence
 
+from repro.core.errors import BudgetExhausted, ReproError
 from repro.datasets.fimi import read_fimi, write_fimi
 from repro.datasets.synthetic import QuestParameters, generate_quest_database
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.enumeration import minimal_transversals
 from repro.instances.frequent_itemsets import mine_frequent_itemsets
+from repro.runtime.budget import Budget
+from repro.runtime.partial import PartialResult
 from repro.util.bitset import Universe
+
+EXIT_OK = 0
+EXIT_ERROR = 2
+EXIT_PARTIAL = 3
+EXIT_INTERRUPT = 130
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -75,6 +89,48 @@ def _build_parser() -> argparse.ArgumentParser:
         default=20,
         help="print at most this many maximal sets",
     )
+    mine.add_argument(
+        "--engine",
+        choices=("berge", "fk"),
+        default="berge",
+        help="transversal engine for --algorithm dualize_advance",
+    )
+    mine.add_argument(
+        "--budget-queries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N distinct support queries (certified partial, "
+        "exit code 3)",
+    )
+    mine.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock deadline for the mining run",
+    )
+    mine.add_argument(
+        "--max-family",
+        type=int,
+        default=None,
+        metavar="N",
+        help="largest live candidate level / transversal family allowed",
+    )
+    mine.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="write a resumable JSON checkpoint here when a budget trips "
+        "(levelwise and dualize_advance)",
+    )
+    mine.add_argument(
+        "--resume",
+        default=None,
+        metavar="PATH",
+        help="resume from a checkpoint written by an interrupted run "
+        "with the same dataset and flags",
+    )
 
     transversals = subparsers.add_parser(
         "transversals", help="minimal transversals of a hypergraph"
@@ -89,6 +145,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "--method",
         choices=("berge", "fk", "levelwise", "dfs", "brute"),
         default="berge",
+    )
+    transversals.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock deadline (berge/fk only; partial family, exit 3)",
+    )
+    transversals.add_argument(
+        "--max-family",
+        type=int,
+        default=None,
+        metavar="N",
+        help="largest intermediate transversal family allowed "
+        "(berge/fk only)",
     )
 
     subparsers.add_parser(
@@ -115,18 +186,89 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_database(path: str):
+    """Read a FIMI file with one-line contextual error messages."""
+    try:
+        return read_fimi(path)
+    except OSError as error:
+        detail = error.strerror or str(error)
+        raise OSError(f"cannot read {path}: {detail}") from error
+    except ValueError as error:
+        raise ValueError(
+            f"{path} is not a valid FIMI .dat file: {error}"
+        ) from error
+
+
+def _build_budget(args: argparse.Namespace) -> Budget | None:
+    max_queries = getattr(args, "budget_queries", None)
+    timeout = getattr(args, "timeout", None)
+    max_family = getattr(args, "max_family", None)
+    if max_queries is None and timeout is None and max_family is None:
+        return None
+    return Budget(
+        max_queries=max_queries, timeout=timeout, max_family=max_family
+    )
+
+
+def _report_partial(args: argparse.Namespace, partial: PartialResult) -> int:
+    """Print a certified partial result and return the exit code."""
+    universe = partial.universe
+    # Persist the checkpoint before any output: stdout may be a closed
+    # pipe (e.g. `... | head`), and losing the resume state to an EPIPE
+    # would defeat the point of checkpointing.
+    checkpoint_path = getattr(args, "checkpoint", None)
+    if checkpoint_path and partial.checkpoint is not None:
+        partial.checkpoint.save(checkpoint_path)
+    print(
+        f"partial result ({partial.reason}): |Bd+ so far| = "
+        f"{len(partial.positive_border)}, |verified Bd-| = "
+        f"{len(partial.negative)}, frontier = {len(partial.frontier)}"
+        f"{'' if partial.frontier_complete else '+'}, "
+        f"queries = {partial.queries}"
+    )
+    certificate = partial.certificate()
+    status = "valid" if certificate.ok else "INVALID"
+    print(
+        f"certificate: {status} "
+        f"({certificate.checked_positive} Bd+ / "
+        f"{certificate.checked_negative} Bd- entries checked)"
+    )
+    for mask in partial.positive_border[: args.show]:
+        print(" ", universe.label(mask, sep=" "))
+    hidden = len(partial.positive_border) - args.show
+    if hidden > 0:
+        print(f"  ... ({hidden} more)")
+    if checkpoint_path and partial.checkpoint is not None:
+        print(f"checkpoint written to {checkpoint_path} (resume with --resume)")
+    elif checkpoint_path:
+        print(
+            f"no checkpoint written: {partial.algorithm} does not "
+            "support resume"
+        )
+    return EXIT_INTERRUPT if partial.reason == "interrupt" else EXIT_PARTIAL
+
+
 def _cmd_mine(args: argparse.Namespace) -> int:
-    database = read_fimi(args.input)
+    database = _read_database(args.input)
     threshold: int | float = args.min_support
     if threshold > 1:
         threshold = int(threshold)
+    budget = _build_budget(args)
     theory = mine_frequent_itemsets(
-        database, threshold, algorithm=args.algorithm, seed=args.seed
+        database,
+        threshold,
+        algorithm=args.algorithm,
+        seed=args.seed,
+        engine=args.engine,
+        budget=budget,
+        resume=args.resume,
     )
     print(
         f"{args.input}: {database.n_transactions} rows, "
         f"{database.n_items} items; algorithm={args.algorithm}"
     )
+    if isinstance(theory, PartialResult):
+        return _report_partial(args, theory)
     print(
         f"|MTh| = {len(theory.maximal)}, |Bd-| = "
         f"{len(theory.negative_border)}, queries = {theory.queries}"
@@ -137,13 +279,19 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     hidden = len(theory.maximal) - args.show
     if hidden > 0:
         print(f"  ... ({hidden} more)")
-    return 0
+    return EXIT_OK
 
 
 def _parse_edges(text: str) -> list[frozenset[int]]:
     edges: list[frozenset[int]] = []
     for chunk in text.split(","):
-        vertices = frozenset(int(token) for token in chunk.split())
+        try:
+            vertices = frozenset(int(token) for token in chunk.split())
+        except ValueError:
+            raise ValueError(
+                f"bad --edges: {chunk.strip()!r} is not a list of "
+                "integer vertex ids"
+            ) from None
         if not vertices:
             raise ValueError("edges must be non-empty")
         edges.append(vertices)
@@ -157,11 +305,32 @@ def _cmd_transversals(args: argparse.Namespace) -> int:
     vertices = sorted(set().union(*edges))
     universe = Universe(vertices)
     hypergraph = Hypergraph.from_sets(edges, universe)
-    family = minimal_transversals(hypergraph, method=args.method)
+    budget = _build_budget(args)
+    try:
+        family = minimal_transversals(
+            hypergraph, method=args.method, budget=budget
+        )
+    except BudgetExhausted as exhausted:
+        partial = exhausted.partial
+        if partial is None:
+            print(
+                f"budget exhausted ({exhausted.reason}); no partial family",
+                file=sys.stderr,
+            )
+            return EXIT_PARTIAL
+        done = len(partial.processed_edges)
+        total = done + len(partial.remaining_edges)
+        print(
+            f"partial family ({partial.reason}): {len(partial.family)} "
+            f"transversals, {done}/{total} edges folded ({args.method}):"
+        )
+        for mask in partial.family:
+            print(" ", universe.label(mask, sep=" "))
+        return EXIT_PARTIAL
     print(f"{len(family)} minimal transversals ({args.method}):")
     for mask in family:
         print(" ", universe.label(mask, sep=" "))
-    return 0
+    return EXIT_OK
 
 
 def _cmd_figure1(_: argparse.Namespace) -> int:
@@ -208,9 +377,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except (ValueError, OSError) as error:
+    except (ValueError, OSError, ReproError) as error:
         print(f"error: {error}", file=sys.stderr)
-        return 2
+        return EXIT_ERROR
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return EXIT_INTERRUPT
 
 
 if __name__ == "__main__":  # pragma: no cover

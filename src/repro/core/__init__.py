@@ -16,13 +16,18 @@ elements ``MTh`` (Problem 1, *MaxTh*).  This package defines:
 """
 
 from repro.core.errors import (
+    BudgetExhausted,
+    CheckpointError,
     MonotonicityError,
+    OracleFailure,
+    OracleTimeout,
     ReproError,
     RepresentationError,
 )
 from repro.core.language import GenericLanguage, SetLanguage
 from repro.core.oracle import (
     CountingOracle,
+    FailingOracle,
     FlakyOracle,
     GenericCountingOracle,
     MonotonicityCheckingOracle,
@@ -43,12 +48,17 @@ from repro.core.representation import (
 from repro.core.verification import VerificationResult, verify_maxth
 
 __all__ = [
+    "BudgetExhausted",
+    "CheckpointError",
     "MonotonicityError",
+    "OracleFailure",
+    "OracleTimeout",
     "ReproError",
     "RepresentationError",
     "GenericLanguage",
     "SetLanguage",
     "CountingOracle",
+    "FailingOracle",
     "FlakyOracle",
     "GenericCountingOracle",
     "MonotonicityCheckingOracle",

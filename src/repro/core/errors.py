@@ -26,3 +26,49 @@ class RepresentationError(ReproError):
     *and* surjective *and* order-isomorphic — e.g. for the episode
     language of [21], whose lattice is not a powerset.
     """
+
+
+class OracleFailure(ReproError):
+    """An ``Is-interesting`` evaluation failed transiently.
+
+    The paper's cost model assumes the oracle always answers; real
+    backends (a database under load, a remote service) do not.  This is
+    the retryable failure class that
+    :class:`repro.runtime.resilient.ResilientOracle` absorbs and that
+    :class:`repro.core.oracle.FailingOracle` injects in tests.
+    """
+
+
+class OracleTimeout(OracleFailure):
+    """An ``Is-interesting`` evaluation exceeded its time allowance."""
+
+
+class BudgetExhausted(ReproError):
+    """A cooperative :class:`repro.runtime.budget.Budget` limit was hit.
+
+    Engines either catch this internally and *return* a
+    :class:`~repro.runtime.partial.PartialResult`, or (with
+    ``on_exhaust="raise"``) re-raise it with :attr:`partial` attached so
+    the caller still receives the certified state.
+
+    Attributes:
+        reason: which limit tripped — ``"queries"``, ``"timeout"``,
+            ``"family"``, or ``"interrupt"`` (a ``KeyboardInterrupt``
+            absorbed at a checkpoint).
+        partial: the certified partial state assembled by the engine, or
+            ``None`` when the exception was raised below the engine
+            layer (e.g. deep inside a dualization recursion).
+    """
+
+    def __init__(self, reason: str, message: str = "", partial=None):
+        super().__init__(message or f"budget exhausted ({reason})")
+        self.reason = reason
+        self.partial = partial
+
+
+class CheckpointError(ReproError):
+    """A checkpoint could not be loaded or does not match the run.
+
+    Raised on version/algorithm mismatches, universes that differ from
+    the checkpointed one, and malformed checkpoint files.
+    """

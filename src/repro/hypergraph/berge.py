@@ -28,13 +28,23 @@ from __future__ import annotations
 from collections.abc import Sequence
 from itertools import groupby
 
+from repro.core.errors import BudgetExhausted
 from repro.hypergraph.hypergraph import Hypergraph, minimize_family
 from repro.util.antichain import AntichainIndex
 from repro.util.bitset import iter_bits, popcount
 
 
-def _multiply_into(index: AntichainIndex, edge: int) -> None:
-    """One Berge multiplication step, in place on the live index."""
+def _multiply_into(index: AntichainIndex, edge: int, budget=None) -> None:
+    """One Berge multiplication step, in place on the live index.
+
+    With a :class:`~repro.runtime.budget.Budget`, the live family size
+    and the wall clock are checked at entry and after each cardinality
+    level of extensions — the finest consistent boundary.  A raise
+    leaves ``index`` mid-multiplication; callers that must keep a
+    consistent family check the budget *before* calling instead.
+    """
+    if budget is not None:
+        budget.check(family=len(index))
     non_hitters = [t for t in index if not t & edge]
     if not non_hitters:
         return
@@ -49,9 +59,13 @@ def _multiply_into(index: AntichainIndex, edge: int) -> None:
         survivors = [cand for cand in level if not index.covers(cand)]
         for cand in survivors:
             index.add_unchecked(cand)
+        if budget is not None:
+            budget.check(family=len(index))
 
 
-def berge_step(transversals: Sequence[int] | None, new_edge: int) -> list[int]:
+def berge_step(
+    transversals: Sequence[int] | None, new_edge: int, budget=None
+) -> list[int]:
     """Fold one edge into a minimal-transversal family.
 
     Args:
@@ -65,25 +79,40 @@ def berge_step(transversals: Sequence[int] | None, new_edge: int) -> list[int]:
         primitive shared with Dualize and Advance, where iteration
         ``i+1``'s complement family differs from iteration ``i``'s by a
         single edge.
+
+    With ``budget``, a :class:`~repro.core.errors.BudgetExhausted` raise
+    mid-step discards only the local scratch index — the caller's input
+    family is untouched, so an incremental dualizer stays consistent.
     """
     if transversals is None:
         return [1 << bit_index for bit_index in iter_bits(new_edge)]
     index = AntichainIndex(transversals, assume_antichain=True)
-    _multiply_into(index, new_edge)
+    _multiply_into(index, new_edge, budget=budget)
     return index.sorted_masks()
 
 
-def berge_transversal_masks(edge_masks: Sequence[int]) -> list[int]:
+def berge_transversal_masks(
+    edge_masks: Sequence[int], budget=None
+) -> list[int]:
     """Minimal transversals of a family of edge masks, via multiplication.
 
     Args:
         edge_masks: the edges; they need not be minimized (the family is
             minimized first, which does not change its transversals).
+        budget: optional :class:`~repro.runtime.budget.Budget`; checked
+            at every edge boundary (a consistent intermediate family),
+            so one multiplication step is the overshoot unit.
 
     Returns:
         The minimal transversal masks sorted by (cardinality, value).
         ``[0]`` (just the empty set) for an empty family; ``[]`` when some
         edge is empty (nothing can hit the empty edge).
+
+    Raises:
+        BudgetExhausted: when the budget trips; ``partial`` carries a
+            :class:`~repro.runtime.partial.PartialDualization` — the
+            minimal transversals of the processed edge prefix, a sound
+            under-approximation of the full hitting requirement.
     """
     edges = minimize_family(edge_masks)
     if not edges:
@@ -97,7 +126,23 @@ def berge_transversal_masks(edge_masks: Sequence[int]) -> list[int]:
         (1 << bit_index for bit_index in iter_bits(edges[0])),
         assume_antichain=True,
     )
-    for edge in edges[1:]:
+    for position, edge in enumerate(edges[1:], start=1):
+        if budget is not None:
+            try:
+                budget.check(family=len(index))
+            except BudgetExhausted as exhausted:
+                from repro.runtime.partial import PartialDualization
+
+                raise BudgetExhausted(
+                    exhausted.reason,
+                    str(exhausted),
+                    partial=PartialDualization(
+                        reason=exhausted.reason,
+                        family=tuple(index.sorted_masks()),
+                        processed_edges=tuple(edges[:position]),
+                        remaining_edges=tuple(edges[position:]),
+                    ),
+                ) from exhausted
         _multiply_into(index, edge)
     return index.sorted_masks()
 

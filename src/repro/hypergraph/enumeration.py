@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from collections.abc import Iterator, Sequence
 
+from repro.core.errors import BudgetExhausted
 from repro.hypergraph.berge import berge_transversal_masks
 from repro.hypergraph.dfs_enumeration import (
     dfs_transversal_masks,
@@ -71,7 +72,7 @@ def brute_force_transversal_masks(
 
 
 def iter_minimal_transversals(
-    hypergraph: Hypergraph, method: str = "fk"
+    hypergraph: Hypergraph, method: str = "fk", budget=None
 ) -> Iterator[int]:
     """Incrementally yield minimal transversal masks.
 
@@ -79,34 +80,78 @@ def iter_minimal_transversals(
     ``i``-th transversal is produced after ``i`` duality tests, matching
     the "incremental T(I, i) time" notion of Section 3 of the paper.
     Other methods compute the full family first and then yield from it.
+
+    A :class:`~repro.runtime.budget.Budget` is honored by the ``"fk"``
+    and ``"berge"`` engines (checked per enumeration step / per edge);
+    the reference baselines reject it.
     """
     if method == "fk":
         found: list[int] = []
         while True:
+            if budget is not None:
+                budget.check(family=len(found))
             nxt = find_new_minimal_transversal(
-                hypergraph.edge_masks, found, hypergraph.universe.full_mask
+                hypergraph.edge_masks,
+                found,
+                hypergraph.universe.full_mask,
+                budget=budget,
             )
             if nxt is None:
                 return
             found.append(nxt)
             yield nxt
     elif method == "dfs":
+        if budget is not None:
+            raise ValueError("budgets are only supported by 'fk' and 'berge'")
         yield from dfs_transversal_masks_iter(hypergraph.edge_masks)
     elif method in _METHODS:
-        yield from minimal_transversals(hypergraph, method=method)
+        yield from minimal_transversals(hypergraph, method=method, budget=budget)
     else:
         raise ValueError(f"unknown method {method!r}; expected one of {_METHODS}")
 
 
 def minimal_transversals(
-    hypergraph: Hypergraph, method: str = "berge"
+    hypergraph: Hypergraph, method: str = "berge", budget=None
 ) -> list[int]:
-    """The complete family ``Tr(H)`` as a sorted list of masks."""
+    """The complete family ``Tr(H)`` as a sorted list of masks.
+
+    Raises:
+        BudgetExhausted: with a
+            :class:`~repro.runtime.partial.PartialDualization` attached,
+            when a supplied budget trips (``"berge"``: the transversals
+            of the processed edge prefix; ``"fk"``: the genuine minimal
+            transversals enumerated so far).
+        ValueError: when a budget is supplied with a reference baseline
+            (``"levelwise"``, ``"dfs"``, ``"brute"``), which do not
+            support cooperative checks.
+    """
     if method == "berge":
-        return berge_transversal_masks(hypergraph.edge_masks)
+        return berge_transversal_masks(hypergraph.edge_masks, budget=budget)
     if method == "fk":
-        masks = list(iter_minimal_transversals(hypergraph, method="fk"))
-        return sorted(masks, key=lambda m: (popcount(m), m))
+        found: list[int] = []
+        try:
+            for mask in iter_minimal_transversals(
+                hypergraph, method="fk", budget=budget
+            ):
+                found.append(mask)
+        except BudgetExhausted as exhausted:
+            from repro.runtime.partial import PartialDualization
+
+            raise BudgetExhausted(
+                exhausted.reason,
+                str(exhausted),
+                partial=PartialDualization(
+                    reason=exhausted.reason,
+                    family=tuple(
+                        sorted(found, key=lambda m: (popcount(m), m))
+                    ),
+                    processed_edges=tuple(hypergraph.edge_masks),
+                    remaining_edges=(),
+                ),
+            ) from exhausted
+        return sorted(found, key=lambda m: (popcount(m), m))
+    if budget is not None:
+        raise ValueError("budgets are only supported by 'fk' and 'berge'")
     if method == "levelwise":
         return levelwise_transversal_masks(
             hypergraph.edge_masks, len(hypergraph.universe)

@@ -63,6 +63,7 @@ def check_duality(
     g_terms: Sequence[int],
     variables_mask: int,
     variable_rule: str = "max_frequency",
+    budget=None,
 ) -> DualityWitness | None:
     """Test whether two monotone DNFs are dual over the given variables.
 
@@ -75,6 +76,12 @@ def check_duality(
             (the FK rule, default) or ``"lowest_index"`` (naive;
             correct but without the quasi-polynomial guarantee — kept
             for the ablation benchmark).
+        budget: optional :class:`~repro.runtime.budget.Budget`; the
+            wall clock and the live sub-DNF size (``|f| + |g|`` at the
+            current recursion node) are checked once per node, so a
+            quasi-polynomial blow-up surfaces as
+            :class:`~repro.core.errors.BudgetExhausted` instead of an
+            unbounded hang.
 
     Returns:
         ``None`` when ``g = f^d``, otherwise a :class:`DualityWitness`.
@@ -99,7 +106,7 @@ def check_duality(
                 assignment = variables_mask & ~f_term
                 return DualityWitness(assignment=assignment, kind="both_true")
     witness = _check_recursive(
-        f_minimized, g_minimized, variables_mask, variable_rule
+        f_minimized, g_minimized, variables_mask, variable_rule, budget
     )
     if witness is None:
         return None
@@ -113,11 +120,14 @@ def _check_recursive(
     g_terms: list[int],
     variables_mask: int,
     variable_rule: str = "max_frequency",
+    budget=None,
 ) -> int | None:
     """Core recursion; returns a witness mask or ``None`` when dual.
 
     Both inputs are minimized antichains over ``variables_mask``.
     """
+    if budget is not None:
+        budget.check(family=len(f_terms) + len(g_terms))
     # Constant cases.  f ≡ 0 iff no terms; f ≡ 1 iff the empty term is
     # present (after minimization the empty term is then the only term).
     if not f_terms:
@@ -161,13 +171,13 @@ def _check_recursive(
 
     # Subproblem for assignments containing x: (f0)^d must equal g0 ∨ g1.
     witness = _check_recursive(
-        f0, merge_antichains(g0, g1), remaining, variable_rule
+        f0, merge_antichains(g0, g1), remaining, variable_rule, budget
     )
     if witness is not None:
         return witness | x
     # Subproblem for assignments missing x: (f0 ∨ f1)^d must equal g0.
     witness = _check_recursive(
-        merge_antichains(f0, f1), g0, remaining, variable_rule
+        merge_antichains(f0, f1), g0, remaining, variable_rule, budget
     )
     if witness is not None:
         return witness
@@ -191,6 +201,7 @@ def find_new_minimal_transversal(
     edge_masks: Sequence[int],
     known_transversals: Sequence[int],
     variables_mask: int,
+    budget=None,
 ) -> int | None:
     """Incremental dualization step (the engine of Corollary 22).
 
@@ -202,6 +213,8 @@ def find_new_minimal_transversal(
         edge_masks: the hypergraph edges (non-empty; minimized internally).
         known_transversals: previously found *minimal* transversals.
         variables_mask: the vertex universe mask.
+        budget: optional :class:`~repro.runtime.budget.Budget`, passed to
+            the duality-test recursion (wall clock + sub-DNF size).
 
     Raises:
         ValueError: when ``known_transversals`` contains a set that is not
@@ -214,7 +227,9 @@ def find_new_minimal_transversal(
     if not edges:
         # Tr(∅) = {∅}: the empty set is the only minimal transversal.
         return None if 0 in known_transversals else 0
-    witness = check_duality(edges, known_transversals, variables_mask)
+    witness = check_duality(
+        edges, known_transversals, variables_mask, budget=budget
+    )
     if witness is None:
         return None
     if witness.kind == "both_true":

@@ -19,6 +19,8 @@ from repro.mining.dualize_advance import dualize_and_advance
 from repro.mining.levelwise import levelwise
 from repro.mining.maxminer import maxminer
 from repro.mining.randomized import randomized_maxth
+from repro.runtime.budget import Budget
+from repro.runtime.partial import PartialResult
 
 _ALGORITHMS = (
     "apriori",
@@ -85,7 +87,9 @@ def mine_frequent_itemsets(
     algorithm: str = "apriori",
     seed: int | random.Random | None = None,
     engine: str = "berge",
-) -> Theory:
+    budget: "Budget | None" = None,
+    resume=None,
+) -> "Theory | PartialResult":
     """Mine the maximal frequent itemsets with a chosen algorithm.
 
     Args:
@@ -101,16 +105,36 @@ def mine_frequent_itemsets(
             ``"fk"`` for the incremental Corollary 22 engine (the right
             choice when intermediate transversal families blow up,
             cf. Example 19).
+        budget: optional :class:`~repro.runtime.budget.Budget`;
+            supported by ``"levelwise"``, ``"dualize_advance"``, and
+            ``"maxminer"`` (the oracle-driven algorithms with
+            cooperative checkpoints).  ``"apriori"`` and ``"randomized"``
+            reject it.
+        resume: optional :class:`~repro.runtime.checkpoint.Checkpoint`
+            (or path/JSON) from an earlier budgeted ``"levelwise"`` or
+            ``"dualize_advance"`` run on the same universe.
 
     Returns:
-        A :class:`~repro.core.theory.Theory`.  ``queries`` counts
-        distinct support computations; Apriori additionally stores the
-        support table under ``extra["supports"]``, and Dualize and
-        Advance stores its iteration trace under ``extra["iterations"]``.
+        A :class:`~repro.core.theory.Theory`, or a
+        :class:`~repro.runtime.partial.PartialResult` when a budget ran
+        out.  ``queries`` counts distinct support computations; Apriori
+        additionally stores the support table under
+        ``extra["supports"]``, and Dualize and Advance stores its
+        iteration trace under ``extra["iterations"]``.
     """
     if algorithm not in _ALGORITHMS:
         raise ValueError(
             f"unknown algorithm {algorithm!r}; expected one of {_ALGORITHMS}"
+        )
+    if budget is not None and algorithm in ("apriori", "randomized"):
+        raise ValueError(
+            f"algorithm {algorithm!r} does not support budgets; "
+            "use levelwise, dualize_advance, or maxminer"
+        )
+    if resume is not None and algorithm not in ("levelwise", "dualize_advance"):
+        raise ValueError(
+            f"algorithm {algorithm!r} does not support resume; "
+            "use levelwise or dualize_advance"
         )
     predicate = FrequencyPredicate(database, min_support)
     universe = database.universe
@@ -131,7 +155,9 @@ def mine_frequent_itemsets(
         )
     if algorithm == "levelwise":
         oracle = CountingOracle(predicate, name="frequency")
-        result = levelwise(universe, oracle)
+        result = levelwise(universe, oracle, budget=budget, resume=resume)
+        if isinstance(result, PartialResult):
+            return result
         return Theory(
             universe=universe,
             maximal=result.maximal,
@@ -142,7 +168,16 @@ def mine_frequent_itemsets(
         )
     if algorithm == "dualize_advance":
         oracle = CountingOracle(predicate, name="frequency")
-        result = dualize_and_advance(universe, oracle, engine=engine, shuffle=seed)
+        result = dualize_and_advance(
+            universe,
+            oracle,
+            engine=engine,
+            shuffle=seed,
+            budget=budget,
+            resume=resume,
+        )
+        if isinstance(result, PartialResult):
+            return result
         return Theory(
             universe=universe,
             maximal=result.maximal,
@@ -152,7 +187,9 @@ def mine_frequent_itemsets(
             extra={"iterations": result.iterations},
         )
     if algorithm == "maxminer":
-        result = maxminer(database, predicate.threshold)
+        result = maxminer(database, predicate.threshold, budget=budget)
+        if isinstance(result, PartialResult):
+            return result
         from repro.core.borders import negative_border_from_positive
 
         negative = negative_border_from_positive(

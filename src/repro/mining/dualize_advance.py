@@ -28,6 +28,18 @@ in ``transversal_family_sizes``).
 
 Convention: the empty set is probed first.  If even ``∅`` is
 uninteresting the theory is empty (``MTh = ∅``, ``Bd- = {∅}``).
+
+Execution control (PR 2): ``budget=`` bounds distinct queries,
+wall-clock time, and the live transversal-family size; the same budget
+object is threaded into the Berge multiplication and Fredman–Khachiyan
+recursion underneath, so a dualization blow-up trips the same limits as
+the probe loop.  Exhaustion (or ``KeyboardInterrupt``) yields a
+certified :class:`~repro.runtime.partial.PartialResult` whose
+``positive_border`` members are *known true* ``MTh`` elements and whose
+verified ``Bd-`` prefix is sound (Theorem 7); a resumable
+:class:`~repro.runtime.checkpoint.Checkpoint` is attached, and
+``resume=`` reproduces the uninterrupted borders and query accounting
+bit-for-bit.
 """
 
 from __future__ import annotations
@@ -36,10 +48,14 @@ import random
 from collections.abc import Callable, Iterator
 from dataclasses import dataclass, field
 
+from repro.core.errors import BudgetExhausted, CheckpointError
 from repro.core.oracle import CountingOracle
 from repro.hypergraph.berge import berge_step
 from repro.hypergraph.fredman_khachiyan import find_new_minimal_transversal
 from repro.mining.maximalize import greedy_maximalize
+from repro.runtime.budget import Budget
+from repro.runtime.checkpoint import Checkpoint
+from repro.runtime.partial import PartialResult, build_partial
 from repro.util.bitset import Universe, popcount
 
 _ENGINES = ("fk", "berge")
@@ -115,30 +131,39 @@ class _IncrementalDualizer:
     were already probed (and memoized) in earlier iterations.
     """
 
-    def __init__(self, universe: Universe, engine: str):
+    def __init__(self, universe: Universe, engine: str, budget: Budget | None = None):
         self.universe = universe
         self.engine = engine
+        self.budget = budget
         self.complements: list[int] = []
         self._berge_family: list[int] | None = None
         self._fk_known: list[int] = []
         self._dead = False  # a full-universe maximal set was added
 
     def add_maximal(self, maximal_mask: int) -> None:
-        """Grow ``C_i`` by one maximal set."""
+        """Grow ``C_i`` by one maximal set.
+
+        A budget raise from the Berge step discards only the scratch
+        family; this dualizer is left at its previous consistent state
+        (the caller re-folds the edge on resume).
+        """
         new_edge = self.universe.full_mask & ~maximal_mask
         if new_edge == 0:
             # Theorem 7 degenerate case: the border becomes empty.
             self._dead = True
             return
-        self.complements.append(new_edge)
         if self.engine == "berge":
-            self._berge_family = berge_step(self._berge_family, new_edge)
+            new_family = berge_step(
+                self._berge_family, new_edge, budget=self.budget
+            )
+            self._berge_family = new_family
         else:
             self._fk_known = [
                 transversal
                 for transversal in self._fk_known
                 if transversal & new_edge
             ]
+        self.complements.append(new_edge)
 
     def iterate(self) -> Iterator[tuple[int, bool]]:
         """Yield the current minimal transversals as (mask, is_fresh)."""
@@ -154,7 +179,7 @@ class _IncrementalDualizer:
             yield (survivor, False)
         while True:
             transversal = find_new_minimal_transversal(
-                self.complements, self._fk_known, full
+                self.complements, self._fk_known, full, budget=self.budget
             )
             if transversal is None:
                 return
@@ -185,7 +210,10 @@ def dualize_and_advance(
     engine: str = "fk",
     shuffle: int | random.Random | None = None,
     incremental: bool = True,
-) -> DualizeAdvanceResult:
+    budget: Budget | None = None,
+    resume: "Checkpoint | str | None" = None,
+    on_exhaust: str = "return",
+) -> "DualizeAdvanceResult | PartialResult":
     """Run Algorithm 16.
 
     Args:
@@ -202,106 +230,314 @@ def dualize_and_advance(
             iteration — the literal reading of Algorithm 16's Step 4,
             kept for the ablation benchmark; query counts are identical,
             only time differs.
+        budget: optional cooperative
+            :class:`~repro.runtime.budget.Budget`, checked before every
+            border probe and before every greedy maximalization (the
+            atomic overshoot unit, at most ``n`` queries); also threaded
+            into the Berge/FK dualization underneath.
+        resume: a :class:`~repro.runtime.checkpoint.Checkpoint` (or a
+            path/JSON text) from an earlier budgeted run with the *same*
+            engine/incremental/shuffle configuration; the run continues
+            at the exact probe boundary with bit-identical borders and
+            query accounting.
+        on_exhaust: ``"return"`` (default) returns the
+            :class:`~repro.runtime.partial.PartialResult`; ``"raise"``
+            raises :class:`~repro.core.errors.BudgetExhausted` with the
+            partial attached.
 
     Returns:
         :class:`DualizeAdvanceResult` with ``MTh``, ``Bd-(MTh)``, the
-        distinct query count, and the per-iteration trace.
+        distinct query count, and the per-iteration trace — or a
+        :class:`~repro.runtime.partial.PartialResult` when the budget
+        ran out first.
     """
     if engine not in _ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected one of {_ENGINES}")
+    if on_exhaust not in ("return", "raise"):
+        raise ValueError(
+            f"on_exhaust must be 'return' or 'raise', got {on_exhaust!r}"
+        )
     oracle = (
         predicate
         if isinstance(predicate, CountingOracle)
         else CountingOracle(predicate)
     )
-    start_queries = oracle.distinct_queries
-    rng = None if shuffle is None else _as_rng(shuffle)
 
-    iterations: list[DualizeAdvanceIteration] = []
-
-    if not oracle(0):
-        # Even the empty sentence is uninteresting: empty theory.
-        return DualizeAdvanceResult(
-            universe=universe,
-            maximal=(),
-            negative_border=(0,),
-            queries=oracle.distinct_queries - start_queries,
-            iterations=(
-                DualizeAdvanceIteration(
-                    enumerated=1,
-                    counterexample=None,
-                    new_maximal=None,
-                    transversal_family_size=1,
-                ),
-            ),
-        )
-
-    first_maximal = greedy_maximalize(
-        universe, oracle, 0, order=_extension_order(universe, rng)
-    )
-    current_maximal: list[int] = [first_maximal]
-    iterations.append(
-        DualizeAdvanceIteration(
-            enumerated=1, counterexample=0, new_maximal=first_maximal
-        )
-    )
-    dualizer = _IncrementalDualizer(universe, engine)
-    dualizer.add_maximal(first_maximal)
-
-    while True:
-        if not incremental:
-            dualizer = _IncrementalDualizer(universe, engine)
-            for maximal_mask in current_maximal:
-                dualizer.add_maximal(maximal_mask)
-        enumerated = 0
-        counterexample: int | None = None
-        border_so_far: list[int] = []
-        for transversal, is_fresh in dualizer.iterate():
-            if is_fresh:
-                enumerated += 1
-            if oracle(transversal):
-                counterexample = transversal
-                break
-            border_so_far.append(transversal)
-        family_size = dualizer.family_size()
-        if counterexample is None:
-            iterations.append(
-                DualizeAdvanceIteration(
-                    enumerated=enumerated,
-                    counterexample=None,
-                    new_maximal=None,
-                    transversal_family_size=family_size,
+    if resume is not None:
+        checkpoint = Checkpoint.coerce(resume)
+        checkpoint.validate_for("dualize_advance", universe)
+        state = checkpoint.state
+        for key, value in (
+            ("engine", engine),
+            ("incremental", incremental),
+            ("shuffled", shuffle is not None),
+        ):
+            if state[key] != value:
+                raise CheckpointError(
+                    f"checkpoint was taken with {key}={state[key]!r}, "
+                    f"cannot resume with {key}={value!r}"
                 )
+        rng = None
+        if state["shuffled"]:
+            rng = random.Random()
+            version, internal, gauss_next = state["rng_state"]
+            rng.setstate((version, tuple(internal), gauss_next))
+        oracle.prime(checkpoint.history)
+        accounting = checkpoint.accounting
+        base_queries = accounting.get("queries", 0)
+        base_total = accounting.get("total_calls", 0)
+        base_evals = accounting.get("evaluations", 0)
+        started = state["started"]
+        current_maximal = list(state["current_maximal"])
+        iterations = [
+            DualizeAdvanceIteration(*row) for row in state["iterations"]
+        ]
+        probed = list(state["probed"])
+        enumerated = state["enumerated"]
+        counted_pending = state["counted_pending"]
+        pending = dict(state["pending"]) if state["pending"] else None
+        if incremental:
+            folded = state["folded"]
+            dualizer = _IncrementalDualizer(universe, engine, budget=budget)
+            dualizer.complements = list(state["complements"])
+            dualizer._dead = state["dead"]
+            if engine == "berge":
+                family = state["berge_family"]
+                dualizer._berge_family = None if family is None else list(family)
+            else:
+                dualizer._fk_known = list(state["fk_known"])
+        else:
+            folded = 0
+            dualizer = None
+    else:
+        rng = None if shuffle is None else _as_rng(shuffle)
+        base_queries = base_total = base_evals = 0
+        started = False
+        current_maximal = []
+        iterations = []
+        probed = []
+        enumerated = 0
+        counted_pending = None
+        pending = None
+        folded = 0
+        dualizer = _IncrementalDualizer(universe, engine, budget=budget)
+
+    probed_set = set(probed)
+    start_queries = oracle.distinct_queries
+    start_total = oracle.total_calls
+    start_evals = oracle.evaluations
+    if budget is not None:
+        budget.begin()
+
+    def charged() -> int:
+        return base_queries + oracle.distinct_queries - start_queries
+
+    def make_partial(reason: str) -> PartialResult:
+        if incremental and dualizer is not None:
+            serial_complements = list(dualizer.complements)
+            serial_dead = dualizer._dead
+            serial_berge = (
+                None
+                if dualizer._berge_family is None
+                else list(dualizer._berge_family)
             )
-            negative_border = sorted(
-                border_so_far, key=lambda m: (popcount(m), m)
-            )
-            return DualizeAdvanceResult(
-                universe=universe,
-                maximal=tuple(
-                    sorted(current_maximal, key=lambda m: (popcount(m), m))
-                ),
-                negative_border=tuple(negative_border),
-                queries=oracle.distinct_queries - start_queries,
-                iterations=tuple(iterations),
-            )
-        new_maximal = greedy_maximalize(
+            serial_fk = list(dualizer._fk_known)
+        else:
+            serial_complements, serial_dead = [], False
+            serial_berge, serial_fk = None, []
+        saved = Checkpoint(
+            algorithm="dualize_advance",
+            universe_items=tuple(universe.items),
+            state={
+                "engine": engine,
+                "incremental": incremental,
+                "shuffled": rng is not None,
+                "rng_state": None if rng is None else list(rng.getstate()),
+                "started": started,
+                "current_maximal": list(current_maximal),
+                "iterations": [
+                    [
+                        step.enumerated,
+                        step.counterexample,
+                        step.new_maximal,
+                        step.transversal_family_size,
+                    ]
+                    for step in iterations
+                ],
+                "folded": folded if incremental else 0,
+                "complements": serial_complements,
+                "dead": serial_dead,
+                "berge_family": serial_berge,
+                "fk_known": serial_fk,
+                "probed": list(probed),
+                "enumerated": enumerated,
+                "counted_pending": counted_pending,
+                "pending": pending,
+            },
+            history=oracle.history(),
+            accounting={
+                "queries": charged(),
+                "total_calls": base_total + oracle.total_calls - start_total,
+                "evaluations": base_evals + oracle.evaluations - start_evals,
+            },
+        )
+        history = oracle.history()
+        if not started:
+            frontier: list[int] = [0]
+        else:
+            family: list[int] = []
+            if dualizer is not None:
+                if engine == "berge":
+                    family = (
+                        []
+                        if dualizer._dead
+                        else list(dualizer._berge_family or [])
+                    )
+                else:
+                    family = list(dualizer._fk_known)
+            frontier = [t for t in family if t not in history]
+        # Berge materializes Tr of the folded edge prefix, which covers
+        # the whole undecided region (every set outside the bracket hits
+        # all folded complements, hence contains a family member); FK
+        # only holds the transversals enumerated so far — future
+        # witnesses are implicit in the recursion.
+        frontier_complete = engine == "berge" or not started
+        return build_partial(
             universe,
-            oracle,
-            counterexample,
-            order=_extension_order(universe, rng),
+            "dualize_advance",
+            reason,
+            history,
+            frontier=frontier,
+            frontier_complete=frontier_complete,
+            queries=charged(),
+            total_calls=base_total + oracle.total_calls - start_total,
+            evaluations=base_evals + oracle.evaluations - start_evals,
+            elapsed=budget.elapsed() if budget is not None else 0.0,
+            checkpoint=saved,
         )
-        current_maximal.append(new_maximal)
-        dualizer.exclude(counterexample)
-        dualizer.add_maximal(new_maximal)
-        iterations.append(
-            DualizeAdvanceIteration(
-                enumerated=enumerated,
-                counterexample=counterexample,
-                new_maximal=new_maximal,
-                transversal_family_size=family_size,
-            )
-        )
+
+    try:
+        if not started:
+            if budget is not None:
+                budget.check(queries=charged())
+            if not oracle(0):
+                # Even the empty sentence is uninteresting: empty theory.
+                return DualizeAdvanceResult(
+                    universe=universe,
+                    maximal=(),
+                    negative_border=(0,),
+                    queries=charged(),
+                    iterations=(
+                        DualizeAdvanceIteration(
+                            enumerated=1,
+                            counterexample=None,
+                            new_maximal=None,
+                            transversal_family_size=1,
+                        ),
+                    ),
+                )
+            started = True
+            pending = {
+                "ce": 0,
+                "enumerated": 1,
+                "family_size": None,
+                "order": _extension_order(universe, rng),
+            }
+
+        while True:
+            if pending is not None:
+                # Greedy maximalization is the atomic unit: checked
+                # before, never interrupted inside (≤ n queries overshoot).
+                if budget is not None:
+                    budget.check(queries=charged())
+                new_maximal = greedy_maximalize(
+                    universe, oracle, pending["ce"], order=pending["order"]
+                )
+                current_maximal.append(new_maximal)
+                if dualizer is not None:
+                    dualizer.exclude(pending["ce"])
+                iterations.append(
+                    DualizeAdvanceIteration(
+                        enumerated=pending["enumerated"],
+                        counterexample=pending["ce"],
+                        new_maximal=new_maximal,
+                        transversal_family_size=pending["family_size"],
+                    )
+                )
+                pending = None
+                probed = []
+                probed_set = set()
+                enumerated = 0
+                counted_pending = None
+            if not incremental:
+                dualizer = _IncrementalDualizer(universe, engine, budget=budget)
+                folded = 0
+            while folded < len(current_maximal):
+                dualizer.add_maximal(current_maximal[folded])
+                folded += 1
+
+            counterexample: int | None = None
+            for transversal, is_fresh in dualizer.iterate():
+                if transversal in probed_set:
+                    continue  # probed before an interrupt; answer banked
+                if transversal == counted_pending:
+                    counted_pending = None  # counted just before interrupt
+                elif is_fresh:
+                    enumerated += 1
+                    counted_pending = transversal
+                if budget is not None:
+                    budget.check(
+                        queries=charged(), family=dualizer.family_size()
+                    )
+                answer = oracle(transversal)
+                counted_pending = None
+                if answer:
+                    counterexample = transversal
+                    break
+                probed.append(transversal)
+                probed_set.add(transversal)
+            family_size = dualizer.family_size()
+            if counterexample is None:
+                iterations.append(
+                    DualizeAdvanceIteration(
+                        enumerated=enumerated,
+                        counterexample=None,
+                        new_maximal=None,
+                        transversal_family_size=family_size,
+                    )
+                )
+                negative_border = sorted(
+                    probed, key=lambda m: (popcount(m), m)
+                )
+                return DualizeAdvanceResult(
+                    universe=universe,
+                    maximal=tuple(
+                        sorted(current_maximal, key=lambda m: (popcount(m), m))
+                    ),
+                    negative_border=tuple(negative_border),
+                    queries=charged(),
+                    iterations=tuple(iterations),
+                )
+            pending = {
+                "ce": counterexample,
+                "enumerated": enumerated,
+                "family_size": family_size,
+                "order": _extension_order(universe, rng),
+            }
+    except BudgetExhausted as exhausted:
+        partial = make_partial(exhausted.reason)
+        if on_exhaust == "raise":
+            raise BudgetExhausted(
+                exhausted.reason, str(exhausted), partial=partial
+            ) from exhausted
+        return partial
+    except KeyboardInterrupt:
+        partial = make_partial("interrupt")
+        if on_exhaust == "raise":
+            raise BudgetExhausted(
+                "interrupt", "interrupted by user", partial=partial
+            ) from None
+        return partial
 
 
 def _extension_order(

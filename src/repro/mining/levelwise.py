@@ -13,6 +13,16 @@ assert that equality, which experiment E2 does.
 Convention: the subset-lattice version queries the empty set first (level
 0).  If ``∅`` itself is uninteresting the theory is empty and the
 negative border is ``{∅}`` — one query total, still matching Theorem 10.
+
+Execution control (PR 2): ``budget=`` bounds distinct queries,
+wall-clock time, and live level size via cooperative checks between
+evaluation chunks; on exhaustion (or ``KeyboardInterrupt`` at a chunk
+boundary) the run yields a certified
+:class:`~repro.runtime.partial.PartialResult` carrying a resumable JSON
+:class:`~repro.runtime.checkpoint.Checkpoint`.  ``resume=`` continues
+such a checkpoint and produces a theory and query accounting
+bit-identical to an uninterrupted run (the saved oracle transcript is
+primed into the memo, so nothing is re-evaluated).
 """
 
 from __future__ import annotations
@@ -20,10 +30,18 @@ from __future__ import annotations
 from collections.abc import Callable, Hashable
 from dataclasses import dataclass, field
 
+from repro.core.errors import BudgetExhausted, CheckpointError
 from repro.core.language import GenericLanguage, SetLanguage
 from repro.core.oracle import CountingOracle, GenericCountingOracle
 from repro.hypergraph.hypergraph import maximize_family
+from repro.runtime.budget import Budget
+from repro.runtime.checkpoint import Checkpoint
+from repro.runtime.partial import PartialResult, build_partial
 from repro.util.bitset import Universe, popcount
+
+#: Chunk size for deadline-only budgets: small enough that a wall-clock
+#: check happens frequently, large enough to keep batch dispatch cheap.
+_DEADLINE_CHUNK = 256
 
 
 @dataclass(frozen=True)
@@ -64,7 +82,10 @@ def levelwise(
     universe: Universe,
     predicate: Callable[[int], bool],
     max_rank: int | None = None,
-) -> LevelwiseResult:
+    budget: Budget | None = None,
+    resume: "Checkpoint | str | None" = None,
+    on_exhaust: str = "return",
+) -> "LevelwiseResult | PartialResult":
     """Run Algorithm 9 on the subset lattice over ``universe``.
 
     Args:
@@ -75,46 +96,192 @@ def levelwise(
         max_rank: optional level cutoff (useful for bounded-size mining);
             when hit, the reported theory/borders are those of the
             truncated lattice.
+        budget: optional cooperative :class:`~repro.runtime.budget.Budget`;
+            checked between evaluation chunks.  Candidate levels are
+            evaluated in chunks no larger than the remaining query
+            allowance, so the distinct-query limit is never overshot;
+            chunked batches charge the oracle identically to one
+            whole-level batch (Theorem 10 accounting is unchanged).
+        resume: a :class:`~repro.runtime.checkpoint.Checkpoint` (or a
+            path to one) produced by an earlier budgeted run.  The saved
+            transcript is primed into the oracle memo and the walk
+            continues at the exact probe boundary; theory and query
+            accounting match an uninterrupted run bit-for-bit.
+        on_exhaust: ``"return"`` (default) returns the
+            :class:`~repro.runtime.partial.PartialResult` on budget
+            exhaustion or ``KeyboardInterrupt``; ``"raise"`` raises
+            :class:`~repro.core.errors.BudgetExhausted` with the partial
+            attached.
 
     Returns:
-        A :class:`LevelwiseResult`; ``queries`` counts distinct
-        evaluations, which Theorem 10 pins to ``|Th| + |Bd-(Th)|``.
+        A :class:`LevelwiseResult` (``queries`` counts distinct
+        evaluations, which Theorem 10 pins to ``|Th| + |Bd-(Th)|``), or
+        a :class:`~repro.runtime.partial.PartialResult` when the budget
+        ran out first.
     """
+    if on_exhaust not in ("return", "raise"):
+        raise ValueError(
+            f"on_exhaust must be 'return' or 'raise', got {on_exhaust!r}"
+        )
     oracle = (
         predicate
         if isinstance(predicate, CountingOracle)
         else CountingOracle(predicate)
     )
-    start_queries = oracle.distinct_queries
     n = len(universe)
 
-    interesting_all: list[int] = []
-    negative_border: list[int] = []
-    levels: list[tuple[int, ...]] = []
-    candidates_per_level: list[int] = []
+    if resume is not None:
+        checkpoint = Checkpoint.coerce(resume)
+        checkpoint.validate_for("levelwise", universe)
+        state = checkpoint.state
+        stored_rank = state.get("max_rank")
+        if max_rank is not None and max_rank != stored_rank:
+            raise CheckpointError(
+                f"checkpoint was taken with max_rank={stored_rank!r}, "
+                f"cannot resume with max_rank={max_rank!r}"
+            )
+        max_rank = stored_rank
+        oracle.prime(checkpoint.history)
+        accounting = checkpoint.accounting
+        base_queries = accounting.get("queries", 0)
+        base_total = accounting.get("total_calls", 0)
+        base_evals = accounting.get("evaluations", 0)
+        interesting_all = list(state["interesting"])
+        negative_border = list(state["negative"])
+        levels = [tuple(level) for level in state["levels"]]
+        candidates_per_level = list(state["candidates_per_level"])
+        current_candidates = list(state["current_candidates"])
+        position = state["position"]
+        current_level_interesting = list(state["current_level_interesting"])
+        level_rank = state["level_rank"]
+        level_counted = state["level_counted"]
+    else:
+        base_queries = base_total = base_evals = 0
+        interesting_all = []
+        negative_border = []
+        levels = []
+        candidates_per_level = []
+        current_candidates = [0]
+        position = 0
+        current_level_interesting = []
+        level_rank = 0
+        level_counted = False
 
-    current_candidates: list[int] = [0]
-    level_rank = 0
-    while current_candidates:
-        candidates_per_level.append(len(current_candidates))
-        level_interesting: list[int] = []
-        # Whole-level evaluation: accounting is identical to asking the
-        # oracle per candidate (Theorem 10 query counts unchanged), but a
-        # batch-capable predicate resolves the level in one dispatch.
-        answers = oracle.batch_query(current_candidates)
-        for candidate, answer in zip(current_candidates, answers):
-            if answer:
-                level_interesting.append(candidate)
-                interesting_all.append(candidate)
-            else:
-                negative_border.append(candidate)
-        levels.append(tuple(level_interesting))
-        level_rank += 1
-        if max_rank is not None and level_rank > max_rank:
-            break
-        current_candidates = _generate_candidates(
-            level_interesting, set(level_interesting), n
+    start_queries = oracle.distinct_queries
+    start_total = oracle.total_calls
+    start_evals = oracle.evaluations
+    if budget is not None:
+        budget.begin()
+
+    def charged() -> int:
+        return base_queries + oracle.distinct_queries - start_queries
+
+    def make_partial(reason: str) -> PartialResult:
+        saved = Checkpoint(
+            algorithm="levelwise",
+            universe_items=tuple(universe.items),
+            state={
+                "max_rank": max_rank,
+                "level_rank": level_rank,
+                "interesting": list(interesting_all),
+                "negative": list(negative_border),
+                "levels": [list(level) for level in levels],
+                "candidates_per_level": list(candidates_per_level),
+                "current_candidates": list(current_candidates),
+                "position": position,
+                "current_level_interesting": list(current_level_interesting),
+                "level_counted": level_counted,
+            },
+            history=oracle.history(),
+            accounting={
+                "queries": charged(),
+                "total_calls": base_total + oracle.total_calls - start_total,
+                "evaluations": base_evals + oracle.evaluations - start_evals,
+            },
         )
+        frontier = list(current_candidates[position:])
+        frontier.extend(
+            _generate_candidates(
+                current_level_interesting, set(interesting_all), n
+            )
+        )
+        return build_partial(
+            universe,
+            "levelwise",
+            reason,
+            oracle.history(),
+            interesting=interesting_all,
+            negative_candidates=negative_border,
+            frontier=frontier,
+            queries=charged(),
+            total_calls=base_total + oracle.total_calls - start_total,
+            evaluations=base_evals + oracle.evaluations - start_evals,
+            elapsed=budget.elapsed() if budget is not None else 0.0,
+            checkpoint=saved,
+        )
+
+    try:
+        while current_candidates:
+            if not level_counted:
+                candidates_per_level.append(len(current_candidates))
+                level_counted = True
+            while position < len(current_candidates):
+                if budget is not None:
+                    budget.check(
+                        queries=charged(), family=len(current_candidates)
+                    )
+                # Chunked whole-level evaluation: accounting is identical
+                # to asking the oracle per candidate (Theorem 10 query
+                # counts unchanged), but a batch-capable predicate
+                # resolves each chunk in one dispatch.  The chunk never
+                # exceeds the remaining query allowance, so a budgeted
+                # run stops exactly at its limit.
+                remaining = len(current_candidates) - position
+                if budget is None:
+                    chunk_size = remaining
+                else:
+                    allowance = budget.query_allowance(charged())
+                    chunk_size = remaining if allowance is None else min(
+                        remaining, allowance
+                    )
+                    if budget.timeout is not None:
+                        chunk_size = min(chunk_size, _DEADLINE_CHUNK)
+                chunk = current_candidates[position : position + chunk_size]
+                answers = oracle.batch_query(chunk)
+                for candidate, answer in zip(chunk, answers):
+                    if answer:
+                        current_level_interesting.append(candidate)
+                        interesting_all.append(candidate)
+                    else:
+                        negative_border.append(candidate)
+                position += len(chunk)
+            levels.append(tuple(current_level_interesting))
+            level_rank += 1
+            if max_rank is not None and level_rank > max_rank:
+                break
+            next_candidates = _generate_candidates(
+                current_level_interesting, set(interesting_all), n
+            )
+            current_candidates = next_candidates
+            position = 0
+            current_level_interesting = []
+            level_counted = False
+            if budget is not None and next_candidates:
+                budget.check(family=len(next_candidates))
+    except BudgetExhausted as exhausted:
+        partial = make_partial(exhausted.reason)
+        if on_exhaust == "raise":
+            raise BudgetExhausted(
+                exhausted.reason, str(exhausted), partial=partial
+            ) from exhausted
+        return partial
+    except KeyboardInterrupt:
+        partial = make_partial("interrupt")
+        if on_exhaust == "raise":
+            raise BudgetExhausted(
+                "interrupt", "interrupted by user", partial=partial
+            ) from None
+        return partial
 
     maximal = maximize_family(interesting_all)
     return LevelwiseResult(
@@ -126,7 +293,7 @@ def levelwise(
         negative_border=tuple(
             sorted(negative_border, key=lambda m: (popcount(m), m))
         ),
-        queries=oracle.distinct_queries - start_queries,
+        queries=base_queries + oracle.distinct_queries - start_queries,
         levels=tuple(levels),
         candidates_per_level=tuple(candidates_per_level),
     )

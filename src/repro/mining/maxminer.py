@@ -21,9 +21,12 @@ from __future__ import annotations
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
+from repro.core.errors import BudgetExhausted
 from repro.core.oracle import CountingOracle
 from repro.datasets.transactions import TransactionDatabase
 from repro.mining.maximalize import maximal_set_tracker
+from repro.runtime.budget import Budget
+from repro.runtime.partial import PartialResult, build_partial
 from repro.util.bitset import Universe, popcount
 
 
@@ -50,7 +53,9 @@ def maxminer_maxth(
     universe: Universe,
     predicate: Callable[[int], bool],
     tail_order: list[int] | None = None,
-) -> MaxMinerResult:
+    budget: Budget | None = None,
+    on_exhaust: str = "return",
+) -> "MaxMinerResult | PartialResult":
     """Find all maximal interesting sets by lookahead tree search.
 
     Args:
@@ -61,67 +66,130 @@ def maxminer_maxth(
             defaults to universe order.  MaxMiner's classic heuristic —
             increasing support — is applied by :func:`maxminer` when a
             database is available.
+        budget: optional cooperative
+            :class:`~repro.runtime.budget.Budget`, checked once per
+            enumeration-tree node (one node — lookahead plus tail split,
+            at most ``n + 1`` queries — is the atomic overshoot unit).
+            On exhaustion the partial result's frontier holds the
+            ``head ∪ tail`` envelopes of the unexpanded subtrees
+            (``frontier_kind="upper"``): every undiscovered maximal set
+            is a subset of some envelope.  No checkpoint — the search
+            tree is cheap to replay, unlike the engines' oracle
+            transcripts.
+        on_exhaust: ``"return"`` (default) or ``"raise"`` (see
+            :func:`~repro.mining.levelwise.levelwise`).
 
     Returns:
-        A :class:`MaxMinerResult`; ``maximal`` agrees with every other
-        miner in this library (asserted by the test suite).
+        A :class:`MaxMinerResult` (``maximal`` agrees with every other
+        miner in this library, asserted by the test suite) or a
+        :class:`~repro.runtime.partial.PartialResult` on exhaustion.
     """
+    if on_exhaust not in ("return", "raise"):
+        raise ValueError(
+            f"on_exhaust must be 'return' or 'raise', got {on_exhaust!r}"
+        )
     oracle = (
         predicate
         if isinstance(predicate, CountingOracle)
         else CountingOracle(predicate)
     )
     start_queries = oracle.distinct_queries
+    start_total = oracle.total_calls
+    start_evals = oracle.evaluations
     n = len(universe)
     order = list(range(n)) if tail_order is None else list(tail_order)
+    if budget is not None:
+        budget.begin()
 
     # Live Bd+ maintenance: `covered` (the subtree-pruning test) and the
     # final maximal family both come from one incremental tracker instead
     # of a linear scan per node plus a terminal re-maximization.
     found = maximal_set_tracker(universe)
     stats = {"nodes": 0, "lookaheads": 0}
-
-    if not oracle(0):
-        return MaxMinerResult(
-            universe=universe, maximal=(), queries=oracle.distinct_queries - start_queries
-        )
-
     covered = found.dominates
 
-    def expand(head: int, tail: list[int]) -> None:
-        stats["nodes"] += 1
-        tail_mask = 0
-        for item_index in tail:
-            tail_mask |= 1 << item_index
-        # Lookahead: if head ∪ tail is interesting, the whole subtree is
-        # dominated by one maximal candidate.
-        if tail and not covered(head | tail_mask) and oracle(head | tail_mask):
-            stats["lookaheads"] += 1
-            found.add(head | tail_mask)
-            return
-        if not tail:
-            if not covered(head):
-                found.add(head)
-            return
-        # Split the tail: items whose one-step extension stays
-        # interesting continue downward; the rest are dropped here.
-        viable: list[int] = []
-        for item_index in tail:
-            extension = head | (1 << item_index)
-            if oracle(extension):
-                viable.append(item_index)
-        if not viable:
-            if not covered(head):
-                found.add(head)
-            return
-        for position, item_index in enumerate(viable):
-            child_head = head | (1 << item_index)
-            child_tail = viable[position + 1 :]
-            if covered(child_head | _mask_of(child_tail)):
-                continue
-            expand(child_head, child_tail)
+    # Explicit DFS stack of (head, tail) nodes.  Children are pushed in
+    # reverse so pops follow the recursive preorder exactly — the oracle
+    # sees the same query sequence the recursive formulation produced,
+    # and on exhaustion the unexpanded subtrees are all on the stack.
+    stack: list[tuple[int, list[int]]] = [(0, order)]
 
-    expand(0, order)
+    def make_partial(reason: str, complete: bool) -> PartialResult:
+        return build_partial(
+            universe,
+            "maxminer",
+            reason,
+            oracle.history(),
+            frontier=[head | _mask_of(tail) for head, tail in stack],
+            frontier_kind="upper",
+            frontier_complete=complete,
+            queries=oracle.distinct_queries - start_queries,
+            total_calls=oracle.total_calls - start_total,
+            evaluations=oracle.evaluations - start_evals,
+            elapsed=budget.elapsed() if budget is not None else 0.0,
+        )
+
+    def finish(reason: str, complete: bool):
+        partial = make_partial(reason, complete)
+        if on_exhaust == "raise":
+            raise BudgetExhausted(reason, partial=partial)
+        return partial
+
+    try:
+        if budget is not None:
+            budget.check(queries=oracle.distinct_queries - start_queries)
+        if not oracle(0):
+            return MaxMinerResult(
+                universe=universe,
+                maximal=(),
+                queries=oracle.distinct_queries - start_queries,
+            )
+        while stack:
+            if budget is not None:
+                budget.check(
+                    queries=oracle.distinct_queries - start_queries,
+                    family=len(found.masks()),
+                )
+            head, tail = stack.pop()
+            tail_mask = _mask_of(tail)
+            # Subtree-domination test, evaluated exactly when the
+            # recursion would have entered this child.
+            if covered(head | tail_mask):
+                continue
+            stats["nodes"] += 1
+            # Lookahead: if head ∪ tail is interesting, the whole
+            # subtree is dominated by one maximal candidate.
+            if tail and oracle(head | tail_mask):
+                stats["lookaheads"] += 1
+                found.add(head | tail_mask)
+                continue
+            if not tail:
+                found.add(head)
+                continue
+            # Split the tail: items whose one-step extension stays
+            # interesting continue downward; the rest are dropped here.
+            viable = [
+                item_index
+                for item_index in tail
+                if oracle(head | (1 << item_index))
+            ]
+            if not viable:
+                if not covered(head):
+                    found.add(head)
+                continue
+            children = [
+                (head | (1 << item_index), viable[position + 1 :])
+                for position, item_index in enumerate(viable)
+            ]
+            for child in reversed(children):
+                stack.append(child)
+    except BudgetExhausted as exhausted:
+        return finish(exhausted.reason, complete=True)
+    except KeyboardInterrupt:
+        # The in-flight node was popped and lost: the envelopes on the
+        # stack no longer cover its subtree.
+        return finish("interrupt", complete=False)
+
     maximal = found.masks()
     return MaxMinerResult(
         universe=universe,
@@ -140,8 +208,10 @@ def _mask_of(indices: list[int]) -> int:
 
 
 def maxminer(
-    database: TransactionDatabase, min_support: int | float
-) -> MaxMinerResult:
+    database: TransactionDatabase,
+    min_support: int | float,
+    budget: Budget | None = None,
+) -> "MaxMinerResult | PartialResult":
     """MaxMiner on a transaction database with the support-order heuristic.
 
     Tail items are ordered by increasing support so that likely-failing
@@ -161,4 +231,6 @@ def maxminer(
     def is_frequent(mask: int) -> bool:
         return database.support_count(mask) >= threshold
 
-    return maxminer_maxth(database.universe, is_frequent, tail_order=order)
+    return maxminer_maxth(
+        database.universe, is_frequent, tail_order=order, budget=budget
+    )

@@ -1,0 +1,189 @@
+"""A fault-absorbing wrapper for unreliable ``Is-interesting`` backends.
+
+The paper's model assumes the oracle always answers truthfully; a
+production predicate (a database under load, a remote scoring service)
+fails in three ways — transient exceptions, timeouts, and occasional
+wrong answers.  :class:`ResilientOracle` recovers all three:
+
+* *exceptions/timeouts* — bounded retries with a deterministic
+  exponential backoff schedule;
+* *wrong answers* — ``k``-of-``n`` majority voting: each sentence is
+  evaluated ``votes`` times (each vote independently retried) and the
+  answer must reach ``quorum`` agreement.
+
+The wrapper is itself a plain mask predicate, so it composes freely
+with every oracle in :mod:`repro.core.oracle`::
+
+    q = FailingOracle(truth, failure_probability=0.05,
+                      modes=("exception", "timeout", "wrong_answer"), seed=7)
+    oracle = CountingOracle(ResilientOracle(q, votes=5, retries=8))
+    levelwise(universe, oracle)        # exact borders, faults absorbed
+
+It also exposes ``batch(masks)``, so
+:meth:`~repro.core.oracle.CountingOracle.batch_query` keeps its PR-1
+accounting (one charge per distinct sentence, regardless of how many
+votes and retries the resilience layer spent underneath), and it can be
+placed *under* a :class:`~repro.core.oracle.MonotonicityCheckingOracle`
+to audit the majority-voted answers.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Iterable
+
+from repro.core.errors import OracleFailure
+
+__all__ = ["ResilientOracle"]
+
+
+class ResilientOracle:
+    """Retry + majority-vote wrapper around a failure-prone predicate.
+
+    Args:
+        predicate: the unreliable ``q``.
+        retries: additional attempts allowed per vote after the first
+            (``retries=3`` means up to 4 calls per vote).
+        backoff: seconds slept before the first retry of a vote.
+        backoff_factor: multiplier applied to the delay per retry — the
+            schedule ``backoff, backoff*factor, ...`` is deterministic.
+        votes: evaluations collected per sentence (odd values avoid
+            ties).
+        quorum: agreeing votes required; defaults to a strict majority
+            (``votes // 2 + 1``).
+        retry_on: exception types treated as transient; anything else
+            propagates immediately.
+        sleep: injectable sleeper (tests pass a no-op recorder).
+
+    Raises:
+        OracleFailure: from :meth:`__call__` when a vote exhausts its
+            retries or no answer reaches the quorum.
+    """
+
+    __slots__ = (
+        "_predicate",
+        "retries",
+        "backoff",
+        "backoff_factor",
+        "votes",
+        "quorum",
+        "retry_on",
+        "_sleep",
+        "total_calls",
+        "total_votes",
+        "total_attempts",
+        "total_retries",
+        "faults_absorbed",
+        "exhausted_failures",
+    )
+
+    def __init__(
+        self,
+        predicate: Callable[[int], bool],
+        *,
+        retries: int = 3,
+        backoff: float = 0.0,
+        backoff_factor: float = 2.0,
+        votes: int = 1,
+        quorum: int | None = None,
+        retry_on: tuple[type[BaseException], ...] = (OracleFailure,),
+        sleep: Callable[[float], None] | None = None,
+    ):
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        if votes < 1:
+            raise ValueError("votes must be positive")
+        if quorum is None:
+            quorum = votes // 2 + 1
+        if not 1 <= quorum <= votes:
+            raise ValueError("quorum must be in [1, votes]")
+        if backoff < 0 or backoff_factor < 1.0:
+            raise ValueError("backoff must be >= 0 with factor >= 1")
+        self._predicate = predicate
+        self.retries = retries
+        self.backoff = backoff
+        self.backoff_factor = backoff_factor
+        self.votes = votes
+        self.quorum = quorum
+        self.retry_on = retry_on
+        self._sleep = sleep if sleep is not None else time.sleep
+        self.total_calls = 0
+        self.total_votes = 0
+        self.total_attempts = 0
+        self.total_retries = 0
+        self.faults_absorbed = 0
+        self.exhausted_failures = 0
+
+    def _attempt(self, mask: int) -> bool:
+        """One vote: evaluate with bounded retries and backoff."""
+        delay = self.backoff
+        for attempt in range(self.retries + 1):
+            self.total_attempts += 1
+            try:
+                return bool(self._predicate(mask))
+            except self.retry_on as error:
+                self.faults_absorbed += 1
+                if attempt == self.retries:
+                    self.exhausted_failures += 1
+                    raise OracleFailure(
+                        f"query {mask:#x} failed after "
+                        f"{self.retries + 1} attempts: {error}"
+                    ) from error
+                self.total_retries += 1
+                if delay > 0:
+                    self._sleep(delay)
+                delay *= self.backoff_factor
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def __call__(self, mask: int) -> bool:
+        self.total_calls += 1
+        true_votes = 0
+        false_votes = 0
+        for _ in range(self.votes):
+            self.total_votes += 1
+            if self._attempt(mask):
+                true_votes += 1
+            else:
+                false_votes += 1
+            # Early decision: the leader already has quorum and the
+            # trailing side can no longer reach it.
+            remaining = self.votes - true_votes - false_votes
+            if true_votes >= self.quorum and false_votes + remaining < self.quorum:
+                return True
+            if false_votes >= self.quorum and true_votes + remaining < self.quorum:
+                return False
+        if true_votes >= self.quorum and true_votes > false_votes:
+            return True
+        if false_votes >= self.quorum and false_votes > true_votes:
+            return False
+        self.exhausted_failures += 1
+        raise OracleFailure(
+            f"no quorum for query {mask:#x}: "
+            f"{true_votes} true / {false_votes} false "
+            f"(need {self.quorum} of {self.votes})"
+        )
+
+    def batch(self, masks: Iterable[int]) -> list[bool]:
+        """Resilient evaluation of a whole level, one sentence at a time.
+
+        Recognized by :meth:`~repro.core.oracle.CountingOracle.batch_query`;
+        the counting layer above still charges one distinct query per
+        sentence however many votes/retries were needed underneath.
+        """
+        return [self(mask) for mask in masks]
+
+    def reset(self) -> None:
+        """Clear the traffic counters."""
+        self.total_calls = 0
+        self.total_votes = 0
+        self.total_attempts = 0
+        self.total_retries = 0
+        self.faults_absorbed = 0
+        self.exhausted_failures = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"ResilientOracle(votes={self.votes}, quorum={self.quorum}, "
+            f"retries={self.retries}, attempts={self.total_attempts}, "
+            f"absorbed={self.faults_absorbed})"
+        )

@@ -436,15 +436,31 @@ class MaximalFamilyTracker:
     Args:
         full_mask: the universe mask complements are taken against.
         masks: optional initial family.
+        assume_antichain: when true the initial family is trusted to be
+            an antichain within the universe and bulk-loaded without the
+            per-insert subsumption scan — linear instead of quadratic,
+            which matters when seeding from a large precomputed ``Bd+``
+            (e.g. :func:`repro.runtime.partial.build_partial`).
     """
 
     __slots__ = ("full_mask", "_index")
 
-    def __init__(self, full_mask: int, masks: Iterable[int] = ()):
+    def __init__(
+        self,
+        full_mask: int,
+        masks: Iterable[int] = (),
+        *,
+        assume_antichain: bool = False,
+    ):
         self.full_mask = full_mask
-        self._index = AntichainIndex()
-        for mask in masks:
-            self.add(mask)
+        if assume_antichain:
+            self._index = AntichainIndex(
+                (full_mask & ~mask for mask in masks), assume_antichain=True
+            )
+        else:
+            self._index = AntichainIndex()
+            for mask in masks:
+                self.add(mask)
 
     def __len__(self) -> int:
         return len(self._index)

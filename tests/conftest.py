@@ -1,4 +1,11 @@
-"""Shared fixtures and hypothesis strategies for the test suite."""
+"""Shared fixtures and hypothesis strategies for the test suite.
+
+Also provides a per-test timeout fallback: the ``timeout`` ini option
+in ``pyproject.toml`` is normally handled by the ``pytest-timeout``
+plugin, but that dependency is optional — when it is absent, a
+SIGALRM-based shim here enforces the same ceiling (on platforms with
+SIGALRM; elsewhere the ceiling is simply not enforced).
+"""
 
 from __future__ import annotations
 
@@ -8,6 +15,46 @@ from hypothesis import strategies as st
 from repro.datasets.planted import PlantedTheory
 from repro.hypergraph.hypergraph import Hypergraph, minimize_family
 from repro.util.bitset import Universe
+
+try:
+    import pytest_timeout  # noqa: F401
+
+    _HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    _HAVE_PYTEST_TIMEOUT = False
+
+if not _HAVE_PYTEST_TIMEOUT:
+    import signal
+
+    def pytest_addoption(parser):
+        # Declare the ini key pytest-timeout would have registered, so
+        # `timeout = ...` in pyproject.toml stays valid without it.
+        parser.addini(
+            "timeout",
+            "per-test timeout in seconds (SIGALRM fallback shim)",
+            default="0",
+        )
+
+    @pytest.hookimpl(wrapper=True)
+    def pytest_runtest_call(item):
+        seconds = float(item.config.getini("timeout") or 0)
+        if seconds <= 0 or not hasattr(signal, "SIGALRM"):
+            return (yield)
+
+        def _expired(signum, frame):
+            pytest.fail(
+                f"test exceeded the {seconds:g}s ceiling "
+                "(conftest SIGALRM shim)",
+                pytrace=False,
+            )
+
+        previous = signal.signal(signal.SIGALRM, _expired)
+        signal.setitimer(signal.ITIMER_REAL, seconds)
+        try:
+            return (yield)
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

@@ -103,6 +103,146 @@ class TestTransversalsCommand:
         assert "error:" in capsys.readouterr().err
 
 
+class TestRobustInputs:
+    def test_malformed_dat_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.dat"
+        path.write_text("definitely not\na fimi file\n")
+        assert main(["mine", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1  # one-line message
+        assert "not a valid FIMI .dat file" in err
+
+    def test_missing_file_message_names_the_path(self, capsys):
+        assert main(["mine", "/nonexistent/file.dat"]) == 2
+        err = capsys.readouterr().err
+        assert "cannot read /nonexistent/file.dat" in err
+
+    def test_directory_as_input(self, tmp_path, capsys):
+        assert main(["mine", str(tmp_path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_non_numeric_edges(self, capsys):
+        assert main(["transversals", "--edges", "a b, 1 2"]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "bad --edges" in err and "'a b'" in err
+
+    def test_budget_rejected_for_apriori(self, tmp_path, capsys):
+        path = str(tmp_path / "data.dat")
+        main(["generate", path, "--items", "8", "--transactions", "20",
+              "--seed", "3"])
+        capsys.readouterr()
+        assert (
+            main(["mine", path, "--algorithm", "apriori",
+                  "--budget-queries", "5"])
+            == 2
+        )
+        assert "does not support budgets" in capsys.readouterr().err
+
+    def test_malformed_checkpoint(self, tmp_path, capsys):
+        data = str(tmp_path / "data.dat")
+        main(["generate", data, "--items", "8", "--transactions", "20",
+              "--seed", "3"])
+        bad = tmp_path / "ck.json"
+        bad.write_text("{broken")
+        capsys.readouterr()
+        assert (
+            main(["mine", data, "--algorithm", "levelwise",
+                  "--resume", str(bad)])
+            == 2
+        )
+        assert "error:" in capsys.readouterr().err
+
+
+class TestBudgetAndResume:
+    @pytest.fixture
+    def dataset(self, tmp_path, capsys):
+        path = str(tmp_path / "data.dat")
+        main(["generate", path, "--items", "12", "--transactions", "60",
+              "--seed", "7"])
+        capsys.readouterr()
+        return path
+
+    def test_partial_exits_3_and_writes_checkpoint(
+        self, dataset, tmp_path, capsys
+    ):
+        checkpoint = str(tmp_path / "ck.json")
+        code = main(
+            ["mine", dataset, "--min-support", "0.5",
+             "--algorithm", "levelwise", "--budget-queries", "20",
+             "--checkpoint", checkpoint]
+        )
+        assert code == 3
+        out = capsys.readouterr().out
+        assert "partial result (queries)" in out
+        assert "certificate: valid" in out
+        assert f"checkpoint written to {checkpoint}" in out
+
+    def test_resume_reproduces_uninterrupted_output(
+        self, dataset, tmp_path, capsys
+    ):
+        base_args = ["mine", dataset, "--min-support", "0.5",
+                     "--algorithm", "levelwise"]
+        assert main(base_args) == 0
+        uninterrupted = capsys.readouterr().out
+        checkpoint = str(tmp_path / "ck.json")
+        assert (
+            main(base_args + ["--budget-queries", "20",
+                              "--checkpoint", checkpoint])
+            == 3
+        )
+        capsys.readouterr()
+        assert main(base_args + ["--resume", checkpoint]) == 0
+        assert capsys.readouterr().out == uninterrupted
+
+    def test_dualize_advance_resume_round_trip(
+        self, dataset, tmp_path, capsys
+    ):
+        base_args = ["mine", dataset, "--min-support", "0.5",
+                     "--algorithm", "dualize_advance", "--engine", "fk"]
+        assert main(base_args) == 0
+        uninterrupted = capsys.readouterr().out
+        checkpoint = str(tmp_path / "ck.json")
+        code = main(base_args + ["--budget-queries", "15",
+                                 "--checkpoint", checkpoint])
+        capsys.readouterr()
+        if code == 0:
+            return  # budget landed inside the final atomic unit
+        assert code == 3
+        assert main(base_args + ["--resume", checkpoint]) == 0
+        assert capsys.readouterr().out == uninterrupted
+
+    def test_maxminer_budget_partial_without_checkpoint(
+        self, dataset, capsys
+    ):
+        code = main(
+            ["mine", dataset, "--min-support", "0.5",
+             "--algorithm", "maxminer", "--budget-queries", "10",
+             "--checkpoint", "/tmp/should-not-exist.json"]
+        )
+        assert code == 3
+        out = capsys.readouterr().out
+        assert "does not support resume" in out
+
+    def test_transversals_family_budget(self, capsys):
+        code = main(
+            ["transversals", "--edges", "0 1, 1 2, 2 0, 0 3, 1 3",
+             "--method", "berge", "--max-family", "2"]
+        )
+        assert code == 3
+        out = capsys.readouterr().out
+        assert "partial family (family)" in out
+        assert "edges folded" in out
+
+    def test_transversals_complete_under_roomy_budget(self, capsys):
+        code = main(
+            ["transversals", "--edges", "0 1, 1 2", "--method", "fk",
+             "--max-family", "50"]
+        )
+        assert code == 0
+        assert "minimal transversals" in capsys.readouterr().out
+
+
 class TestParser:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):

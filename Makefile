@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test perf lint bench faults
+.PHONY: test perf lint bench faults trace-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -16,6 +16,15 @@ perf:
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q
+
+# End-to-end observability loop: generate data, mine with --trace and
+# --metrics, then schema-validate + profile the trace offline.
+trace-smoke:
+	$(PYTHON) -m repro generate /tmp/trace_smoke.dat \
+		--items 20 --transactions 200 --seed 7
+	$(PYTHON) -m repro mine /tmp/trace_smoke.dat --min-support 0.2 \
+		--algorithm levelwise --trace /tmp/trace_smoke.jsonl --metrics
+	$(PYTHON) -m benchmarks.trace_report /tmp/trace_smoke.jsonl --validate
 
 lint:
 	ruff check src tests benchmarks

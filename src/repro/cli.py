@@ -29,6 +29,13 @@ from repro.datasets.synthetic import QuestParameters, generate_quest_database
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.enumeration import minimal_transversals
 from repro.instances.frequent_itemsets import mine_frequent_itemsets
+from repro.obs import (
+    JsonlTraceWriter,
+    MetricsRegistry,
+    MetricsTracer,
+    MultiTracer,
+    TheoremMonitor,
+)
 from repro.runtime.budget import Budget
 from repro.runtime.partial import PartialResult
 from repro.util.bitset import Universe
@@ -131,6 +138,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="resume from a checkpoint written by an interrupted run "
         "with the same dataset and flags",
     )
+    _add_observability_flags(mine)
 
     transversals = subparsers.add_parser(
         "transversals", help="minimal transversals of a hypergraph"
@@ -161,6 +169,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="largest intermediate transversal family allowed "
         "(berge/fk only)",
     )
+    _add_observability_flags(transversals)
 
     subparsers.add_parser(
         "figure1", help="replay the paper's Figure 1 worked example"
@@ -197,6 +206,57 @@ def _read_database(path: str):
         raise ValueError(
             f"{path} is not a valid FIMI .dat file: {error}"
         ) from error
+
+
+def _add_observability_flags(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a JSONL event trace here (one record per line; "
+        "schema in docs/API.md §11; aggregate with "
+        "python -m benchmarks.trace_report)",
+    )
+    subparser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print a metrics summary table and the theorem-monitor "
+        "verdict on stderr at exit",
+    )
+
+
+def _build_tracer(args: argparse.Namespace):
+    """Build the CLI tracer stack from ``--trace`` / ``--metrics``.
+
+    Returns ``(tracer, finalize)``.  ``tracer`` is ``None`` when neither
+    flag was given; ``finalize()`` must run in a ``finally`` block — it
+    closes the JSONL writer (flushing is per-line, so even an interrupt
+    leaves a parseable trace) and prints the metrics table plus the
+    :class:`~repro.obs.monitor.TheoremMonitor` verdict to stderr.
+    """
+    trace_path = getattr(args, "trace", None)
+    want_metrics = getattr(args, "metrics", False)
+    if not trace_path and not want_metrics:
+        return None, lambda: None
+    writer = JsonlTraceWriter(trace_path) if trace_path else None
+    registry = MetricsRegistry() if want_metrics else None
+    monitor = TheoremMonitor()
+    tracer = MultiTracer(
+        writer,
+        MetricsTracer(registry) if registry is not None else None,
+        monitor,
+    )
+
+    def finalize() -> None:
+        if writer is not None:
+            writer.close()
+        if registry is not None:
+            registry.render(sys.stderr)
+        if trace_path:
+            print(f"trace written to {trace_path}", file=sys.stderr)
+        print(monitor.report().summary(), file=sys.stderr)
+
+    return tracer, finalize
 
 
 def _build_budget(args: argparse.Namespace) -> Budget | None:
@@ -254,15 +314,20 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     if threshold > 1:
         threshold = int(threshold)
     budget = _build_budget(args)
-    theory = mine_frequent_itemsets(
-        database,
-        threshold,
-        algorithm=args.algorithm,
-        seed=args.seed,
-        engine=args.engine,
-        budget=budget,
-        resume=args.resume,
-    )
+    tracer, finalize = _build_tracer(args)
+    try:
+        theory = mine_frequent_itemsets(
+            database,
+            threshold,
+            algorithm=args.algorithm,
+            seed=args.seed,
+            engine=args.engine,
+            budget=budget,
+            resume=args.resume,
+            tracer=tracer,
+        )
+    finally:
+        finalize()
     print(
         f"{args.input}: {database.n_transactions} rows, "
         f"{database.n_items} items; algorithm={args.algorithm}"
@@ -306,9 +371,10 @@ def _cmd_transversals(args: argparse.Namespace) -> int:
     universe = Universe(vertices)
     hypergraph = Hypergraph.from_sets(edges, universe)
     budget = _build_budget(args)
+    tracer, finalize = _build_tracer(args)
     try:
         family = minimal_transversals(
-            hypergraph, method=args.method, budget=budget
+            hypergraph, method=args.method, budget=budget, tracer=tracer
         )
     except BudgetExhausted as exhausted:
         partial = exhausted.partial
@@ -327,6 +393,8 @@ def _cmd_transversals(args: argparse.Namespace) -> int:
         for mask in partial.family:
             print(" ", universe.label(mask, sep=" "))
         return EXIT_PARTIAL
+    finally:
+        finalize()
     print(f"{len(family)} minimal transversals ({args.method}):")
     for mask in family:
         print(" ", universe.label(mask, sep=" "))

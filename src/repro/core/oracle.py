@@ -18,6 +18,8 @@ from __future__ import annotations
 import random as _random
 from collections.abc import Callable, Hashable, Iterable
 
+from repro.obs.tracer import NULL_TRACER
+
 
 class CountingOracle:
     """Memoizing, counting wrapper around a mask predicate.
@@ -31,16 +33,23 @@ class CountingOracle:
             counts *distinct* sentences, so memoization is the faithful
             default; the flag exists for the ablation benchmark that
             prices re-asking.
+        tracer: optional :class:`~repro.obs.tracer.Tracer`; every query
+            emits an ``oracle.query`` event (``charged`` marks the
+            distinct evaluations the paper's cost model counts) plus
+            cache hit/miss counters, and every batch an ``oracle.batch``
+            event.  Disabled by default — the cost is then one
+            attribute lookup per call.
     """
 
     __slots__ = ("_predicate", "name", "_cache", "total_calls", "memoize",
-                 "evaluations")
+                 "evaluations", "_tracer")
 
     def __init__(
         self,
         predicate: Callable[[int], bool],
         name: str = "q",
         memoize: bool = True,
+        tracer=None,
     ):
         self._predicate = predicate
         self.name = name
@@ -48,14 +57,34 @@ class CountingOracle:
         self._cache: dict[int, bool] = {}
         self.total_calls = 0
         self.evaluations = 0
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+
+    def attach_tracer(self, tracer) -> None:
+        """Attach a tracer unless a real one is already wired in.
+
+        Engines call this on oracles the caller handed in, so an
+        explicitly configured tracer on the oracle wins over the
+        engine-level ``tracer=`` argument.
+        """
+        if tracer is not None and self._tracer is NULL_TRACER:
+            self._tracer = tracer
 
     def __call__(self, mask: int) -> bool:
         self.total_calls += 1
         cached = self._cache.get(mask)
+        charged = cached is None
         if cached is None or not self.memoize:
             self.evaluations += 1
             cached = bool(self._predicate(mask))
             self._cache[mask] = cached
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.event(
+                "oracle.query", mask=mask, answer=cached, charged=charged
+            )
+            tracer.counter(
+                "oracle.cache_miss" if charged else "oracle.cache_hit"
+            )
         return cached
 
     def batch_query(self, masks: Iterable[int]) -> list[bool]:
@@ -73,6 +102,7 @@ class CountingOracle:
         masks = list(masks)
         self.total_calls += len(masks)
         cache = self._cache
+        tracer = self._tracer
         if self.memoize:
             fresh: list[int] = []
             pending: set[int] = set()
@@ -84,11 +114,45 @@ class CountingOracle:
                 for mask, answer in zip(fresh, self._evaluate_batch(fresh)):
                     cache[mask] = answer
                 self.evaluations += len(fresh)
+            if tracer.enabled:
+                tracer.event(
+                    "oracle.batch", size=len(masks), fresh=len(fresh)
+                )
+                for mask in fresh:
+                    tracer.event(
+                        "oracle.query",
+                        mask=mask,
+                        answer=cache[mask],
+                        charged=True,
+                    )
+                hits = len(masks) - len(fresh)
+                if fresh:
+                    tracer.counter("oracle.cache_miss", len(fresh))
+                if hits:
+                    tracer.counter("oracle.cache_hit", hits)
             return [cache[mask] for mask in masks]
+        charged_masks = (
+            [mask for mask in dict.fromkeys(masks) if mask not in cache]
+            if tracer.enabled
+            else ()
+        )
         answers = self._evaluate_batch(masks)
         self.evaluations += len(masks)
         for mask, answer in zip(masks, answers):
             cache[mask] = answer  # last write wins, as in sequential calls
+        if tracer.enabled:
+            charged = set(charged_masks)
+            tracer.event(
+                "oracle.batch", size=len(masks), fresh=len(charged)
+            )
+            for mask, answer in zip(masks, answers):
+                tracer.event(
+                    "oracle.query",
+                    mask=mask,
+                    answer=answer,
+                    charged=mask in charged,
+                )
+                charged.discard(mask)
         return answers
 
     def _evaluate_batch(self, masks: list[int]) -> list[bool]:

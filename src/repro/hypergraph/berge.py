@@ -30,6 +30,7 @@ from itertools import groupby
 
 from repro.core.errors import BudgetExhausted
 from repro.hypergraph.hypergraph import Hypergraph, minimize_family
+from repro.obs.tracer import as_tracer
 from repro.util.antichain import AntichainIndex
 from repro.util.bitset import iter_bits, popcount
 
@@ -92,7 +93,7 @@ def berge_step(
 
 
 def berge_transversal_masks(
-    edge_masks: Sequence[int], budget=None
+    edge_masks: Sequence[int], budget=None, tracer=None
 ) -> list[int]:
     """Minimal transversals of a family of edge masks, via multiplication.
 
@@ -102,6 +103,11 @@ def berge_transversal_masks(
         budget: optional :class:`~repro.runtime.budget.Budget`; checked
             at every edge boundary (a consistent intermediate family),
             so one multiplication step is the overshoot unit.
+        tracer: optional :class:`~repro.obs.tracer.Tracer`; a
+            ``berge.run`` span wraps the whole multiplication and each
+            folded edge gets a ``berge.edge`` span whose ``family_in`` /
+            ``family_out`` sizes plot the Example 19 intermediate
+            blow-up directly from the trace.
 
     Returns:
         The minimal transversal masks sorted by (cardinality, value).
@@ -114,37 +120,53 @@ def berge_transversal_masks(
             minimal transversals of the processed edge prefix, a sound
             under-approximation of the full hitting requirement.
     """
+    tracer = as_tracer(tracer)
     edges = minimize_family(edge_masks)
     if not edges:
         return [0]
     if edges[0] == 0:
         return []
 
-    # Process small edges first (minimize_family sorts by cardinality):
-    # they branch least, keeping the intermediate antichain small longer.
-    index = AntichainIndex(
-        (1 << bit_index for bit_index in iter_bits(edges[0])),
-        assume_antichain=True,
-    )
-    for position, edge in enumerate(edges[1:], start=1):
-        if budget is not None:
-            try:
-                budget.check(family=len(index))
-            except BudgetExhausted as exhausted:
-                from repro.runtime.partial import PartialDualization
+    with tracer.span("berge.run", edges=len(edges)) as run_span:
+        # Process small edges first (minimize_family sorts by
+        # cardinality): they branch least, keeping the intermediate
+        # antichain small longer.
+        index = AntichainIndex(
+            (1 << bit_index for bit_index in iter_bits(edges[0])),
+            assume_antichain=True,
+        )
+        for position, edge in enumerate(edges[1:], start=1):
+            if budget is not None:
+                try:
+                    budget.check(family=len(index))
+                except BudgetExhausted as exhausted:
+                    from repro.runtime.partial import PartialDualization
 
-                raise BudgetExhausted(
-                    exhausted.reason,
-                    str(exhausted),
-                    partial=PartialDualization(
-                        reason=exhausted.reason,
-                        family=tuple(index.sorted_masks()),
-                        processed_edges=tuple(edges[:position]),
-                        remaining_edges=tuple(edges[position:]),
-                    ),
-                ) from exhausted
-        _multiply_into(index, edge)
-    return index.sorted_masks()
+                    if tracer.enabled:
+                        run_span.note(
+                            outcome="partial", reason=exhausted.reason
+                        )
+                    raise BudgetExhausted(
+                        exhausted.reason,
+                        str(exhausted),
+                        partial=PartialDualization(
+                            reason=exhausted.reason,
+                            family=tuple(index.sorted_masks()),
+                            processed_edges=tuple(edges[:position]),
+                            remaining_edges=tuple(edges[position:]),
+                        ),
+                    ) from exhausted
+            if tracer.enabled:
+                with tracer.span(
+                    "berge.edge", index=position, family_in=len(index)
+                ) as edge_span:
+                    _multiply_into(index, edge)
+                    edge_span.note(family_out=len(index))
+            else:
+                _multiply_into(index, edge)
+        if tracer.enabled:
+            run_span.note(family_out=len(index))
+        return index.sorted_masks()
 
 
 def transversal_hypergraph(hypergraph: Hypergraph) -> Hypergraph:

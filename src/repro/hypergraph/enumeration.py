@@ -72,7 +72,7 @@ def brute_force_transversal_masks(
 
 
 def iter_minimal_transversals(
-    hypergraph: Hypergraph, method: str = "fk", budget=None
+    hypergraph: Hypergraph, method: str = "fk", budget=None, tracer=None
 ) -> Iterator[int]:
     """Incrementally yield minimal transversal masks.
 
@@ -83,7 +83,10 @@ def iter_minimal_transversals(
 
     A :class:`~repro.runtime.budget.Budget` is honored by the ``"fk"``
     and ``"berge"`` engines (checked per enumeration step / per edge);
-    the reference baselines reject it.
+    the reference baselines reject it.  A ``tracer`` is likewise
+    forwarded to those two engines (``fk.check`` spans per enumeration
+    step, ``berge.run``/``berge.edge`` spans) and ignored by the
+    baselines.
     """
     if method == "fk":
         found: list[int] = []
@@ -95,6 +98,7 @@ def iter_minimal_transversals(
                 found,
                 hypergraph.universe.full_mask,
                 budget=budget,
+                tracer=tracer,
             )
             if nxt is None:
                 return
@@ -105,13 +109,15 @@ def iter_minimal_transversals(
             raise ValueError("budgets are only supported by 'fk' and 'berge'")
         yield from dfs_transversal_masks_iter(hypergraph.edge_masks)
     elif method in _METHODS:
-        yield from minimal_transversals(hypergraph, method=method, budget=budget)
+        yield from minimal_transversals(
+            hypergraph, method=method, budget=budget, tracer=tracer
+        )
     else:
         raise ValueError(f"unknown method {method!r}; expected one of {_METHODS}")
 
 
 def minimal_transversals(
-    hypergraph: Hypergraph, method: str = "berge", budget=None
+    hypergraph: Hypergraph, method: str = "berge", budget=None, tracer=None
 ) -> list[int]:
     """The complete family ``Tr(H)`` as a sorted list of masks.
 
@@ -126,12 +132,14 @@ def minimal_transversals(
             support cooperative checks.
     """
     if method == "berge":
-        return berge_transversal_masks(hypergraph.edge_masks, budget=budget)
+        return berge_transversal_masks(
+            hypergraph.edge_masks, budget=budget, tracer=tracer
+        )
     if method == "fk":
         found: list[int] = []
         try:
             for mask in iter_minimal_transversals(
-                hypergraph, method="fk", budget=budget
+                hypergraph, method="fk", budget=budget, tracer=tracer
             ):
                 found.append(mask)
         except BudgetExhausted as exhausted:

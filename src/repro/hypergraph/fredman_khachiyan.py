@@ -29,6 +29,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.hypergraph.hypergraph import minimize_family
+from repro.obs.tracer import NULL_TRACER, as_tracer
 from repro.util.antichain import merge_antichains
 from repro.util.bitset import iter_bits
 
@@ -64,6 +65,7 @@ def check_duality(
     variables_mask: int,
     variable_rule: str = "max_frequency",
     budget=None,
+    tracer=None,
 ) -> DualityWitness | None:
     """Test whether two monotone DNFs are dual over the given variables.
 
@@ -82,6 +84,11 @@ def check_duality(
             quasi-polynomial blow-up surfaces as
             :class:`~repro.core.errors.BudgetExhausted` instead of an
             unbounded hang.
+        tracer: optional :class:`~repro.obs.tracer.Tracer`; an
+            ``fk.check`` span wraps the test, every recursion node emits
+            an ``fk.node`` event (depth and sub-DNF sizes — the measured
+            quasi-polynomial tree), and a non-dual outcome emits
+            ``fk.witness`` with its kind.
 
     Returns:
         ``None`` when ``g = f^d``, otherwise a :class:`DualityWitness`.
@@ -96,23 +103,47 @@ def check_duality(
     for term in (*f_minimized, *g_minimized):
         if term & ~variables_mask:
             raise ValueError("term uses variables outside variables_mask")
-    # Cheap global screen for "both true" witnesses: some f-term disjoint
-    # from some g-term.  (The recursion would also find these, but the
-    # screen gives the FK analysis its intersection precondition and makes
-    # the common misuse — passing non-transversals — fail fast.)
-    for f_term in f_minimized:
-        for g_term in g_minimized:
-            if f_term & g_term == 0:
-                assignment = variables_mask & ~f_term
-                return DualityWitness(assignment=assignment, kind="both_true")
-    witness = _check_recursive(
-        f_minimized, g_minimized, variables_mask, variable_rule, budget
-    )
-    if witness is None:
-        return None
-    complement = variables_mask & ~witness
-    kind = "both_true" if _evaluate_dnf(f_minimized, complement) else "both_false"
-    return DualityWitness(assignment=witness, kind=kind)
+    tracer = as_tracer(tracer)
+    with tracer.span(
+        "fk.check", f_terms=len(f_minimized), g_terms=len(g_minimized)
+    ) as check_span:
+        # Cheap global screen for "both true" witnesses: some f-term
+        # disjoint from some g-term.  (The recursion would also find
+        # these, but the screen gives the FK analysis its intersection
+        # precondition and makes the common misuse — passing
+        # non-transversals — fail fast.)
+        for f_term in f_minimized:
+            for g_term in g_minimized:
+                if f_term & g_term == 0:
+                    assignment = variables_mask & ~f_term
+                    if tracer.enabled:
+                        tracer.event("fk.witness", kind="both_true")
+                        check_span.note(dual=False)
+                    return DualityWitness(
+                        assignment=assignment, kind="both_true"
+                    )
+        witness = _check_recursive(
+            f_minimized,
+            g_minimized,
+            variables_mask,
+            variable_rule,
+            budget,
+            tracer,
+        )
+        if witness is None:
+            if tracer.enabled:
+                check_span.note(dual=True)
+            return None
+        complement = variables_mask & ~witness
+        kind = (
+            "both_true"
+            if _evaluate_dnf(f_minimized, complement)
+            else "both_false"
+        )
+        if tracer.enabled:
+            tracer.event("fk.witness", kind=kind)
+            check_span.note(dual=False)
+        return DualityWitness(assignment=witness, kind=kind)
 
 
 def _check_recursive(
@@ -121,6 +152,8 @@ def _check_recursive(
     variables_mask: int,
     variable_rule: str = "max_frequency",
     budget=None,
+    tracer=NULL_TRACER,
+    depth: int = 0,
 ) -> int | None:
     """Core recursion; returns a witness mask or ``None`` when dual.
 
@@ -128,6 +161,13 @@ def _check_recursive(
     """
     if budget is not None:
         budget.check(family=len(f_terms) + len(g_terms))
+    if tracer.enabled:
+        tracer.event(
+            "fk.node",
+            depth=depth,
+            f_terms=len(f_terms),
+            g_terms=len(g_terms),
+        )
     # Constant cases.  f ≡ 0 iff no terms; f ≡ 1 iff the empty term is
     # present (after minimization the empty term is then the only term).
     if not f_terms:
@@ -171,13 +211,25 @@ def _check_recursive(
 
     # Subproblem for assignments containing x: (f0)^d must equal g0 ∨ g1.
     witness = _check_recursive(
-        f0, merge_antichains(g0, g1), remaining, variable_rule, budget
+        f0,
+        merge_antichains(g0, g1),
+        remaining,
+        variable_rule,
+        budget,
+        tracer,
+        depth + 1,
     )
     if witness is not None:
         return witness | x
     # Subproblem for assignments missing x: (f0 ∨ f1)^d must equal g0.
     witness = _check_recursive(
-        merge_antichains(f0, f1), g0, remaining, variable_rule, budget
+        merge_antichains(f0, f1),
+        g0,
+        remaining,
+        variable_rule,
+        budget,
+        tracer,
+        depth + 1,
     )
     if witness is not None:
         return witness
@@ -202,6 +254,7 @@ def find_new_minimal_transversal(
     known_transversals: Sequence[int],
     variables_mask: int,
     budget=None,
+    tracer=None,
 ) -> int | None:
     """Incremental dualization step (the engine of Corollary 22).
 
@@ -215,6 +268,8 @@ def find_new_minimal_transversal(
         variables_mask: the vertex universe mask.
         budget: optional :class:`~repro.runtime.budget.Budget`, passed to
             the duality-test recursion (wall clock + sub-DNF size).
+        tracer: optional :class:`~repro.obs.tracer.Tracer`, passed to
+            :func:`check_duality`.
 
     Raises:
         ValueError: when ``known_transversals`` contains a set that is not
@@ -228,7 +283,8 @@ def find_new_minimal_transversal(
         # Tr(∅) = {∅}: the empty set is the only minimal transversal.
         return None if 0 in known_transversals else 0
     witness = check_duality(
-        edges, known_transversals, variables_mask, budget=budget
+        edges, known_transversals, variables_mask, budget=budget,
+        tracer=tracer,
     )
     if witness is None:
         return None

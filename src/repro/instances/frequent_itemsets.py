@@ -89,6 +89,7 @@ def mine_frequent_itemsets(
     engine: str = "berge",
     budget: "Budget | None" = None,
     resume=None,
+    tracer=None,
 ) -> "Theory | PartialResult":
     """Mine the maximal frequent itemsets with a chosen algorithm.
 
@@ -113,6 +114,10 @@ def mine_frequent_itemsets(
         resume: optional :class:`~repro.runtime.checkpoint.Checkpoint`
             (or path/JSON) from an earlier budgeted ``"levelwise"`` or
             ``"dualize_advance"`` run on the same universe.
+        tracer: optional :class:`~repro.obs.tracer.Tracer`, forwarded to
+            the chosen algorithm (the CLI's ``--trace`` / ``--metrics``
+            path; see ``docs/API.md`` §11).  ``"randomized"`` does not
+            take one.
 
     Returns:
         A :class:`~repro.core.theory.Theory`, or a
@@ -140,7 +145,7 @@ def mine_frequent_itemsets(
     universe = database.universe
 
     if algorithm == "apriori":
-        result = apriori(database, predicate.threshold)
+        result = apriori(database, predicate.threshold, tracer=tracer)
         return Theory(
             universe=universe,
             maximal=result.maximal,
@@ -155,7 +160,9 @@ def mine_frequent_itemsets(
         )
     if algorithm == "levelwise":
         oracle = CountingOracle(predicate, name="frequency")
-        result = levelwise(universe, oracle, budget=budget, resume=resume)
+        result = levelwise(
+            universe, oracle, budget=budget, resume=resume, tracer=tracer
+        )
         if isinstance(result, PartialResult):
             return result
         return Theory(
@@ -175,6 +182,7 @@ def mine_frequent_itemsets(
             shuffle=seed,
             budget=budget,
             resume=resume,
+            tracer=tracer,
         )
         if isinstance(result, PartialResult):
             return result
@@ -187,7 +195,9 @@ def mine_frequent_itemsets(
             extra={"iterations": result.iterations},
         )
     if algorithm == "maxminer":
-        result = maxminer(database, predicate.threshold, budget=budget)
+        result = maxminer(
+            database, predicate.threshold, budget=budget, tracer=tracer
+        )
         if isinstance(result, PartialResult):
             return result
         from repro.core.borders import negative_border_from_positive

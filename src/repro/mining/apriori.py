@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.datasets.transactions import TransactionDatabase
+from repro.obs.tracer import Tracer, as_tracer
 from repro.hypergraph.hypergraph import maximize_family
 from repro.util.bitset import Universe, popcount
 
@@ -66,6 +67,7 @@ def apriori(
     database: TransactionDatabase,
     min_support: int | float,
     max_size: int | None = None,
+    tracer: "Tracer | None" = None,
 ) -> AprioriResult:
     """Mine all frequent itemsets of a transaction database.
 
@@ -74,6 +76,11 @@ def apriori(
         min_support: absolute row count (``int``) or relative frequency
             in ``(0, 1]`` (``float``), converted with ceiling semantics.
         max_size: optional cap on itemset size.
+        tracer: optional :class:`~repro.obs.tracer.Tracer`; emits an
+            ``apriori.run`` span, per-pass ``apriori.level`` spans
+            (candidate counts), and an ``apriori.done`` summary.  No
+            ``oracle.query`` events — Apriori counts supports in batched
+            database passes, not through an ``Is-interesting`` oracle.
 
     Returns:
         An :class:`AprioriResult`.  With the default ``max_size`` the
@@ -89,64 +96,94 @@ def apriori(
         raise ValueError("min_support must be non-negative")
     universe = database.universe
     n = len(universe)
+    tracer = as_tracer(tracer)
 
     supports: dict[int, int] = {}
     negative_border: list[int] = []
     candidate_counts: list[int] = []
 
-    empty_support = database.n_transactions
-    if empty_support < threshold:
-        # Even the empty set is infrequent (threshold exceeds the
-        # database size): the theory is empty.
+    with tracer.span("apriori.run", n=n, threshold=threshold) as run_span:
+        empty_support = database.n_transactions
+        if empty_support < threshold:
+            # Even the empty set is infrequent (threshold exceeds the
+            # database size): the theory is empty.
+            if tracer.enabled:
+                tracer.event(
+                    "apriori.done",
+                    passes=1,
+                    frequent=0,
+                    negative=1,
+                    threshold=threshold,
+                )
+            return AprioriResult(
+                universe=universe,
+                supports={},
+                maximal=(),
+                negative_border=(0,),
+                min_support=threshold,
+                database_passes=1,
+                candidate_counts=(1,),
+            )
+        supports[0] = empty_support
+
+        # Level 1: all singletons are candidates (their only proper
+        # subset, the empty set, is frequent).
+        current_frequent: list[int] = []
+        candidates = universe.singletons()
+        passes = 1  # the empty-set check above reads only the row count
+        level = 1
+        while candidates:
+            candidate_counts.append(len(candidates))
+            passes += 1
+            with tracer.span(
+                "apriori.level", level=level, candidates=len(candidates)
+            ) as level_span:
+                next_frequent: list[int] = []
+                # One database pass counts the whole level: the batched
+                # vertical kernel amortizes per-candidate dispatch
+                # (bit-identical counts).
+                counts = database.support_counts(candidates)
+                for candidate, support in zip(candidates, counts):
+                    if support >= threshold:
+                        supports[candidate] = support
+                        next_frequent.append(candidate)
+                    else:
+                        negative_border.append(candidate)
+                if tracer.enabled:
+                    level_span.note(
+                        frequent=len(next_frequent),
+                        rejected=len(candidates) - len(next_frequent),
+                    )
+            current_frequent = next_frequent
+            level += 1
+            if max_size is not None and level > max_size:
+                break
+            candidates = _join_candidates(
+                current_frequent, set(current_frequent), n
+            )
+
+        frequent_nonempty = [mask for mask in supports if mask != 0]
+        maximal = maximize_family(frequent_nonempty or [0])
+        if tracer.enabled:
+            run_span.note(passes=passes)
+            tracer.event(
+                "apriori.done",
+                passes=passes,
+                frequent=len(supports),
+                negative=len(negative_border),
+                threshold=threshold,
+            )
         return AprioriResult(
             universe=universe,
-            supports={},
-            maximal=(),
-            negative_border=(0,),
+            supports=supports,
+            maximal=tuple(sorted(maximal, key=lambda m: (popcount(m), m))),
+            negative_border=tuple(
+                sorted(negative_border, key=lambda m: (popcount(m), m))
+            ),
             min_support=threshold,
-            database_passes=1,
-            candidate_counts=(1,),
+            database_passes=passes,
+            candidate_counts=tuple(candidate_counts),
         )
-    supports[0] = empty_support
-
-    # Level 1: all singletons are candidates (their only proper subset,
-    # the empty set, is frequent).
-    current_frequent: list[int] = []
-    candidates = universe.singletons()
-    passes = 1  # the empty-set check above reads only the row count
-    level = 1
-    while candidates:
-        candidate_counts.append(len(candidates))
-        passes += 1
-        next_frequent: list[int] = []
-        # One database pass counts the whole level: the batched vertical
-        # kernel amortizes per-candidate dispatch (bit-identical counts).
-        counts = database.support_counts(candidates)
-        for candidate, support in zip(candidates, counts):
-            if support >= threshold:
-                supports[candidate] = support
-                next_frequent.append(candidate)
-            else:
-                negative_border.append(candidate)
-        current_frequent = next_frequent
-        level += 1
-        if max_size is not None and level > max_size:
-            break
-        candidates = _join_candidates(current_frequent, set(current_frequent), n)
-
-    frequent_nonempty = [mask for mask in supports if mask != 0]
-    maximal = maximize_family(frequent_nonempty or [0])
-    return AprioriResult(
-        universe=universe,
-        supports=supports,
-        maximal=tuple(sorted(maximal, key=lambda m: (popcount(m), m))),
-        negative_border=tuple(
-            sorted(negative_border, key=lambda m: (popcount(m), m))
-        ),
-        min_support=threshold,
-        database_passes=passes,
-        candidate_counts=tuple(candidate_counts),
-    )
 
 
 def _join_candidates(

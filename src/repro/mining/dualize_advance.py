@@ -45,11 +45,13 @@ bit-for-bit.
 from __future__ import annotations
 
 import random
+import time
 from collections.abc import Callable, Iterator
 from dataclasses import dataclass, field
 
 from repro.core.errors import BudgetExhausted, CheckpointError
 from repro.core.oracle import CountingOracle
+from repro.obs.tracer import Tracer, as_tracer
 from repro.hypergraph.berge import berge_step
 from repro.hypergraph.fredman_khachiyan import find_new_minimal_transversal
 from repro.mining.maximalize import greedy_maximalize
@@ -131,10 +133,17 @@ class _IncrementalDualizer:
     were already probed (and memoized) in earlier iterations.
     """
 
-    def __init__(self, universe: Universe, engine: str, budget: Budget | None = None):
+    def __init__(
+        self,
+        universe: Universe,
+        engine: str,
+        budget: Budget | None = None,
+        tracer: "Tracer | None" = None,
+    ):
         self.universe = universe
         self.engine = engine
         self.budget = budget
+        self.tracer = tracer
         self.complements: list[int] = []
         self._berge_family: list[int] | None = None
         self._fk_known: list[int] = []
@@ -179,7 +188,11 @@ class _IncrementalDualizer:
             yield (survivor, False)
         while True:
             transversal = find_new_minimal_transversal(
-                self.complements, self._fk_known, full, budget=self.budget
+                self.complements,
+                self._fk_known,
+                full,
+                budget=self.budget,
+                tracer=self.tracer,
             )
             if transversal is None:
                 return
@@ -213,6 +226,7 @@ def dualize_and_advance(
     budget: Budget | None = None,
     resume: "Checkpoint | str | None" = None,
     on_exhaust: str = "return",
+    tracer: "Tracer | None" = None,
 ) -> "DualizeAdvanceResult | PartialResult":
     """Run Algorithm 16.
 
@@ -244,6 +258,14 @@ def dualize_and_advance(
             :class:`~repro.runtime.partial.PartialResult`; ``"raise"``
             raises :class:`~repro.core.errors.BudgetExhausted` with the
             partial attached.
+        tracer: optional :class:`~repro.obs.tracer.Tracer`.  Emits a
+            ``dualize.run`` span, ``dualize.probe`` /
+            ``dualize.counterexample`` / ``dualize.maximal`` events, a
+            ``dualize.family`` gauge (Berge engine, the Example 19
+            blow-up curve), and a ``dualize.done`` summary the
+            :class:`~repro.obs.monitor.TheoremMonitor` certifies against
+            Theorem 21 and bracket monotonicity.  Per-query events come
+            from the underlying :class:`~repro.core.oracle.CountingOracle`.
 
     Returns:
         :class:`DualizeAdvanceResult` with ``MTh``, ``Bd-(MTh)``, the
@@ -262,6 +284,9 @@ def dualize_and_advance(
         if isinstance(predicate, CountingOracle)
         else CountingOracle(predicate)
     )
+    tracer = as_tracer(tracer)
+    if tracer.enabled:
+        oracle.attach_tracer(tracer)
 
     if resume is not None:
         checkpoint = Checkpoint.coerce(resume)
@@ -287,6 +312,7 @@ def dualize_and_advance(
         base_queries = accounting.get("queries", 0)
         base_total = accounting.get("total_calls", 0)
         base_evals = accounting.get("evaluations", 0)
+        base_elapsed = accounting.get("elapsed", 0.0)
         started = state["started"]
         current_maximal = list(state["current_maximal"])
         iterations = [
@@ -298,7 +324,7 @@ def dualize_and_advance(
         pending = dict(state["pending"]) if state["pending"] else None
         if incremental:
             folded = state["folded"]
-            dualizer = _IncrementalDualizer(universe, engine, budget=budget)
+            dualizer = _IncrementalDualizer(universe, engine, budget=budget, tracer=tracer)
             dualizer.complements = list(state["complements"])
             dualizer._dead = state["dead"]
             if engine == "berge":
@@ -312,6 +338,7 @@ def dualize_and_advance(
     else:
         rng = None if shuffle is None else _as_rng(shuffle)
         base_queries = base_total = base_evals = 0
+        base_elapsed = 0.0
         started = False
         current_maximal = []
         iterations = []
@@ -320,7 +347,7 @@ def dualize_and_advance(
         counted_pending = None
         pending = None
         folded = 0
-        dualizer = _IncrementalDualizer(universe, engine, budget=budget)
+        dualizer = _IncrementalDualizer(universe, engine, budget=budget, tracer=tracer)
 
     probed_set = set(probed)
     start_queries = oracle.distinct_queries
@@ -328,9 +355,17 @@ def dualize_and_advance(
     start_evals = oracle.evaluations
     if budget is not None:
         budget.begin()
+    run_t0 = time.monotonic()
 
     def charged() -> int:
         return base_queries + oracle.distinct_queries - start_queries
+
+    def elapsed() -> float:
+        # Cumulative across resume segments: the checkpoint banks the
+        # wall-clock spent so far and the clock restarts with each
+        # segment, so gaps between an interrupt and its resume are not
+        # billed (documented in docs/API.md §11).
+        return base_elapsed + time.monotonic() - run_t0
 
     def make_partial(reason: str) -> PartialResult:
         if incremental and dualizer is not None:
@@ -379,6 +414,7 @@ def dualize_and_advance(
                 "queries": charged(),
                 "total_calls": base_total + oracle.total_calls - start_total,
                 "evaluations": base_evals + oracle.evaluations - start_evals,
+                "elapsed": elapsed(),
             },
         )
         history = oracle.history()
@@ -412,132 +448,191 @@ def dualize_and_advance(
             queries=charged(),
             total_calls=base_total + oracle.total_calls - start_total,
             evaluations=base_evals + oracle.evaluations - start_evals,
-            elapsed=budget.elapsed() if budget is not None else 0.0,
+            elapsed=elapsed(),
             checkpoint=saved,
         )
 
-    try:
-        if not started:
-            if budget is not None:
-                budget.check(queries=charged())
-            if not oracle(0):
-                # Even the empty sentence is uninteresting: empty theory.
-                return DualizeAdvanceResult(
-                    universe=universe,
-                    maximal=(),
-                    negative_border=(0,),
-                    queries=charged(),
-                    iterations=(
-                        DualizeAdvanceIteration(
-                            enumerated=1,
-                            counterexample=None,
-                            new_maximal=None,
-                            transversal_family_size=1,
-                        ),
-                    ),
-                )
-            started = True
-            pending = {
-                "ce": 0,
-                "enumerated": 1,
-                "family_size": None,
-                "order": _extension_order(universe, rng),
-            }
-
-        while True:
-            if pending is not None:
-                # Greedy maximalization is the atomic unit: checked
-                # before, never interrupted inside (≤ n queries overshoot).
+    with tracer.span(
+        "dualize.run",
+        engine=engine,
+        incremental=incremental,
+        resumed=resume is not None,
+        n=len(universe),
+    ) as run_span:
+        try:
+            if not started:
                 if budget is not None:
                     budget.check(queries=charged())
-                new_maximal = greedy_maximalize(
-                    universe, oracle, pending["ce"], order=pending["order"]
-                )
-                current_maximal.append(new_maximal)
-                if dualizer is not None:
-                    dualizer.exclude(pending["ce"])
-                iterations.append(
-                    DualizeAdvanceIteration(
-                        enumerated=pending["enumerated"],
-                        counterexample=pending["ce"],
-                        new_maximal=new_maximal,
-                        transversal_family_size=pending["family_size"],
+                if not oracle(0):
+                    # Even the empty sentence is uninteresting: empty theory.
+                    if tracer.enabled:
+                        tracer.event(
+                            "dualize.probe", mask=0, answer=False, fresh=True
+                        )
+                        tracer.event(
+                            "dualize.done",
+                            queries=charged(),
+                            maximal=0,
+                            negative=1,
+                            iterations=1,
+                            rank=0,
+                            n=len(universe),
+                            base_queries=base_queries,
+                        )
+                    return DualizeAdvanceResult(
+                        universe=universe,
+                        maximal=(),
+                        negative_border=(0,),
+                        queries=charged(),
+                        iterations=(
+                            DualizeAdvanceIteration(
+                                enumerated=1,
+                                counterexample=None,
+                                new_maximal=None,
+                                transversal_family_size=1,
+                            ),
+                        ),
                     )
-                )
-                pending = None
-                probed = []
-                probed_set = set()
-                enumerated = 0
-                counted_pending = None
-            if not incremental:
-                dualizer = _IncrementalDualizer(universe, engine, budget=budget)
-                folded = 0
-            while folded < len(current_maximal):
-                dualizer.add_maximal(current_maximal[folded])
-                folded += 1
+                started = True
+                pending = {
+                    "ce": 0,
+                    "enumerated": 1,
+                    "family_size": None,
+                    "order": _extension_order(universe, rng),
+                }
 
-            counterexample: int | None = None
-            for transversal, is_fresh in dualizer.iterate():
-                if transversal in probed_set:
-                    continue  # probed before an interrupt; answer banked
-                if transversal == counted_pending:
-                    counted_pending = None  # counted just before interrupt
-                elif is_fresh:
-                    enumerated += 1
-                    counted_pending = transversal
-                if budget is not None:
-                    budget.check(
-                        queries=charged(), family=dualizer.family_size()
+            while True:
+                if pending is not None:
+                    # Greedy maximalization is the atomic unit: checked
+                    # before, never interrupted inside (≤ n queries overshoot).
+                    if budget is not None:
+                        budget.check(queries=charged())
+                    new_maximal = greedy_maximalize(
+                        universe, oracle, pending["ce"], order=pending["order"]
                     )
-                answer = oracle(transversal)
-                counted_pending = None
-                if answer:
-                    counterexample = transversal
-                    break
-                probed.append(transversal)
-                probed_set.add(transversal)
-            family_size = dualizer.family_size()
-            if counterexample is None:
-                iterations.append(
-                    DualizeAdvanceIteration(
-                        enumerated=enumerated,
-                        counterexample=None,
-                        new_maximal=None,
-                        transversal_family_size=family_size,
+                    current_maximal.append(new_maximal)
+                    if dualizer is not None:
+                        dualizer.exclude(pending["ce"])
+                    iterations.append(
+                        DualizeAdvanceIteration(
+                            enumerated=pending["enumerated"],
+                            counterexample=pending["ce"],
+                            new_maximal=new_maximal,
+                            transversal_family_size=pending["family_size"],
+                        )
                     )
-                )
-                negative_border = sorted(
-                    probed, key=lambda m: (popcount(m), m)
-                )
-                return DualizeAdvanceResult(
-                    universe=universe,
-                    maximal=tuple(
-                        sorted(current_maximal, key=lambda m: (popcount(m), m))
-                    ),
-                    negative_border=tuple(negative_border),
-                    queries=charged(),
-                    iterations=tuple(iterations),
-                )
-            pending = {
-                "ce": counterexample,
-                "enumerated": enumerated,
-                "family_size": family_size,
-                "order": _extension_order(universe, rng),
-            }
-    except BudgetExhausted as exhausted:
-        partial = make_partial(exhausted.reason)
-        if on_exhaust == "raise":
-            raise BudgetExhausted(
-                exhausted.reason, str(exhausted), partial=partial
-            ) from exhausted
-        return partial
-    except KeyboardInterrupt:
-        partial = make_partial("interrupt")
-        if on_exhaust == "raise":
-            raise BudgetExhausted(
-                "interrupt", "interrupted by user", partial=partial
-            ) from None
-        return partial
+                    if tracer.enabled:
+                        tracer.event(
+                            "dualize.maximal",
+                            mask=new_maximal,
+                            iteration=len(iterations),
+                            enumerated=pending["enumerated"],
+                        )
+                    pending = None
+                    probed = []
+                    probed_set = set()
+                    enumerated = 0
+                    counted_pending = None
+                if not incremental:
+                    dualizer = _IncrementalDualizer(universe, engine, budget=budget, tracer=tracer)
+                    folded = 0
+                while folded < len(current_maximal):
+                    dualizer.add_maximal(current_maximal[folded])
+                    folded += 1
+
+                counterexample: int | None = None
+                for transversal, is_fresh in dualizer.iterate():
+                    if transversal in probed_set:
+                        continue  # probed before an interrupt; answer banked
+                    if transversal == counted_pending:
+                        counted_pending = None  # counted just before interrupt
+                    elif is_fresh:
+                        enumerated += 1
+                        counted_pending = transversal
+                    if budget is not None:
+                        budget.check(
+                            queries=charged(), family=dualizer.family_size()
+                        )
+                    answer = oracle(transversal)
+                    counted_pending = None
+                    if tracer.enabled:
+                        tracer.event(
+                            "dualize.probe",
+                            mask=transversal,
+                            answer=answer,
+                            fresh=is_fresh,
+                        )
+                    if answer:
+                        counterexample = transversal
+                        break
+                    probed.append(transversal)
+                    probed_set.add(transversal)
+                family_size = dualizer.family_size()
+                if tracer.enabled and family_size is not None:
+                    tracer.gauge("dualize.family", family_size)
+                if counterexample is None:
+                    iterations.append(
+                        DualizeAdvanceIteration(
+                            enumerated=enumerated,
+                            counterexample=None,
+                            new_maximal=None,
+                            transversal_family_size=family_size,
+                        )
+                    )
+                    negative_border = sorted(
+                        probed, key=lambda m: (popcount(m), m)
+                    )
+                    result = DualizeAdvanceResult(
+                        universe=universe,
+                        maximal=tuple(
+                            sorted(current_maximal, key=lambda m: (popcount(m), m))
+                        ),
+                        negative_border=tuple(negative_border),
+                        queries=charged(),
+                        iterations=tuple(iterations),
+                    )
+                    if tracer.enabled:
+                        tracer.event(
+                            "dualize.done",
+                            queries=result.queries,
+                            maximal=len(result.maximal),
+                            negative=len(result.negative_border),
+                            iterations=len(result.iterations),
+                            rank=result.rank(),
+                            n=len(universe),
+                            base_queries=base_queries,
+                        )
+                    return result
+                if tracer.enabled:
+                    tracer.event(
+                        "dualize.counterexample",
+                        mask=counterexample,
+                        iteration=len(iterations),
+                    )
+                pending = {
+                    "ce": counterexample,
+                    "enumerated": enumerated,
+                    "family_size": family_size,
+                    "order": _extension_order(universe, rng),
+                }
+        except BudgetExhausted as exhausted:
+            partial = make_partial(exhausted.reason)
+            if tracer.enabled:
+                run_span.note(outcome="partial", reason=exhausted.reason)
+            if on_exhaust == "raise":
+                raise BudgetExhausted(
+                    exhausted.reason, str(exhausted), partial=partial
+                ) from exhausted
+            return partial
+        except KeyboardInterrupt:
+            partial = make_partial("interrupt")
+            if tracer.enabled:
+                run_span.note(outcome="partial", reason="interrupt")
+            if on_exhaust == "raise":
+                raise BudgetExhausted(
+                    "interrupt", "interrupted by user", partial=partial
+                ) from None
+            return partial
 
 
 def _extension_order(

@@ -27,6 +27,7 @@ primed into the memo, so nothing is re-evaluated).
 
 from __future__ import annotations
 
+import time
 from collections.abc import Callable, Hashable
 from dataclasses import dataclass, field
 
@@ -34,6 +35,7 @@ from repro.core.errors import BudgetExhausted, CheckpointError
 from repro.core.language import GenericLanguage, SetLanguage
 from repro.core.oracle import CountingOracle, GenericCountingOracle
 from repro.hypergraph.hypergraph import maximize_family
+from repro.obs.tracer import Tracer, as_tracer
 from repro.runtime.budget import Budget
 from repro.runtime.checkpoint import Checkpoint
 from repro.runtime.partial import PartialResult, build_partial
@@ -85,6 +87,7 @@ def levelwise(
     budget: Budget | None = None,
     resume: "Checkpoint | str | None" = None,
     on_exhaust: str = "return",
+    tracer: "Tracer | None" = None,
 ) -> "LevelwiseResult | PartialResult":
     """Run Algorithm 9 on the subset lattice over ``universe``.
 
@@ -112,6 +115,15 @@ def levelwise(
             exhaustion or ``KeyboardInterrupt``; ``"raise"`` raises
             :class:`~repro.core.errors.BudgetExhausted` with the partial
             attached.
+        tracer: optional :class:`~repro.obs.tracer.Tracer`.  Emits a
+            ``levelwise.run`` span, one ``levelwise.level`` span per
+            lattice level (opened with ``candidates = |C_l|``, closed
+            with the interesting/rejected split), per-query events from
+            the oracle underneath, and a terminal ``levelwise.done``
+            event carrying the Theorem 10 accounting that the
+            :class:`~repro.obs.monitor.TheoremMonitor` certifies.
+            Tracing never changes the result or the accounting
+            (property-tested).
 
     Returns:
         A :class:`LevelwiseResult` (``queries`` counts distinct
@@ -123,11 +135,14 @@ def levelwise(
         raise ValueError(
             f"on_exhaust must be 'return' or 'raise', got {on_exhaust!r}"
         )
+    tracer = as_tracer(tracer)
     oracle = (
         predicate
         if isinstance(predicate, CountingOracle)
         else CountingOracle(predicate)
     )
+    if tracer.enabled:
+        oracle.attach_tracer(tracer)
     n = len(universe)
 
     if resume is not None:
@@ -146,6 +161,7 @@ def levelwise(
         base_queries = accounting.get("queries", 0)
         base_total = accounting.get("total_calls", 0)
         base_evals = accounting.get("evaluations", 0)
+        base_elapsed = accounting.get("elapsed", 0.0)
         interesting_all = list(state["interesting"])
         negative_border = list(state["negative"])
         levels = [tuple(level) for level in state["levels"]]
@@ -157,6 +173,7 @@ def levelwise(
         level_counted = state["level_counted"]
     else:
         base_queries = base_total = base_evals = 0
+        base_elapsed = 0.0
         interesting_all = []
         negative_border = []
         levels = []
@@ -170,11 +187,19 @@ def levelwise(
     start_queries = oracle.distinct_queries
     start_total = oracle.total_calls
     start_evals = oracle.evaluations
+    run_t0 = time.monotonic()
     if budget is not None:
         budget.begin()
 
     def charged() -> int:
         return base_queries + oracle.distinct_queries - start_queries
+
+    def elapsed() -> float:
+        # Cumulative across resume segments: the checkpoint banks the
+        # wall-clock spent so far and the clock restarts with each
+        # segment, so gaps between an interrupt and its resume are not
+        # billed (documented in docs/API.md §11).
+        return base_elapsed + time.monotonic() - run_t0
 
     def make_partial(reason: str) -> PartialResult:
         saved = Checkpoint(
@@ -197,6 +222,7 @@ def levelwise(
                 "queries": charged(),
                 "total_calls": base_total + oracle.total_calls - start_total,
                 "evaluations": base_evals + oracle.evaluations - start_evals,
+                "elapsed": elapsed(),
             },
         )
         frontier = list(current_candidates[position:])
@@ -216,87 +242,125 @@ def levelwise(
             queries=charged(),
             total_calls=base_total + oracle.total_calls - start_total,
             evaluations=base_evals + oracle.evaluations - start_evals,
-            elapsed=budget.elapsed() if budget is not None else 0.0,
+            elapsed=elapsed(),
             checkpoint=saved,
         )
 
-    try:
-        while current_candidates:
-            if not level_counted:
-                candidates_per_level.append(len(current_candidates))
-                level_counted = True
-            while position < len(current_candidates):
-                if budget is not None:
-                    budget.check(
-                        queries=charged(), family=len(current_candidates)
-                    )
-                # Chunked whole-level evaluation: accounting is identical
-                # to asking the oracle per candidate (Theorem 10 query
-                # counts unchanged), but a batch-capable predicate
-                # resolves each chunk in one dispatch.  The chunk never
-                # exceeds the remaining query allowance, so a budgeted
-                # run stops exactly at its limit.
-                remaining = len(current_candidates) - position
-                if budget is None:
-                    chunk_size = remaining
-                else:
-                    allowance = budget.query_allowance(charged())
-                    chunk_size = remaining if allowance is None else min(
-                        remaining, allowance
-                    )
-                    if budget.timeout is not None:
-                        chunk_size = min(chunk_size, _DEADLINE_CHUNK)
-                chunk = current_candidates[position : position + chunk_size]
-                answers = oracle.batch_query(chunk)
-                for candidate, answer in zip(chunk, answers):
-                    if answer:
-                        current_level_interesting.append(candidate)
-                        interesting_all.append(candidate)
-                    else:
-                        negative_border.append(candidate)
-                position += len(chunk)
-            levels.append(tuple(current_level_interesting))
-            level_rank += 1
-            if max_rank is not None and level_rank > max_rank:
-                break
-            next_candidates = _generate_candidates(
-                current_level_interesting, set(interesting_all), n
-            )
-            current_candidates = next_candidates
-            position = 0
-            current_level_interesting = []
-            level_counted = False
-            if budget is not None and next_candidates:
-                budget.check(family=len(next_candidates))
-    except BudgetExhausted as exhausted:
-        partial = make_partial(exhausted.reason)
-        if on_exhaust == "raise":
-            raise BudgetExhausted(
-                exhausted.reason, str(exhausted), partial=partial
-            ) from exhausted
-        return partial
-    except KeyboardInterrupt:
-        partial = make_partial("interrupt")
-        if on_exhaust == "raise":
-            raise BudgetExhausted(
-                "interrupt", "interrupted by user", partial=partial
-            ) from None
-        return partial
+    with tracer.span(
+        "levelwise.run", n=n, resumed=resume is not None
+    ) as run_span:
+        try:
+            while current_candidates:
+                if not level_counted:
+                    candidates_per_level.append(len(current_candidates))
+                    level_counted = True
+                with tracer.span(
+                    "levelwise.level",
+                    rank=level_rank,
+                    candidates=len(current_candidates),
+                ) as level_span:
+                    while position < len(current_candidates):
+                        if budget is not None:
+                            budget.check(
+                                queries=charged(),
+                                family=len(current_candidates),
+                            )
+                        # Chunked whole-level evaluation: accounting is
+                        # identical to asking the oracle per candidate
+                        # (Theorem 10 query counts unchanged), but a
+                        # batch-capable predicate resolves each chunk in
+                        # one dispatch.  The chunk never exceeds the
+                        # remaining query allowance, so a budgeted run
+                        # stops exactly at its limit.
+                        remaining = len(current_candidates) - position
+                        if budget is None:
+                            chunk_size = remaining
+                        else:
+                            allowance = budget.query_allowance(charged())
+                            chunk_size = (
+                                remaining
+                                if allowance is None
+                                else min(remaining, allowance)
+                            )
+                            if budget.timeout is not None:
+                                chunk_size = min(chunk_size, _DEADLINE_CHUNK)
+                        chunk = current_candidates[
+                            position : position + chunk_size
+                        ]
+                        answers = oracle.batch_query(chunk)
+                        for candidate, answer in zip(chunk, answers):
+                            if answer:
+                                current_level_interesting.append(candidate)
+                                interesting_all.append(candidate)
+                            else:
+                                negative_border.append(candidate)
+                        position += len(chunk)
+                    levels.append(tuple(current_level_interesting))
+                    if tracer.enabled:
+                        level_span.note(
+                            interesting=len(current_level_interesting),
+                            rejected=len(current_candidates)
+                            - len(current_level_interesting),
+                        )
+                level_rank += 1
+                if max_rank is not None and level_rank > max_rank:
+                    break
+                next_candidates = _generate_candidates(
+                    current_level_interesting, set(interesting_all), n
+                )
+                current_candidates = next_candidates
+                position = 0
+                current_level_interesting = []
+                level_counted = False
+                if budget is not None and next_candidates:
+                    budget.check(family=len(next_candidates))
+        except BudgetExhausted as exhausted:
+            partial = make_partial(exhausted.reason)
+            if tracer.enabled:
+                run_span.note(outcome="partial", reason=exhausted.reason)
+            if on_exhaust == "raise":
+                raise BudgetExhausted(
+                    exhausted.reason, str(exhausted), partial=partial
+                ) from exhausted
+            return partial
+        except KeyboardInterrupt:
+            partial = make_partial("interrupt")
+            if tracer.enabled:
+                run_span.note(outcome="partial", reason="interrupt")
+            if on_exhaust == "raise":
+                raise BudgetExhausted(
+                    "interrupt", "interrupted by user", partial=partial
+                ) from None
+            return partial
 
-    maximal = maximize_family(interesting_all)
-    return LevelwiseResult(
-        universe=universe,
-        interesting=tuple(
-            sorted(interesting_all, key=lambda m: (popcount(m), m))
-        ),
-        maximal=tuple(sorted(maximal, key=lambda m: (popcount(m), m))),
-        negative_border=tuple(
-            sorted(negative_border, key=lambda m: (popcount(m), m))
-        ),
-        queries=base_queries + oracle.distinct_queries - start_queries,
-        levels=tuple(levels),
-        candidates_per_level=tuple(candidates_per_level),
-    )
+        maximal = maximize_family(interesting_all)
+        queries = base_queries + oracle.distinct_queries - start_queries
+        if tracer.enabled:
+            rank = max((popcount(m) for m in maximal), default=0)
+            run_span.note(outcome="complete", queries=queries)
+            tracer.event(
+                "levelwise.done",
+                queries=queries,
+                theory=len(interesting_all),
+                negative=len(negative_border),
+                maximal=len(maximal),
+                rank=rank,
+                n=n,
+                base_queries=base_queries,
+            )
+        return LevelwiseResult(
+            universe=universe,
+            interesting=tuple(
+                sorted(interesting_all, key=lambda m: (popcount(m), m))
+            ),
+            maximal=tuple(sorted(maximal, key=lambda m: (popcount(m), m))),
+            negative_border=tuple(
+                sorted(negative_border, key=lambda m: (popcount(m), m))
+            ),
+            queries=queries,
+            levels=tuple(levels),
+            candidates_per_level=tuple(candidates_per_level),
+        )
 
 
 def _generate_candidates(

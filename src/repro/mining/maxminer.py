@@ -18,11 +18,13 @@ through :func:`maxminer_maxth`.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from repro.core.errors import BudgetExhausted
 from repro.core.oracle import CountingOracle
+from repro.obs.tracer import Tracer, as_tracer
 from repro.datasets.transactions import TransactionDatabase
 from repro.mining.maximalize import maximal_set_tracker
 from repro.runtime.budget import Budget
@@ -55,6 +57,7 @@ def maxminer_maxth(
     tail_order: list[int] | None = None,
     budget: Budget | None = None,
     on_exhaust: str = "return",
+    tracer: "Tracer | None" = None,
 ) -> "MaxMinerResult | PartialResult":
     """Find all maximal interesting sets by lookahead tree search.
 
@@ -78,6 +81,10 @@ def maxminer_maxth(
             transcripts.
         on_exhaust: ``"return"`` (default) or ``"raise"`` (see
             :func:`~repro.mining.levelwise.levelwise`).
+        tracer: optional :class:`~repro.obs.tracer.Tracer`; emits a
+            ``maxminer.run`` span, per-node ``maxminer.node`` events
+            (``action`` is ``lookahead`` / ``leaf`` / ``split`` /
+            ``dead``), and a ``maxminer.done`` accounting summary.
 
     Returns:
         A :class:`MaxMinerResult` (``maximal`` agrees with every other
@@ -93,6 +100,9 @@ def maxminer_maxth(
         if isinstance(predicate, CountingOracle)
         else CountingOracle(predicate)
     )
+    tracer = as_tracer(tracer)
+    if tracer.enabled:
+        oracle.attach_tracer(tracer)
     start_queries = oracle.distinct_queries
     start_total = oracle.total_calls
     start_evals = oracle.evaluations
@@ -100,6 +110,7 @@ def maxminer_maxth(
     order = list(range(n)) if tail_order is None else list(tail_order)
     if budget is not None:
         budget.begin()
+    run_t0 = time.monotonic()
 
     # Live Bd+ maintenance: `covered` (the subtree-pruning test) and the
     # final maximal family both come from one incremental tracker instead
@@ -126,7 +137,7 @@ def maxminer_maxth(
             queries=oracle.distinct_queries - start_queries,
             total_calls=oracle.total_calls - start_total,
             evaluations=oracle.evaluations - start_evals,
-            elapsed=budget.elapsed() if budget is not None else 0.0,
+            elapsed=time.monotonic() - run_t0,
         )
 
     def finish(reason: str, complete: bool):
@@ -135,69 +146,120 @@ def maxminer_maxth(
             raise BudgetExhausted(reason, partial=partial)
         return partial
 
-    try:
-        if budget is not None:
-            budget.check(queries=oracle.distinct_queries - start_queries)
-        if not oracle(0):
-            return MaxMinerResult(
-                universe=universe,
-                maximal=(),
-                queries=oracle.distinct_queries - start_queries,
-            )
-        while stack:
+    with tracer.span("maxminer.run", n=n) as run_span:
+        try:
             if budget is not None:
-                budget.check(
+                budget.check(queries=oracle.distinct_queries - start_queries)
+            if not oracle(0):
+                if tracer.enabled:
+                    tracer.event(
+                        "maxminer.done",
+                        queries=oracle.distinct_queries - start_queries,
+                        maximal=0,
+                        nodes=0,
+                        lookaheads=0,
+                    )
+                return MaxMinerResult(
+                    universe=universe,
+                    maximal=(),
                     queries=oracle.distinct_queries - start_queries,
-                    family=len(found.masks()),
                 )
-            head, tail = stack.pop()
-            tail_mask = _mask_of(tail)
-            # Subtree-domination test, evaluated exactly when the
-            # recursion would have entered this child.
-            if covered(head | tail_mask):
-                continue
-            stats["nodes"] += 1
-            # Lookahead: if head ∪ tail is interesting, the whole
-            # subtree is dominated by one maximal candidate.
-            if tail and oracle(head | tail_mask):
-                stats["lookaheads"] += 1
-                found.add(head | tail_mask)
-                continue
-            if not tail:
-                found.add(head)
-                continue
-            # Split the tail: items whose one-step extension stays
-            # interesting continue downward; the rest are dropped here.
-            viable = [
-                item_index
-                for item_index in tail
-                if oracle(head | (1 << item_index))
-            ]
-            if not viable:
-                if not covered(head):
+            while stack:
+                if budget is not None:
+                    budget.check(
+                        queries=oracle.distinct_queries - start_queries,
+                        family=len(found.masks()),
+                    )
+                head, tail = stack.pop()
+                tail_mask = _mask_of(tail)
+                # Subtree-domination test, evaluated exactly when the
+                # recursion would have entered this child.
+                if covered(head | tail_mask):
+                    continue
+                stats["nodes"] += 1
+                # Lookahead: if head ∪ tail is interesting, the whole
+                # subtree is dominated by one maximal candidate.
+                if tail and oracle(head | tail_mask):
+                    stats["lookaheads"] += 1
+                    found.add(head | tail_mask)
+                    if tracer.enabled:
+                        tracer.event(
+                            "maxminer.node",
+                            head=head,
+                            tail=tail_mask,
+                            action="lookahead",
+                        )
+                    continue
+                if not tail:
                     found.add(head)
-                continue
-            children = [
-                (head | (1 << item_index), viable[position + 1 :])
-                for position, item_index in enumerate(viable)
-            ]
-            for child in reversed(children):
-                stack.append(child)
-    except BudgetExhausted as exhausted:
-        return finish(exhausted.reason, complete=True)
-    except KeyboardInterrupt:
-        # The in-flight node was popped and lost: the envelopes on the
-        # stack no longer cover its subtree.
-        return finish("interrupt", complete=False)
+                    if tracer.enabled:
+                        tracer.event(
+                            "maxminer.node",
+                            head=head,
+                            tail=0,
+                            action="leaf",
+                        )
+                    continue
+                # Split the tail: items whose one-step extension stays
+                # interesting continue downward; the rest are dropped here.
+                viable = [
+                    item_index
+                    for item_index in tail
+                    if oracle(head | (1 << item_index))
+                ]
+                if not viable:
+                    if not covered(head):
+                        found.add(head)
+                    if tracer.enabled:
+                        tracer.event(
+                            "maxminer.node",
+                            head=head,
+                            tail=tail_mask,
+                            action="dead",
+                        )
+                    continue
+                if tracer.enabled:
+                    tracer.event(
+                        "maxminer.node",
+                        head=head,
+                        tail=tail_mask,
+                        action="split",
+                    )
+                children = [
+                    (head | (1 << item_index), viable[position + 1 :])
+                    for position, item_index in enumerate(viable)
+                ]
+                for child in reversed(children):
+                    stack.append(child)
+        except BudgetExhausted as exhausted:
+            if tracer.enabled:
+                run_span.note(outcome="partial", reason=exhausted.reason)
+            return finish(exhausted.reason, complete=True)
+        except KeyboardInterrupt:
+            # The in-flight node was popped and lost: the envelopes on the
+            # stack no longer cover its subtree.
+            if tracer.enabled:
+                run_span.note(outcome="partial", reason="interrupt")
+            return finish("interrupt", complete=False)
 
-    maximal = found.masks()
-    return MaxMinerResult(
-        universe=universe,
-        maximal=tuple(sorted(maximal, key=lambda m: (popcount(m), m))),
-        queries=oracle.distinct_queries - start_queries,
-        nodes_expanded=stats["nodes"],
-        lookahead_hits=stats["lookaheads"],
-    )
+        maximal = found.masks()
+        queries = oracle.distinct_queries - start_queries
+        if tracer.enabled:
+            run_span.note(outcome="complete", queries=queries)
+            tracer.event(
+                "maxminer.done",
+                queries=queries,
+                maximal=len(maximal),
+                nodes=stats["nodes"],
+                lookaheads=stats["lookaheads"],
+            )
+        return MaxMinerResult(
+            universe=universe,
+            maximal=tuple(sorted(maximal, key=lambda m: (popcount(m), m))),
+            queries=queries,
+            nodes_expanded=stats["nodes"],
+            lookahead_hits=stats["lookaheads"],
+        )
 
 
 def _mask_of(indices: list[int]) -> int:
@@ -211,6 +273,7 @@ def maxminer(
     database: TransactionDatabase,
     min_support: int | float,
     budget: Budget | None = None,
+    tracer: "Tracer | None" = None,
 ) -> "MaxMinerResult | PartialResult":
     """MaxMiner on a transaction database with the support-order heuristic.
 
@@ -232,5 +295,9 @@ def maxminer(
         return database.support_count(mask) >= threshold
 
     return maxminer_maxth(
-        database.universe, is_frequent, tail_order=order, budget=budget
+        database.universe,
+        is_frequent,
+        tail_order=order,
+        budget=budget,
+        tracer=tracer,
     )

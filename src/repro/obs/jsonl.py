@@ -1,0 +1,153 @@
+"""JSONL trace persistence: one record per line, flushed as written.
+
+The format is deliberately plain so that any log tooling (``jq``,
+pandas, :mod:`benchmarks.trace_report`) can consume it:
+
+* every line is one JSON object;
+* ``ts`` is seconds since the writer was created, read from an
+  *injectable monotonic clock* (tests freeze it; production uses
+  :func:`time.monotonic`), so timestamps never go backwards and are
+  immune to wall-clock adjustments;
+* ``kind`` is one of ``span_open``, ``span_close``, ``event``,
+  ``counter``, ``gauge`` (see :mod:`repro.obs.schema` for the full
+  record schema);
+* spans carry an ``id`` (and ``parent`` when nested); the close record
+  repeats the id and adds ``dur`` plus any :meth:`~repro.obs.tracer.Span.note`
+  payload, and records the exception type under ``error`` when the
+  region raised.
+
+Each line is flushed immediately, so a trace survives ``SIGKILL``, an
+oracle blowing up mid-span, or Ctrl-C with at most the current line
+lost — the price is a syscall per record, which only a run that opted
+into tracing pays.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import time
+from typing import Any
+
+from repro.obs.tracer import Span, Tracer
+
+__all__ = ["JsonlTraceWriter"]
+
+
+class _JsonlSpan(Span):
+    __slots__ = ("_writer", "_id", "_t0")
+
+    def __init__(
+        self, writer: "JsonlTraceWriter", name: str, attrs: dict[str, Any]
+    ):
+        super().__init__(name, attrs)
+        self._writer = writer
+        self._id = writer._next_span_id()
+        self._t0 = writer._now()
+        parent = writer._stack[-1] if writer._stack else None
+        writer._stack.append(self._id)
+        record = {"kind": "span_open", "name": name, "id": self._id}
+        if parent is not None:
+            record["parent"] = parent
+        writer._emit(record, attrs)
+
+    def _close(self, error: str | None) -> None:
+        writer = self._writer
+        if writer._stack and writer._stack[-1] == self._id:
+            writer._stack.pop()
+        elif self._id in writer._stack:  # closed out of order
+            writer._stack.remove(self._id)
+        record: dict[str, Any] = {
+            "kind": "span_close",
+            "name": self.name,
+            "id": self._id,
+            "dur": writer._now() - self._t0,
+        }
+        if error is not None:
+            record["error"] = error
+        writer._emit(record, self.attrs)
+
+
+class JsonlTraceWriter(Tracer):
+    """Write trace records as JSON lines to a path or file object.
+
+    Args:
+        sink: a path (opened and owned by the writer) or an open text
+            file object (flushed but not closed by :meth:`close`).
+        clock: monotonic clock; defaults to :func:`time.monotonic`.
+            Timestamps in the file are relative to construction time.
+
+    The writer is single-threaded by design, matching the engines.  It
+    is also a context manager; ``close()`` is idempotent and safe to
+    call from a ``finally`` block after an interrupt.
+    """
+
+    def __init__(
+        self,
+        sink: "str | os.PathLike | io.TextIOBase",
+        clock=None,
+    ):
+        self._clock = clock if clock is not None else time.monotonic
+        self._t0 = self._clock()
+        if isinstance(sink, (str, os.PathLike)):
+            self._file = open(sink, "w", encoding="utf-8")
+            self._owns_file = True
+        else:
+            self._file = sink
+            self._owns_file = False
+        self._closed = False
+        self._span_counter = 0
+        self._stack: list[int] = []
+        self.records_written = 0
+
+    def _now(self) -> float:
+        return self._clock() - self._t0
+
+    def _next_span_id(self) -> int:
+        self._span_counter += 1
+        return self._span_counter
+
+    def _emit(self, record: dict[str, Any], attrs: dict[str, Any]) -> None:
+        if self._closed:
+            return
+        record["ts"] = self._now()
+        if attrs:
+            record["attrs"] = attrs
+        self._file.write(json.dumps(record, default=str) + "\n")
+        self._file.flush()
+        self.records_written += 1
+
+    def event(self, name: str, **attrs: Any) -> None:
+        self._emit({"kind": "event", "name": name}, attrs)
+
+    def span(self, name: str, **attrs: Any) -> _JsonlSpan:
+        return _JsonlSpan(self, name, attrs)
+
+    def counter(self, name: str, delta: int = 1, **attrs: Any) -> None:
+        self._emit({"kind": "counter", "name": name, "delta": delta}, attrs)
+
+    def gauge(self, name: str, value: float, **attrs: Any) -> None:
+        self._emit({"kind": "gauge", "name": name, "value": value}, attrs)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_file:
+            self._file.close()
+        else:
+            try:
+                self._file.flush()
+            except ValueError:  # sink already closed by its owner
+                pass
+
+    def __enter__(self) -> "JsonlTraceWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"JsonlTraceWriter({state}, records={self.records_written})"

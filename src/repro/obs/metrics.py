@@ -1,0 +1,250 @@
+"""In-memory metrics: counters, gauges, fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a process-local, zero-dependency metric
+store.  It knows nothing about tracing; :class:`MetricsTracer` is the
+adapter that implements the tracer protocol and folds the record stream
+into a registry — event counts per name, span durations into
+histograms, counters and gauges straight through — so the CLI's
+``--metrics`` flag is just "attach a MetricsTracer, render the registry
+at exit".
+
+Histograms use *fixed* bucket boundaries chosen at creation (defaults
+suit sub-second span timings).  Observations record the count per
+bucket plus running sum/min/max, which is enough for the summary table
+and keeps memory constant regardless of run length.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, TextIO
+
+from repro.obs.tracer import Span, Tracer
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "MetricsTracer", "DEFAULT_SECONDS_BUCKETS"]
+
+#: Default histogram boundaries for span durations, in seconds.
+DEFAULT_SECONDS_BUCKETS = (
+    0.0001, 0.001, 0.01, 0.1, 1.0, 10.0, 60.0,
+)
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, delta: int = 1) -> None:
+        if delta < 0:
+            raise ValueError("counters only go up; use a gauge")
+        self.value += delta
+
+
+class Gauge:
+    """A sampled level; remembers the last value and the extremes."""
+
+    __slots__ = ("name", "value", "min", "max", "samples")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float | None = None
+        self.min: float | None = None
+        self.max: float | None = None
+        self.samples = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        self.samples += 1
+
+
+class Histogram:
+    """Fixed-boundary histogram with running sum/min/max.
+
+    ``buckets[i]`` counts observations ``<= boundaries[i]``; one extra
+    overflow bucket counts the rest (rendered as ``+Inf``).
+    """
+
+    __slots__ = ("name", "boundaries", "buckets", "count", "sum",
+                 "min", "max")
+
+    def __init__(
+        self, name: str, boundaries: tuple[float, ...] = DEFAULT_SECONDS_BUCKETS
+    ):
+        if list(boundaries) != sorted(boundaries):
+            raise ValueError("histogram boundaries must be sorted")
+        self.name = name
+        self.boundaries = tuple(boundaries)
+        self.buckets = [0] * (len(self.boundaries) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        for index, boundary in enumerate(self.boundaries):
+            if value <= boundary:
+                self.buckets[index] += 1
+                return
+        self.buckets[-1] += 1
+
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Get-or-create store for counters, gauges, and histograms."""
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        boundaries: tuple[float, ...] = DEFAULT_SECONDS_BUCKETS,
+    ) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name, boundaries)
+        return metric
+
+    def snapshot(self) -> dict[str, Any]:
+        """A plain-dict view of every metric (stable for tests/JSON)."""
+        return {
+            "counters": {
+                name: metric.value
+                for name, metric in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: {
+                    "value": metric.value,
+                    "min": metric.min,
+                    "max": metric.max,
+                    "samples": metric.samples,
+                }
+                for name, metric in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "count": metric.count,
+                    "sum": metric.sum,
+                    "mean": metric.mean(),
+                    "min": metric.min,
+                    "max": metric.max,
+                }
+                for name, metric in sorted(self._histograms.items())
+            },
+        }
+
+    def render(self, file: TextIO | None = None) -> None:
+        """Write the human-readable summary table (CLI ``--metrics``)."""
+        out = file if file is not None else sys.stderr
+        rows: list[tuple[str, str, str]] = []
+        for name, counter in sorted(self._counters.items()):
+            rows.append((name, "counter", str(counter.value)))
+        for name, gauge in sorted(self._gauges.items()):
+            rows.append((
+                name,
+                "gauge",
+                f"last={_fmt(gauge.value)} min={_fmt(gauge.min)} "
+                f"max={_fmt(gauge.max)} n={gauge.samples}",
+            ))
+        for name, histogram in sorted(self._histograms.items()):
+            rows.append((
+                name,
+                "histogram",
+                f"n={histogram.count} sum={_fmt(histogram.sum)}s "
+                f"mean={_fmt(histogram.mean())}s "
+                f"max={_fmt(histogram.max)}s",
+            ))
+        if not rows:
+            print("(no metrics recorded)", file=out)
+            return
+        name_width = max(len(row[0]) for row in rows)
+        type_width = max(len(row[1]) for row in rows)
+        for name, metric_type, detail in rows:
+            print(
+                f"{name:<{name_width}}  {metric_type:<{type_width}}  {detail}",
+                file=out,
+            )
+
+
+def _fmt(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+class _MetricsSpan(Span):
+    __slots__ = ("_tracer", "_t0")
+
+    def __init__(
+        self, tracer: "MetricsTracer", name: str, attrs: dict[str, Any]
+    ):
+        super().__init__(name, attrs)
+        self._tracer = tracer
+        self._t0 = tracer._clock()
+
+    def _close(self, error: str | None) -> None:
+        tracer = self._tracer
+        registry = tracer.registry
+        registry.histogram(f"span.{self.name}.seconds").observe(
+            tracer._clock() - self._t0
+        )
+        if error is not None:
+            registry.counter(f"span.{self.name}.errors").inc()
+
+
+class MetricsTracer(Tracer):
+    """Tracer adapter that aggregates the record stream into a registry.
+
+    * events increment ``events.<name>``;
+    * counters increment their own name;
+    * gauges set their own name;
+    * spans observe their duration in ``span.<name>.seconds`` and count
+      exceptional exits in ``span.<name>.errors``.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None, clock=None):
+        import time
+
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._clock = clock if clock is not None else time.monotonic
+
+    def event(self, name: str, **attrs: Any) -> None:
+        self.registry.counter(f"events.{name}").inc()
+
+    def span(self, name: str, **attrs: Any) -> _MetricsSpan:
+        return _MetricsSpan(self, name, attrs)
+
+    def counter(self, name: str, delta: int = 1, **attrs: Any) -> None:
+        self.registry.counter(name).inc(delta)
+
+    def gauge(self, name: str, value: float, **attrs: Any) -> None:
+        self.registry.gauge(name).set(value)

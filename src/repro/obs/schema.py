@@ -1,0 +1,229 @@
+"""The trace event schema, and validation against it.
+
+A trace record is one JSON object with the structural fields
+
+========== ============ ==================================================
+field      kinds        meaning
+========== ============ ==================================================
+``kind``   all          ``span_open`` / ``span_close`` / ``event`` /
+                        ``counter`` / ``gauge``
+``name``   all          dotted event name (catalogue below)
+``ts``     all          seconds since trace start (monotonic, ≥ 0,
+                        non-decreasing along the file)
+``id``     spans        span id (positive int, unique per trace)
+``parent`` span_open    enclosing span id (absent at top level)
+``dur``    span_close   seconds the span was open
+``error``  span_close   exception type name when the region raised
+``delta``  counter      increment (int)
+``value``  gauge        sampled value (number)
+``attrs``  all          name-specific payload (object; absent if empty)
+========== ============ ==================================================
+
+:data:`KNOWN_EVENTS` catalogues every name the library emits together
+with the attrs each record is required to carry; names outside the
+catalogue are structurally validated but their attrs are free-form, so
+user code can add events without touching this module.
+
+``validate_record`` / ``validate_trace`` return human-readable problem
+strings (empty = valid); ``make trace-smoke`` and the regression tests
+run every emitted line through them.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable
+from typing import Any
+
+__all__ = [
+    "KINDS",
+    "KNOWN_EVENTS",
+    "validate_record",
+    "validate_trace",
+    "parse_trace",
+]
+
+KINDS = ("span_open", "span_close", "event", "counter", "gauge")
+
+#: name -> (kind, required attr keys).  span entries list the attrs of
+#: the *open* record; close records carry the ``note()`` summary, whose
+#: keys are documented here after the ``/``-marker but only checked for
+#: non-error closes (an exception may abort before the note).
+KNOWN_EVENTS: dict[str, tuple[str, tuple[str, ...]]] = {
+    # oracle (repro.core.oracle)
+    "oracle.query": ("event", ("mask", "answer", "charged")),
+    "oracle.batch": ("event", ("size", "fresh")),
+    "oracle.cache_hit": ("counter", ()),
+    "oracle.cache_miss": ("counter", ()),
+    # levelwise (repro.mining.levelwise)
+    "levelwise.run": ("span_open", ("n", "resumed")),
+    "levelwise.level": ("span_open", ("rank", "candidates")),
+    "levelwise.done": (
+        "event",
+        ("queries", "theory", "negative", "maximal", "rank", "n"),
+    ),
+    # dualize and advance (repro.mining.dualize_advance)
+    "dualize.run": ("span_open", ("engine", "incremental", "resumed")),
+    "dualize.probe": ("event", ("mask", "answer", "fresh")),
+    "dualize.counterexample": ("event", ("mask", "iteration")),
+    "dualize.maximal": ("event", ("mask", "iteration", "enumerated")),
+    "dualize.family": ("gauge", ()),
+    "dualize.done": (
+        "event",
+        ("queries", "maximal", "negative", "iterations", "rank", "n"),
+    ),
+    # maxminer (repro.mining.maxminer)
+    "maxminer.run": ("span_open", ("n",)),
+    "maxminer.node": ("event", ("head", "tail", "action")),
+    "maxminer.done": (
+        "event",
+        ("queries", "maximal", "nodes", "lookaheads"),
+    ),
+    # apriori (repro.mining.apriori)
+    "apriori.run": ("span_open", ("n", "threshold")),
+    "apriori.level": ("span_open", ("level", "candidates")),
+    "apriori.done": (
+        "event",
+        ("passes", "frequent", "negative", "threshold"),
+    ),
+    # dualization engines (repro.hypergraph)
+    "berge.run": ("span_open", ("edges",)),
+    "berge.edge": ("span_open", ("index", "family_in")),
+    "fk.check": ("span_open", ("f_terms", "g_terms")),
+    "fk.node": ("event", ("depth", "f_terms", "g_terms")),
+    "fk.witness": ("event", ("kind",)),
+    # resilience (repro.runtime.resilient)
+    "resilient.retry": ("event", ("mask", "attempt", "delay")),
+    "resilient.vote": ("event", ("mask", "vote", "answer")),
+    "resilient.failure": ("event", ("mask", "kind")),
+}
+
+
+def validate_record(
+    record: Any, previous_ts: float | None = None
+) -> list[str]:
+    """Structural + catalogue validation of one parsed trace record.
+
+    Args:
+        record: the parsed JSON value of one line.
+        previous_ts: the previous record's ``ts`` for monotonicity
+            checking (``None`` skips that check).
+
+    Returns:
+        Problem descriptions; an empty list means the record is valid.
+    """
+    problems: list[str] = []
+    if not isinstance(record, dict):
+        return [f"record is not an object: {record!r}"]
+    kind = record.get("kind")
+    if kind not in KINDS:
+        problems.append(f"unknown kind {kind!r}")
+        return problems
+    name = record.get("name")
+    if not isinstance(name, str) or not name:
+        problems.append(f"missing or empty name in {kind} record")
+        return problems
+    ts = record.get("ts")
+    if not isinstance(ts, (int, float)) or ts < 0:
+        problems.append(f"{name}: ts must be a non-negative number")
+    elif previous_ts is not None and ts < previous_ts:
+        problems.append(
+            f"{name}: ts went backwards ({ts} after {previous_ts})"
+        )
+    if kind in ("span_open", "span_close"):
+        span_id = record.get("id")
+        if not isinstance(span_id, int) or span_id < 1:
+            problems.append(f"{name}: span id must be a positive int")
+    if kind == "span_close":
+        if not isinstance(record.get("dur"), (int, float)):
+            problems.append(f"{name}: span_close requires numeric dur")
+    if kind == "counter" and not isinstance(record.get("delta"), int):
+        problems.append(f"{name}: counter requires integer delta")
+    if kind == "gauge" and not isinstance(
+        record.get("value"), (int, float)
+    ):
+        problems.append(f"{name}: gauge requires numeric value")
+    attrs = record.get("attrs", {})
+    if not isinstance(attrs, dict):
+        problems.append(f"{name}: attrs must be an object")
+        attrs = {}
+
+    known = KNOWN_EVENTS.get(name)
+    if known is not None:
+        expected_kind, required = known
+        if expected_kind == "span_open":
+            if kind not in ("span_open", "span_close"):
+                problems.append(
+                    f"{name}: catalogued as a span, emitted as {kind}"
+                )
+            required = required if kind == "span_open" else ()
+        elif kind != expected_kind:
+            problems.append(
+                f"{name}: catalogued as {expected_kind}, emitted as {kind}"
+            )
+            required = ()
+        for key in required:
+            if key not in attrs:
+                problems.append(f"{name}: missing required attr {key!r}")
+    return problems
+
+
+def validate_trace(records: Iterable[Any]) -> list[str]:
+    """Validate a whole record sequence, including span balance.
+
+    Beyond per-record checks this verifies that every ``span_open`` has
+    exactly one matching ``span_close`` (same id, same name) — the
+    property the exception-safety machinery guarantees — and that
+    timestamps never decrease.
+    """
+    problems: list[str] = []
+    open_spans: dict[int, str] = {}
+    previous_ts: float | None = None
+    for index, record in enumerate(records):
+        for problem in validate_record(record, previous_ts):
+            problems.append(f"line {index + 1}: {problem}")
+        if isinstance(record, dict):
+            ts = record.get("ts")
+            if isinstance(ts, (int, float)):
+                previous_ts = ts
+            kind = record.get("kind")
+            if kind == "span_open":
+                open_spans[record.get("id")] = record.get("name")
+            elif kind == "span_close":
+                opened = open_spans.pop(record.get("id"), None)
+                if opened is None:
+                    problems.append(
+                        f"line {index + 1}: span_close "
+                        f"{record.get('name')!r} without a matching open"
+                    )
+                elif opened != record.get("name"):
+                    problems.append(
+                        f"line {index + 1}: span_close name "
+                        f"{record.get('name')!r} does not match open "
+                        f"{opened!r}"
+                    )
+    for span_id, name in open_spans.items():
+        problems.append(f"span {name!r} (id {span_id}) was never closed")
+    return problems
+
+
+def parse_trace(path: str) -> list[dict]:
+    """Read a JSONL trace file into a list of records.
+
+    Raises:
+        ValueError: on a line that is not valid JSON (with the line
+            number in the message).
+    """
+    records: list[dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{number}: not valid JSON: {error}"
+                ) from error
+    return records

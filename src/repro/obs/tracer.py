@@ -1,0 +1,206 @@
+"""The tracer protocol: spans, events, counters, gauges.
+
+Every engine in this library accepts a ``tracer=`` argument.  The
+default is :data:`NULL_TRACER`, whose methods are all no-ops and whose
+``enabled`` attribute is ``False`` — hot paths guard their emission with
+``if tracer.enabled:`` so a disabled run pays exactly one attribute
+lookup per would-be event (property-tested: enabling a tracer changes
+no algorithm output and no query accounting).
+
+Four primitives, mirroring the usual metrics/tracing split:
+
+* ``span(name, **attrs)`` — a timed region, used as a context manager.
+  The returned span supports ``note(**attrs)`` to attach summary
+  payloads that are emitted with the close record (e.g. a levelwise
+  level opens with ``candidates=|C_l|`` and closes with
+  ``interesting=...``/``rejected=...``).  Exiting the ``with`` block —
+  normally *or through an exception* — always emits the close record,
+  which is what makes emission exception-safe by construction.
+* ``event(name, **attrs)`` — a point-in-time record (an oracle query,
+  a Dualize-and-Advance counterexample, a retry).
+* ``counter(name, delta=1, **attrs)`` — a monotonically accumulating
+  quantity (cache hits, faults absorbed).
+* ``gauge(name, value, **attrs)`` — a sampled level (live family size).
+
+Concrete tracers: :class:`~repro.obs.jsonl.JsonlTraceWriter` persists
+records, :class:`~repro.obs.metrics.MetricsTracer` aggregates them into
+a :class:`~repro.obs.metrics.MetricsRegistry`, and
+:class:`~repro.obs.monitor.TheoremMonitor` checks paper invariants
+online.  :class:`MultiTracer` fans one instrumentation point out to any
+combination of them.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["Tracer", "Span", "NullTracer", "NULL_TRACER", "MultiTracer",
+           "as_tracer"]
+
+
+class Span:
+    """Base span handle: a context manager with a ``note`` method.
+
+    Subclasses override :meth:`_close`; ``__exit__`` guarantees it runs
+    exactly once, recording the error type when the region raised.
+    """
+
+    __slots__ = ("name", "attrs", "_closed")
+
+    def __init__(self, name: str, attrs: dict[str, Any]):
+        self.name = name
+        self.attrs = attrs
+        self._closed = False
+
+    def note(self, **attrs: Any) -> None:
+        """Attach summary attributes, emitted with the close record."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        error = None if exc_type is None else exc_type.__name__
+        self._close(error)
+
+    def _close(self, error: str | None) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class _NullSpan:
+    """Shared inert span: nothing to record, nothing to close."""
+
+    __slots__ = ()
+
+    def note(self, **attrs: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Protocol base.  Subclass and override what you consume.
+
+    ``enabled`` is the hot-path switch: engines skip attribute packing
+    entirely when it is ``False``, so only genuinely active tracers
+    should report ``True``.
+    """
+
+    enabled = True
+
+    def event(self, name: str, **attrs: Any) -> None:
+        pass
+
+    def span(self, name: str, **attrs: Any):
+        return _NULL_SPAN
+
+    def counter(self, name: str, delta: int = 1, **attrs: Any) -> None:
+        pass
+
+    def gauge(self, name: str, value: float, **attrs: Any) -> None:
+        pass
+
+    def close(self) -> None:
+        """Release any underlying resource (idempotent)."""
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: every method is a no-op.
+
+    ``enabled`` is ``False`` so instrumented code skips even building
+    the attribute dict — the whole cost of tracing-off is the
+    ``tracer.enabled`` attribute lookup.
+    """
+
+    enabled = False
+
+    def __repr__(self) -> str:
+        return "NULL_TRACER"
+
+
+#: Module-level singleton used as the default everywhere.
+NULL_TRACER = NullTracer()
+
+
+def as_tracer(tracer: "Tracer | None") -> Tracer:
+    """Normalize an optional tracer argument (``None`` → disabled)."""
+    return NULL_TRACER if tracer is None else tracer
+
+
+class _MultiSpan(_NullSpan):
+    """Fan-out span: forwards ``note`` and close to every child span."""
+
+    __slots__ = ("_spans",)
+
+    def __init__(self, spans: list[Any]):
+        self._spans = spans
+
+    def note(self, **attrs: Any) -> None:
+        for span in self._spans:
+            span.note(**attrs)
+
+    def __enter__(self) -> "_MultiSpan":
+        for span in self._spans:
+            span.__enter__()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Close in reverse, preserving each child's open/close nesting
+        # even when a later child's close raises.
+        for span in reversed(self._spans):
+            try:
+                span.__exit__(exc_type, exc, tb)
+            except Exception:
+                continue
+
+
+class MultiTracer(Tracer):
+    """Broadcast every record to several tracers (e.g. JSONL + monitor).
+
+    Disabled children are skipped; an empty or all-disabled set behaves
+    exactly like :data:`NULL_TRACER`.
+    """
+
+    def __init__(self, *tracers: "Tracer | None"):
+        self._tracers = [
+            tracer
+            for tracer in tracers
+            if tracer is not None and tracer.enabled
+        ]
+        self.enabled = bool(self._tracers)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        for tracer in self._tracers:
+            tracer.event(name, **attrs)
+
+    def span(self, name: str, **attrs: Any):
+        if not self._tracers:
+            return _NULL_SPAN
+        return _MultiSpan(
+            [tracer.span(name, **attrs) for tracer in self._tracers]
+        )
+
+    def counter(self, name: str, delta: int = 1, **attrs: Any) -> None:
+        for tracer in self._tracers:
+            tracer.counter(name, delta, **attrs)
+
+    def gauge(self, name: str, value: float, **attrs: Any) -> None:
+        for tracer in self._tracers:
+            tracer.gauge(name, value, **attrs)
+
+    def close(self) -> None:
+        for tracer in self._tracers:
+            tracer.close()
+
+    def __repr__(self) -> str:
+        return f"MultiTracer({', '.join(map(repr, self._tracers))})"

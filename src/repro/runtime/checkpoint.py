@@ -44,7 +44,12 @@ class Checkpoint:
         state: engine-specific loop state (documented in each engine).
         history: the oracle transcript — every (mask, answer) charged.
         accounting: engine-relative counters at save time:
-            ``{"queries": distinct, "total_calls": ..., "evaluations": ...}``.
+            ``{"queries": distinct, "total_calls": ..., "evaluations": ...,
+            "elapsed": seconds}``.  ``elapsed`` is the cumulative
+            wall-clock across all segments up to the save (the resumed
+            engine restarts its own clock and adds this base), so a
+            resumed run reports honest total compute time, not the time
+            since the last resume.
         version: format version for forward compatibility.
     """
 

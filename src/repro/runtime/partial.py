@@ -93,7 +93,10 @@ class PartialResult:
         queries: distinct oracle evaluations charged to the run so far.
         total_calls: oracle invocations including memo hits.
         evaluations: underlying predicate evaluations.
-        elapsed: wall-clock seconds consumed.
+        elapsed: wall-clock seconds consumed, *cumulative across resume
+            segments*: each checkpoint banks the seconds spent so far
+            and a resumed run adds only its own segment, so the time the
+            process sat interrupted between segments is never billed.
         history: every (sentence, answer) pair known to the oracle —
             the transcript the certificate validates against.
         checkpoint: a resumable :class:`~repro.runtime.checkpoint.Checkpoint`

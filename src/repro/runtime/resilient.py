@@ -33,6 +33,7 @@ import time
 from collections.abc import Callable, Iterable
 
 from repro.core.errors import OracleFailure
+from repro.obs.tracer import NULL_TRACER
 
 __all__ = ["ResilientOracle"]
 
@@ -54,6 +55,10 @@ class ResilientOracle:
         retry_on: exception types treated as transient; anything else
             propagates immediately.
         sleep: injectable sleeper (tests pass a no-op recorder).
+        tracer: optional :class:`~repro.obs.tracer.Tracer`; emits
+            ``resilient.retry`` (with the backoff delay about to be
+            slept), ``resilient.vote``, and ``resilient.failure``
+            events so fault recovery is visible in a trace.
 
     Raises:
         OracleFailure: from :meth:`__call__` when a vote exhausts its
@@ -69,6 +74,7 @@ class ResilientOracle:
         "quorum",
         "retry_on",
         "_sleep",
+        "_tracer",
         "total_calls",
         "total_votes",
         "total_attempts",
@@ -88,6 +94,7 @@ class ResilientOracle:
         quorum: int | None = None,
         retry_on: tuple[type[BaseException], ...] = (OracleFailure,),
         sleep: Callable[[float], None] | None = None,
+        tracer=None,
     ):
         if retries < 0:
             raise ValueError("retries must be non-negative")
@@ -107,6 +114,7 @@ class ResilientOracle:
         self.quorum = quorum
         self.retry_on = retry_on
         self._sleep = sleep if sleep is not None else time.sleep
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self.total_calls = 0
         self.total_votes = 0
         self.total_attempts = 0
@@ -116,6 +124,7 @@ class ResilientOracle:
 
     def _attempt(self, mask: int) -> bool:
         """One vote: evaluate with bounded retries and backoff."""
+        tracer = self._tracer
         delay = self.backoff
         for attempt in range(self.retries + 1):
             self.total_attempts += 1
@@ -125,26 +134,46 @@ class ResilientOracle:
                 self.faults_absorbed += 1
                 if attempt == self.retries:
                     self.exhausted_failures += 1
+                    if tracer.enabled:
+                        tracer.event(
+                            "resilient.failure", mask=mask, kind="retries"
+                        )
                     raise OracleFailure(
                         f"query {mask:#x} failed after "
                         f"{self.retries + 1} attempts: {error}"
                     ) from error
                 self.total_retries += 1
+                if tracer.enabled:
+                    tracer.event(
+                        "resilient.retry",
+                        mask=mask,
+                        attempt=attempt + 1,
+                        delay=delay,
+                    )
                 if delay > 0:
                     self._sleep(delay)
                 delay *= self.backoff_factor
         raise AssertionError("unreachable")  # pragma: no cover
 
     def __call__(self, mask: int) -> bool:
+        tracer = self._tracer
         self.total_calls += 1
         true_votes = 0
         false_votes = 0
         for _ in range(self.votes):
             self.total_votes += 1
-            if self._attempt(mask):
+            vote_answer = self._attempt(mask)
+            if vote_answer:
                 true_votes += 1
             else:
                 false_votes += 1
+            if tracer.enabled:
+                tracer.event(
+                    "resilient.vote",
+                    mask=mask,
+                    vote=true_votes + false_votes,
+                    answer=vote_answer,
+                )
             # Early decision: the leader already has quorum and the
             # trailing side can no longer reach it.
             remaining = self.votes - true_votes - false_votes
@@ -157,6 +186,8 @@ class ResilientOracle:
         if false_votes >= self.quorum and false_votes > true_votes:
             return False
         self.exhausted_failures += 1
+        if tracer.enabled:
+            tracer.event("resilient.failure", mask=mask, kind="quorum")
         raise OracleFailure(
             f"no quorum for query {mask:#x}: "
             f"{true_votes} true / {false_votes} false "

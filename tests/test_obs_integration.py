@@ -1,0 +1,234 @@
+"""Traced engine runs: schema-valid JSONL, exception-safe emission.
+
+Every engine is run with a live :class:`JsonlTraceWriter`; the recorded
+file must parse, validate against the event schema, and keep spans
+balanced.  The exception-safety satellite: a ``FailingOracle`` blowing
+up mid-run under an active writer still leaves a balanced, parseable
+trace with the error recorded on the aborted spans.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.core.errors import OracleFailure
+from repro.core.oracle import CountingOracle, FailingOracle
+from repro.datasets.planted import PlantedTheory, random_planted_theory
+from repro.datasets.synthetic import (
+    QuestParameters,
+    generate_quest_database,
+)
+from repro.hypergraph.enumeration import minimal_transversals
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.mining.apriori import apriori
+from repro.mining.dualize_advance import dualize_and_advance
+from repro.mining.levelwise import levelwise
+from repro.mining.maxminer import maxminer_maxth
+from repro.obs import JsonlTraceWriter, parse_trace, validate_trace
+from repro.runtime.resilient import ResilientOracle
+from repro.util.bitset import Universe
+
+from benchmarks.trace_report import build_report
+
+
+def _figure1():
+    universe = Universe("ABCD")
+    planted = PlantedTheory.from_sets(
+        universe, [{"A", "B", "C"}, {"B", "D"}]
+    )
+    return universe, planted
+
+
+def _trace(run):
+    """Run an engine under a buffer-backed writer; return its records."""
+    buffer = io.StringIO()
+    with JsonlTraceWriter(buffer) as writer:
+        run(writer)
+    return [
+        json.loads(line) for line in buffer.getvalue().splitlines() if line
+    ]
+
+
+class TestSchemaValidRuns:
+    def test_levelwise_trace_validates(self):
+        universe, planted = _figure1()
+        records = _trace(
+            lambda w: levelwise(universe, planted.is_interesting, tracer=w)
+        )
+        assert validate_trace(records) == []
+        names = {record["name"] for record in records}
+        assert {"levelwise.run", "levelwise.level", "levelwise.done"} <= names
+        assert "oracle.query" in names
+
+    @pytest.mark.parametrize("engine", ["fk", "berge"])
+    def test_dualize_trace_validates(self, engine):
+        universe, planted = _figure1()
+        records = _trace(
+            lambda w: dualize_and_advance(
+                universe, planted.is_interesting, engine=engine, tracer=w
+            )
+        )
+        assert validate_trace(records) == []
+        names = {record["name"] for record in records}
+        assert {"dualize.run", "dualize.probe", "dualize.maximal",
+                "dualize.done"} <= names
+        if engine == "fk":
+            assert "fk.check" in names
+        else:
+            assert "dualize.family" in names
+
+    def test_maxminer_trace_validates(self):
+        universe, planted = _figure1()
+        records = _trace(
+            lambda w: maxminer_maxth(
+                universe, planted.is_interesting, tracer=w
+            )
+        )
+        assert validate_trace(records) == []
+        names = {record["name"] for record in records}
+        assert {"maxminer.run", "maxminer.node", "maxminer.done"} <= names
+
+    def test_apriori_trace_validates(self):
+        database = generate_quest_database(
+            QuestParameters(n_items=12, n_transactions=80), seed=5
+        )
+        records = _trace(lambda w: apriori(database, 8, tracer=w))
+        assert validate_trace(records) == []
+        names = {record["name"] for record in records}
+        assert {"apriori.run", "apriori.level", "apriori.done"} <= names
+
+    @pytest.mark.parametrize("method", ["berge", "fk"])
+    def test_transversal_trace_validates(self, method):
+        universe = Universe(range(4))
+        hypergraph = Hypergraph.from_sets(
+            [{0, 1}, {1, 2}, {2, 3}], universe
+        )
+        records = _trace(
+            lambda w: minimal_transversals(
+                hypergraph, method=method, tracer=w
+            )
+        )
+        assert validate_trace(records) == []
+        names = {record["name"] for record in records}
+        assert ("berge.run" if method == "berge" else "fk.check") in names
+
+    def test_resilient_events_validate(self):
+        planted = random_planted_theory(
+            6, 2, min_size=2, max_size=4, seed=11
+        )
+        faulty = FailingOracle(
+            planted.is_interesting,
+            failure_probability=0.2,
+            modes=("exception", "wrong_answer"),
+            seed=11,
+        )
+
+        def run(writer):
+            recovered = ResilientOracle(
+                faulty,
+                votes=5,
+                retries=8,
+                sleep=lambda _d: None,
+                tracer=writer,
+            )
+            levelwise(
+                planted.universe, CountingOracle(recovered), tracer=writer
+            )
+
+        records = _trace(run)
+        assert validate_trace(records) == []
+        names = {record["name"] for record in records}
+        assert "resilient.vote" in names
+        assert "resilient.retry" in names
+
+    def test_trace_report_aggregates_levelwise(self):
+        universe, planted = _figure1()
+        records = _trace(
+            lambda w: levelwise(universe, planted.is_interesting, tracer=w)
+        )
+        report = build_report(records)
+        assert report["queries"]["charged"] == 12  # |Th|=10 + |Bd-|=2
+        assert [row["candidates"] for row in report["levels"]] == [
+            1, 4, 6, 1,
+        ]
+        assert report["spans"]["levelwise.run"]["count"] == 1
+
+
+class TestExceptionSafety:
+    """Satellite 2: an oracle blow-up leaves a balanced trace."""
+
+    def _always_failing(self, planted):
+        return FailingOracle(
+            planted.is_interesting,
+            failure_probability=1.0,
+            modes=("exception",),
+            seed=0,
+        )
+
+    def test_levelwise_failure_leaves_balanced_trace(self):
+        universe, planted = _figure1()
+        buffer = io.StringIO()
+        writer = JsonlTraceWriter(buffer)
+        with pytest.raises(OracleFailure):
+            with writer:
+                levelwise(
+                    universe,
+                    CountingOracle(self._always_failing(planted)),
+                    tracer=writer,
+                )
+        records = [
+            json.loads(line)
+            for line in buffer.getvalue().splitlines()
+            if line
+        ]
+        assert validate_trace(records) == []
+        closes = [r for r in records if r["kind"] == "span_close"]
+        assert closes, "aborted spans must still emit close records"
+        assert any(r.get("error") == "OracleFailure" for r in closes)
+
+    def test_dualize_failure_leaves_balanced_trace(self):
+        universe, planted = _figure1()
+        buffer = io.StringIO()
+        writer = JsonlTraceWriter(buffer)
+        with pytest.raises(OracleFailure):
+            with writer:
+                dualize_and_advance(
+                    universe,
+                    CountingOracle(self._always_failing(planted)),
+                    tracer=writer,
+                )
+        records = [
+            json.loads(line)
+            for line in buffer.getvalue().splitlines()
+            if line
+        ]
+        assert validate_trace(records) == []
+        run_close = [
+            r
+            for r in records
+            if r["kind"] == "span_close" and r["name"] == "dualize.run"
+        ]
+        assert run_close and run_close[0]["error"] == "OracleFailure"
+
+    def test_interrupted_file_trace_still_parses(self, tmp_path):
+        """Per-line flushing: the file is consumable before close()."""
+        universe, planted = _figure1()
+        path = tmp_path / "interrupted.jsonl"
+        writer = JsonlTraceWriter(path)
+        with pytest.raises(OracleFailure):
+            levelwise(
+                universe,
+                CountingOracle(self._always_failing(planted)),
+                tracer=writer,
+            )
+        # Simulate never reaching writer.close(): read the file as-is.
+        records = parse_trace(str(path))
+        assert records, "flushed lines must be readable without close()"
+        for record in records:
+            assert record["kind"] in (
+                "span_open", "span_close", "event", "counter", "gauge",
+            )
+        writer.close()

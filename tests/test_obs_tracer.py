@@ -1,0 +1,309 @@
+"""Unit tests for the ``repro.obs`` primitives.
+
+Covers the tracer protocol (null/default semantics, fan-out, span
+lifecycle), the JSONL writer (record shape, injectable clock, span
+nesting, interrupt safety), the metrics registry/adapter, and the
+record-schema validators.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_SECONDS_BUCKETS,
+    JsonlTraceWriter,
+    MetricsRegistry,
+    MetricsTracer,
+    MultiTracer,
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    as_tracer,
+    validate_record,
+    validate_trace,
+)
+from repro.obs.metrics import Histogram
+
+
+class _Recorder(Tracer):
+    """Collects every record as plain tuples, for assertions."""
+
+    def __init__(self):
+        self.records = []
+
+    def event(self, name, **attrs):
+        self.records.append(("event", name, attrs))
+
+    def span(self, name, **attrs):
+        self.records.append(("span_open", name, attrs))
+        outer = self
+
+        class _S:
+            def note(self, **kw):
+                attrs.update(kw)
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, exc_type, exc, tb):
+                outer.records.append(("span_close", name, attrs))
+
+        return _S()
+
+    def counter(self, name, delta=1, **attrs):
+        self.records.append(("counter", name, delta))
+
+    def gauge(self, name, value, **attrs):
+        self.records.append(("gauge", name, value))
+
+
+class TestProtocol:
+    def test_null_tracer_is_disabled_and_inert(self):
+        assert NULL_TRACER.enabled is False
+        NULL_TRACER.event("x", a=1)
+        NULL_TRACER.counter("x")
+        NULL_TRACER.gauge("x", 1.0)
+        with NULL_TRACER.span("x", a=1) as span:
+            span.note(b=2)  # all no-ops, nothing raised
+
+    def test_as_tracer_normalizes_none(self):
+        assert as_tracer(None) is NULL_TRACER
+        recorder = _Recorder()
+        assert as_tracer(recorder) is recorder
+
+    def test_multitracer_skips_disabled_children(self):
+        recorder = _Recorder()
+        fanout = MultiTracer(None, NullTracer(), recorder)
+        assert fanout.enabled is True
+        fanout.event("e", k=1)
+        assert recorder.records == [("event", "e", {"k": 1})]
+
+    def test_multitracer_all_disabled_behaves_like_null(self):
+        fanout = MultiTracer(None, NullTracer())
+        assert fanout.enabled is False
+        fanout.event("e")  # no-op, no error
+
+    def test_multitracer_span_fans_out_notes(self):
+        first, second = _Recorder(), _Recorder()
+        fanout = MultiTracer(first, second)
+        with fanout.span("s", a=1) as span:
+            span.note(b=2)
+        for recorder in (first, second):
+            assert recorder.records[-1] == (
+                "span_close",
+                "s",
+                {"a": 1, "b": 2},
+            )
+
+
+class TestJsonlWriter:
+    def _records(self, buffer: io.StringIO) -> list[dict]:
+        return [
+            json.loads(line)
+            for line in buffer.getvalue().splitlines()
+            if line
+        ]
+
+    def test_event_record_shape_with_frozen_clock(self):
+        ticks = iter([0.0, 1.5])
+        buffer = io.StringIO()
+        writer = JsonlTraceWriter(buffer, clock=lambda: next(ticks))
+        writer.event("oracle.query", mask=3, answer=True, charged=True)
+        [record] = self._records(buffer)
+        assert record == {
+            "kind": "event",
+            "name": "oracle.query",
+            "ts": 1.5,
+            "attrs": {"mask": 3, "answer": True, "charged": True},
+        }
+        assert writer.records_written == 1
+
+    def test_span_nesting_ids_parent_and_dur(self):
+        clock_value = [0.0]
+
+        def clock():
+            clock_value[0] += 1.0
+            return clock_value[0]
+
+        buffer = io.StringIO()
+        writer = JsonlTraceWriter(buffer, clock=clock)
+        with writer.span("outer", n=4):
+            with writer.span("inner") as inner:
+                inner.note(done=True)
+        records = self._records(buffer)
+        kinds = [(r["kind"], r["name"]) for r in records]
+        assert kinds == [
+            ("span_open", "outer"),
+            ("span_open", "inner"),
+            ("span_close", "inner"),
+            ("span_close", "outer"),
+        ]
+        outer_open, inner_open, inner_close, outer_close = records
+        assert inner_open["parent"] == outer_open["id"]
+        assert "parent" not in outer_open
+        assert inner_close["id"] == inner_open["id"]
+        assert inner_close["dur"] > 0
+        assert inner_close["attrs"] == {"done": True}
+        assert validate_trace(records) == []
+
+    def test_span_close_records_error_type(self):
+        buffer = io.StringIO()
+        writer = JsonlTraceWriter(buffer, clock=lambda: 0.0)
+        with pytest.raises(RuntimeError):
+            with writer.span("risky"):
+                raise RuntimeError("boom")
+        close = self._records(buffer)[-1]
+        assert close["kind"] == "span_close"
+        assert close["error"] == "RuntimeError"
+
+    def test_each_line_is_flushed_and_close_is_idempotent(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        writer = JsonlTraceWriter(path)
+        writer.event("oracle.cache_hit")
+        # Readable before close: flushed per line.
+        assert path.read_text().count("\n") == 1
+        writer.close()
+        writer.close()
+        writer.event("late")  # dropped silently after close
+        assert writer.records_written == 1
+
+    def test_file_object_sink_is_not_closed(self):
+        buffer = io.StringIO()
+        with JsonlTraceWriter(buffer) as writer:
+            writer.event("e")
+        assert not buffer.closed
+
+    def test_timestamps_are_monotone_in_file_order(self):
+        buffer = io.StringIO()
+        writer = JsonlTraceWriter(buffer)
+        for _ in range(5):
+            writer.event("e")
+        timestamps = [r["ts"] for r in self._records(buffer)]
+        assert timestamps == sorted(timestamps)
+
+
+class TestMetrics:
+    def test_histogram_buckets_and_stats(self):
+        histogram = Histogram("h", boundaries=(1.0, 2.0))
+        for value in (0.5, 1.5, 5.0):
+            histogram.observe(value)
+        assert histogram.buckets == [1, 1, 1]
+        assert histogram.count == 3
+        assert histogram.min == 0.5 and histogram.max == 5.0
+        assert histogram.mean() == pytest.approx(7.0 / 3.0)
+
+    def test_histogram_rejects_unsorted_boundaries(self):
+        with pytest.raises(ValueError):
+            Histogram("h", boundaries=(2.0, 1.0))
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("c").inc(-1)
+
+    def test_metrics_tracer_folds_record_stream(self):
+        registry = MetricsRegistry()
+        ticks = iter([0.0, 0.25])
+        tracer = MetricsTracer(registry, clock=lambda: next(ticks))
+        tracer.event("oracle.query", mask=1)
+        tracer.counter("oracle.cache_hit", 2)
+        tracer.gauge("dualize.family", 7)
+        with tracer.span("levelwise.level", rank=1):
+            pass
+        snap = registry.snapshot()
+        assert snap["counters"]["events.oracle.query"] == 1
+        assert snap["counters"]["oracle.cache_hit"] == 2
+        assert snap["gauges"]["dualize.family"]["value"] == 7
+        histogram = snap["histograms"]["span.levelwise.level.seconds"]
+        assert histogram["count"] == 1
+        assert histogram["sum"] == pytest.approx(0.25)
+
+    def test_span_error_counter(self):
+        registry = MetricsRegistry()
+        tracer = MetricsTracer(registry, clock=lambda: 0.0)
+        with pytest.raises(ValueError):
+            with tracer.span("fk.check"):
+                raise ValueError
+        assert registry.snapshot()["counters"]["span.fk.check.errors"] == 1
+
+    def test_render_writes_aligned_table(self):
+        registry = MetricsRegistry()
+        registry.counter("events.oracle.query").inc(3)
+        out = io.StringIO()
+        registry.render(out)
+        assert "events.oracle.query" in out.getvalue()
+        assert "counter" in out.getvalue()
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_SECONDS_BUCKETS) == sorted(
+            DEFAULT_SECONDS_BUCKETS
+        )
+
+
+class TestSchema:
+    def test_valid_event_passes(self):
+        record = {
+            "kind": "event",
+            "name": "oracle.query",
+            "ts": 0.0,
+            "attrs": {"mask": 1, "answer": True, "charged": True},
+        }
+        assert validate_record(record) == []
+
+    def test_unknown_kind_flagged(self):
+        assert validate_record({"kind": "blob", "name": "x", "ts": 0})
+
+    def test_missing_required_attr_flagged(self):
+        record = {
+            "kind": "event",
+            "name": "oracle.query",
+            "ts": 0.0,
+            "attrs": {"mask": 1},
+        }
+        problems = validate_record(record)
+        assert any("answer" in p for p in problems)
+
+    def test_ts_regression_flagged(self):
+        record = {"kind": "event", "name": "custom.thing", "ts": 1.0}
+        assert validate_record(record, previous_ts=2.0)
+
+    def test_uncatalogued_names_are_structurally_valid(self):
+        record = {"kind": "event", "name": "user.custom", "ts": 0.0}
+        assert validate_record(record) == []
+
+    def test_unbalanced_span_flagged(self):
+        records = [
+            {
+                "kind": "span_open",
+                "name": "levelwise.run",
+                "ts": 0.0,
+                "id": 1,
+                "attrs": {"n": 4, "resumed": False},
+            }
+        ]
+        problems = validate_trace(records)
+        assert any("never closed" in p for p in problems)
+
+    def test_mismatched_close_name_flagged(self):
+        records = [
+            {
+                "kind": "span_open",
+                "name": "levelwise.run",
+                "ts": 0.0,
+                "id": 1,
+                "attrs": {"n": 4, "resumed": False},
+            },
+            {
+                "kind": "span_close",
+                "name": "dualize.run",
+                "ts": 1.0,
+                "id": 1,
+                "dur": 1.0,
+            },
+        ]
+        problems = validate_trace(records)
+        assert any("does not match" in p for p in problems)

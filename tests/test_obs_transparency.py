@@ -1,0 +1,126 @@
+"""Tracing is observationally free: on vs off, bit-identical results.
+
+The property behind the ``tracer.enabled`` hot-path contract: attaching
+a full tracer stack (JSONL writer + metrics + theorem monitor) to any
+engine changes neither its output nor its query accounting.  Hypothesis
+generates random planted theories; each engine runs twice and the
+results must be equal field-for-field.
+"""
+
+from __future__ import annotations
+
+import io
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.oracle import CountingOracle
+from repro.datasets.planted import random_planted_theory
+from repro.mining.dualize_advance import dualize_and_advance
+from repro.mining.levelwise import levelwise
+from repro.mining.maxminer import maxminer_maxth
+from repro.obs import (
+    JsonlTraceWriter,
+    MetricsRegistry,
+    MetricsTracer,
+    MultiTracer,
+    TheoremMonitor,
+)
+
+@st.composite
+def _planted(draw):
+    n = draw(st.integers(min_value=4, max_value=7))
+    max_size = draw(st.integers(min_value=3, max_value=n - 1))
+    return random_planted_theory(
+        n,
+        draw(st.integers(min_value=1, max_value=3)),
+        min_size=draw(st.integers(min_value=1, max_value=2)),
+        max_size=max_size,
+        seed=draw(st.integers(min_value=0, max_value=10_000)),
+    )
+
+
+_PLANTED = _planted()
+
+
+def _full_stack():
+    """The complete tracer stack the CLI would wire up."""
+    return MultiTracer(
+        JsonlTraceWriter(io.StringIO()),
+        MetricsTracer(MetricsRegistry()),
+        TheoremMonitor(),
+    )
+
+
+def _accounting(oracle: CountingOracle) -> tuple[int, int, int]:
+    return (
+        oracle.distinct_queries,
+        oracle.total_calls,
+        oracle.evaluations,
+    )
+
+
+class TestTracingTransparency:
+    @settings(max_examples=25, deadline=None)
+    @given(planted=_PLANTED)
+    def test_levelwise(self, planted):
+        plain_oracle = CountingOracle(planted.is_interesting)
+        plain = levelwise(planted.universe, plain_oracle)
+        traced_oracle = CountingOracle(planted.is_interesting)
+        traced = levelwise(
+            planted.universe, traced_oracle, tracer=_full_stack()
+        )
+        assert traced == plain
+        assert traced.queries == plain.queries
+        assert traced.levels == plain.levels
+        assert traced.candidates_per_level == plain.candidates_per_level
+        assert _accounting(traced_oracle) == _accounting(plain_oracle)
+
+    @settings(max_examples=15, deadline=None)
+    @given(planted=_PLANTED, engine=st.sampled_from(["fk", "berge"]))
+    def test_dualize_and_advance(self, planted, engine):
+        plain_oracle = CountingOracle(planted.is_interesting)
+        plain = dualize_and_advance(
+            planted.universe, plain_oracle, engine=engine
+        )
+        traced_oracle = CountingOracle(planted.is_interesting)
+        traced = dualize_and_advance(
+            planted.universe,
+            traced_oracle,
+            engine=engine,
+            tracer=_full_stack(),
+        )
+        assert traced.maximal == plain.maximal
+        assert traced.negative_border == plain.negative_border
+        assert traced.queries == plain.queries
+        assert traced.iterations == plain.iterations
+        assert _accounting(traced_oracle) == _accounting(plain_oracle)
+
+    @settings(max_examples=25, deadline=None)
+    @given(planted=_PLANTED)
+    def test_maxminer(self, planted):
+        plain_oracle = CountingOracle(planted.is_interesting)
+        plain = maxminer_maxth(planted.universe, plain_oracle)
+        traced_oracle = CountingOracle(planted.is_interesting)
+        traced = maxminer_maxth(
+            planted.universe, traced_oracle, tracer=_full_stack()
+        )
+        assert traced == plain
+        assert traced.queries == plain.queries
+        assert traced.nodes_expanded == plain.nodes_expanded
+        assert traced.lookahead_hits == plain.lookahead_hits
+        assert _accounting(traced_oracle) == _accounting(plain_oracle)
+
+    @settings(max_examples=15, deadline=None)
+    @given(planted=_PLANTED)
+    def test_monitor_certifies_every_generated_instance(self, planted):
+        monitor = TheoremMonitor()
+        levelwise(
+            planted.universe,
+            CountingOracle(planted.is_interesting),
+            tracer=monitor,
+        )
+        report = monitor.report()
+        assert report.ok, report.violations
+        assert report.certified("theorem10")
+        assert report.certified("trace_accounting")

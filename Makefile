@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test perf lint bench faults trace-smoke
+.PHONY: test perf perf-check lint bench faults trace-smoke par-smoke coverage
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -14,17 +14,49 @@ faults:
 perf:
 	$(PYTHON) -m benchmarks.run_perf
 
+# Regression gate: rerun the harness to a scratch report and compare it
+# against the committed BENCH_PR1.json baseline (>30% slowdown fails).
+perf-check:
+	$(eval BENCH_OUT := $(shell mktemp /tmp/bench_fresh.XXXXXX.json))
+	$(PYTHON) -m benchmarks.run_perf --output $(BENCH_OUT)
+	$(PYTHON) -m benchmarks.check_regression $(BENCH_OUT)
+
 bench:
 	$(PYTHON) -m pytest benchmarks -q
 
 # End-to-end observability loop: generate data, mine with --trace and
 # --metrics, then schema-validate + profile the trace offline.
+# mktemp-unique paths keep concurrent invocations (CI matrix legs,
+# parallel local shells) from clobbering each other.
 trace-smoke:
-	$(PYTHON) -m repro generate /tmp/trace_smoke.dat \
+	$(eval SMOKE_DIR := $(shell mktemp -d /tmp/trace_smoke.XXXXXX))
+	$(PYTHON) -m repro generate $(SMOKE_DIR)/smoke.dat \
 		--items 20 --transactions 200 --seed 7
-	$(PYTHON) -m repro mine /tmp/trace_smoke.dat --min-support 0.2 \
-		--algorithm levelwise --trace /tmp/trace_smoke.jsonl --metrics
-	$(PYTHON) -m benchmarks.trace_report /tmp/trace_smoke.jsonl --validate
+	$(PYTHON) -m repro mine $(SMOKE_DIR)/smoke.dat --min-support 0.2 \
+		--algorithm levelwise --trace $(SMOKE_DIR)/smoke.jsonl --metrics
+	$(PYTHON) -m benchmarks.trace_report $(SMOKE_DIR)/smoke.jsonl --validate
+	rm -rf $(SMOKE_DIR)
+
+# Multi-core smoke: the same mine end-to-end through the CLI with
+# --workers 2 (sharded counting + traced worker events), plus the
+# transversal path, then schema-validate the trace.
+par-smoke:
+	$(eval PAR_DIR := $(shell mktemp -d /tmp/par_smoke.XXXXXX))
+	$(PYTHON) -m repro generate $(PAR_DIR)/smoke.dat \
+		--items 20 --transactions 500 --seed 11
+	$(PYTHON) -m repro mine $(PAR_DIR)/smoke.dat --min-support 0.35 \
+		--algorithm levelwise --workers 2 \
+		--trace $(PAR_DIR)/smoke.jsonl --metrics
+	$(PYTHON) -m repro transversals --edges "0 1, 1 2, 2 3, 0 3" \
+		--method berge --workers 2
+	$(PYTHON) -m benchmarks.trace_report $(PAR_DIR)/smoke.jsonl --validate
+	rm -rf $(PAR_DIR)
+
+# Line-coverage floor over src/repro (requires pytest-cov, which CI
+# installs; not part of the baked-in local toolchain).
+coverage:
+	$(PYTHON) -m pytest -q --cov=src/repro --cov-report=term-missing \
+		--cov-fail-under=85
 
 lint:
 	ruff check src tests benchmarks

@@ -1,0 +1,142 @@
+"""Serial-vs-parallel wall-clock comparison for the levelwise miner.
+
+Times a full ``levelwise`` run on the Quest T10.I4 perf workload (the
+same database/threshold as ``make perf``'s counting workload) serially
+and at each requested worker count, asserting bit-identical output
+before reporting.  Produces the table for the EXPERIMENTS.md §Parallel
+addendum::
+
+    PYTHONPATH=src python -m benchmarks.bench_parallel --workers 2 4
+    PYTHONPATH=src python -m benchmarks.bench_parallel --output par.json
+
+Speedups are meaningful only when the host actually has the cores; the
+report records ``available_cpus`` so single-core sandbox numbers are
+not mistaken for a parallelism result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core.oracle import CountingOracle
+from repro.datasets.synthetic import QuestParameters, generate_quest_database
+from repro.instances.frequent_itemsets import FrequencyPredicate
+from repro.mining.levelwise import levelwise
+from repro.parallel import ShardedSupportCounter, levelwise_parallel
+
+QUEST = {
+    "n_items": 64,
+    "n_transactions": 10_000,
+    "avg_transaction_length": 10,
+    "avg_pattern_length": 4,
+    "seed": 9701,
+    "min_frequency": 0.005,
+}
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _best_of(callable_, repeats: int):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = callable_()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Time serial vs N-worker levelwise on Quest T10.I4."
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=[2, 4],
+        help="worker counts to time (default: 2 4)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of repeats (default 3)"
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None, help="optional JSON report path"
+    )
+    args = parser.parse_args(argv)
+
+    params = QuestParameters(
+        n_items=QUEST["n_items"],
+        n_transactions=QUEST["n_transactions"],
+        avg_transaction_length=QUEST["avg_transaction_length"],
+        avg_pattern_length=QUEST["avg_pattern_length"],
+    )
+    database = generate_quest_database(params, seed=QUEST["seed"])
+    min_frequency = QUEST["min_frequency"]
+
+    def serial_run():
+        predicate = FrequencyPredicate(database, min_frequency)
+        return levelwise(
+            database.universe, CountingOracle(predicate, name="frequency")
+        )
+
+    print("== parallel levelwise benchmark (Quest T10.I4) ==")
+    print(f"available CPUs: {_available_cpus()}")
+    serial_seconds, serial_result = _best_of(serial_run, args.repeats)
+    print(
+        f"serial: {serial_seconds:.3f}s "
+        f"({serial_result.queries} queries, "
+        f"{len(serial_result.maximal)} maximal)"
+    )
+
+    rows = [{"workers": 1, "seconds": round(serial_seconds, 4),
+             "speedup": 1.0}]
+    for workers in args.workers:
+        with ShardedSupportCounter(database, workers) as counter:
+            counter.support_counts([0])  # warm the pool outside timing
+
+            def parallel_run():
+                return levelwise_parallel(
+                    database, min_frequency, counter=counter
+                )
+
+            seconds, result = _best_of(parallel_run, args.repeats)
+        identical = (
+            result.interesting == serial_result.interesting
+            and result.maximal == serial_result.maximal
+            and result.negative_border == serial_result.negative_border
+            and result.queries == serial_result.queries
+        )
+        if not identical:
+            raise AssertionError(
+                f"{workers}-worker run is not bit-identical to serial"
+            )
+        speedup = serial_seconds / seconds if seconds > 0 else float("inf")
+        rows.append({"workers": workers, "seconds": round(seconds, 4),
+                     "speedup": round(speedup, 2)})
+        print(f"workers={workers}: {seconds:.3f}s "
+              f"speedup={speedup:.2f}x identical=True")
+
+    if args.output is not None:
+        report = {
+            "workload": QUEST,
+            "available_cpus": _available_cpus(),
+            "queries": serial_result.queries,
+            "rows": rows,
+        }
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

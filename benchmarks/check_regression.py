@@ -1,0 +1,141 @@
+"""Performance-regression gate over ``run_perf`` reports.
+
+Compares a freshly generated report against the committed baseline
+(``BENCH_PR1.json``) and fails when any shared workload regressed by
+more than the tolerance (default 30%)::
+
+    PYTHONPATH=src python -m benchmarks.run_perf --output /tmp/bench.json
+    PYTHONPATH=src python -m benchmarks.check_regression /tmp/bench.json
+
+The default metric is ``speedup`` — old-kernel-vs-new-kernel wall-clock
+measured *within one report on one machine* — so the comparison is
+machine-normalized: a CI runner twice as slow as the laptop that wrote
+the baseline still reports comparable speedups, while a change that
+slows a shipped kernel shrinks them.  ``--metric seconds`` compares raw
+``new_seconds`` instead, for same-machine A/B runs.
+
+Exit status: 0 when every shared workload is within tolerance (and all
+declared targets in the fresh report are met), 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_PR1.json"
+DEFAULT_TOLERANCE = 0.30
+
+
+def _by_name(report: dict) -> dict[str, dict]:
+    return {record["name"]: record for record in report["workloads"]}
+
+
+def compare(
+    baseline: dict,
+    fresh: dict,
+    *,
+    metric: str = "speedup",
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> list[str]:
+    """Regression messages (empty == gate passes).
+
+    A workload regresses when, relative to the baseline, its ``speedup``
+    dropped — or its ``new_seconds`` grew — by more than ``tolerance``.
+    Workloads present on only one side are reported informationally by
+    :func:`main` but never fail the gate (new benchmarks must be
+    committable before a baseline exists for them).
+    """
+    if metric not in ("speedup", "seconds"):
+        raise ValueError(f"unknown metric {metric!r}")
+    problems: list[str] = []
+    base, new = _by_name(baseline), _by_name(fresh)
+    for name in sorted(base.keys() & new.keys()):
+        if metric == "speedup":
+            reference = base[name]["speedup"]
+            measured = new[name]["speedup"]
+            floor = reference * (1.0 - tolerance)
+            if measured < floor:
+                problems.append(
+                    f"{name}: speedup {measured:.2f}x is more than "
+                    f"{tolerance:.0%} below the baseline "
+                    f"{reference:.2f}x (floor {floor:.2f}x)"
+                )
+        else:
+            reference = base[name]["new_seconds"]
+            measured = new[name]["new_seconds"]
+            ceiling = reference * (1.0 + tolerance)
+            if reference > 0 and measured > ceiling:
+                problems.append(
+                    f"{name}: {measured:.4f}s is more than "
+                    f"{tolerance:.0%} above the baseline "
+                    f"{reference:.4f}s (ceiling {ceiling:.4f}s)"
+                )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when a run_perf report regressed vs the "
+        "committed baseline."
+    )
+    parser.add_argument(
+        "fresh", type=Path, help="JSON report from a fresh run_perf run"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=BASELINE_PATH,
+        help=f"baseline report (default: {BASELINE_PATH.name})",
+    )
+    parser.add_argument(
+        "--metric",
+        choices=("speedup", "seconds"),
+        default="speedup",
+        help="speedup (machine-normalized, default) or raw new_seconds "
+        "(same-machine A/B only)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fractional slowdown before failing "
+        f"(default {DEFAULT_TOLERANCE:.2f} = 30%%)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())
+    fresh = json.loads(args.fresh.read_text())
+    base_names = set(_by_name(baseline))
+    new_names = set(_by_name(fresh))
+    for name in sorted(base_names - new_names):
+        print(f"note: workload {name!r} missing from the fresh report")
+    for name in sorted(new_names - base_names):
+        print(f"note: workload {name!r} has no baseline yet")
+
+    problems = compare(
+        baseline, fresh, metric=args.metric, tolerance=args.tolerance
+    )
+    if not fresh.get("targets_met", True):
+        problems.append("fresh report has unmet speedup targets")
+    for name in sorted(base_names & new_names):
+        b, f = _by_name(baseline)[name], _by_name(fresh)[name]
+        print(
+            f"{name}: baseline speedup {b['speedup']:.2f}x "
+            f"({b['new_seconds']:.4f}s) -> fresh {f['speedup']:.2f}x "
+            f"({f['new_seconds']:.4f}s)"
+        )
+    if problems:
+        for problem in problems:
+            print(f"REGRESSION: {problem}", file=sys.stderr)
+        return 1
+    print(f"gate passed: no workload regressed by more than "
+          f"{args.tolerance:.0%} ({args.metric})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -138,6 +138,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="resume from a checkpoint written by an interrupted run "
         "with the same dataset and flags",
     )
+    mine.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for sharded support counting "
+        "(--algorithm levelwise; results are bit-identical to serial)",
+    )
     _add_observability_flags(mine)
 
     transversals = subparsers.add_parser(
@@ -168,6 +176,14 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="largest intermediate transversal family allowed "
         "(berge/fk only)",
+    )
+    transversals.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the chunk-parallel minimality filter "
+        "(--method berge; results are bit-identical to serial)",
     )
     _add_observability_flags(transversals)
 
@@ -325,6 +341,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             budget=budget,
             resume=args.resume,
             tracer=tracer,
+            workers=args.workers,
         )
     finally:
         finalize()
@@ -374,7 +391,11 @@ def _cmd_transversals(args: argparse.Namespace) -> int:
     tracer, finalize = _build_tracer(args)
     try:
         family = minimal_transversals(
-            hypergraph, method=args.method, budget=budget, tracer=tracer
+            hypergraph,
+            method=args.method,
+            budget=budget,
+            tracer=tracer,
+            workers=args.workers,
         )
     except BudgetExhausted as exhausted:
         partial = exhausted.partial

@@ -152,9 +152,34 @@ class TransactionDatabase:
         )
 
     @property
+    def backend(self) -> str:
+        """The configured vertical-counting backend name."""
+        return self._backend
+
+    @property
     def transaction_masks(self) -> list[int]:
         """A copy of the horizontal representation (safe to mutate)."""
         return list(self._rows)
+
+    def shards(self, n_shards: int) -> list["TransactionDatabase"]:
+        """Split the rows into contiguous shard databases.
+
+        The shards partition the rows (balanced, deterministic, in row
+        order) over the *same* universe, so for every itemset mask the
+        shard support counts sum exactly to this database's count —
+        the invariant :mod:`repro.parallel` builds on.  At most
+        ``n_transactions`` non-empty shards are produced.
+        """
+        from repro.parallel.sharding import shard_bounds
+
+        return [
+            TransactionDatabase(
+                self.universe,
+                self._rows[start:stop],
+                backend=self._backend,
+            )
+            for start, stop in shard_bounds(len(self._rows), n_shards)
+        ]
 
     def _masks_view(self) -> list[int]:
         """The internal row list, zero-copy.

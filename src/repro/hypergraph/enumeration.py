@@ -117,9 +117,18 @@ def iter_minimal_transversals(
 
 
 def minimal_transversals(
-    hypergraph: Hypergraph, method: str = "berge", budget=None, tracer=None
+    hypergraph: Hypergraph,
+    method: str = "berge",
+    budget=None,
+    tracer=None,
+    workers: int | None = None,
 ) -> list[int]:
     """The complete family ``Tr(H)`` as a sorted list of masks.
+
+    Args:
+        workers: worker processes for the chunk-parallel minimality
+            filter (``"berge"`` only; the output is bit-identical to
+            the serial engine).  ``None`` or ``<= 1`` runs serially.
 
     Raises:
         BudgetExhausted: with a
@@ -129,9 +138,21 @@ def minimal_transversals(
             transversals enumerated so far).
         ValueError: when a budget is supplied with a reference baseline
             (``"levelwise"``, ``"dfs"``, ``"brute"``), which do not
-            support cooperative checks.
+            support cooperative checks, or when ``workers > 1`` is
+            combined with a method other than ``"berge"``.
     """
+    if workers is not None and workers > 1 and method != "berge":
+        raise ValueError("workers are only supported by method 'berge'")
     if method == "berge":
+        if workers is not None and workers > 1:
+            from repro.parallel.minimize import berge_transversals_parallel
+
+            return berge_transversals_parallel(
+                hypergraph.edge_masks,
+                workers,
+                budget=budget,
+                tracer=tracer,
+            )
         return berge_transversal_masks(
             hypergraph.edge_masks, budget=budget, tracer=tracer
         )

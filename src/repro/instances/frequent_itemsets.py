@@ -90,6 +90,7 @@ def mine_frequent_itemsets(
     budget: "Budget | None" = None,
     resume=None,
     tracer=None,
+    workers: int | None = None,
 ) -> "Theory | PartialResult":
     """Mine the maximal frequent itemsets with a chosen algorithm.
 
@@ -118,6 +119,11 @@ def mine_frequent_itemsets(
             the chosen algorithm (the CLI's ``--trace`` / ``--metrics``
             path; see ``docs/API.md`` §11).  ``"randomized"`` does not
             take one.
+        workers: worker processes for sharded support counting
+            (``"levelwise"`` only; see ``docs/API.md`` §12).  ``None``
+            or ``<= 1`` runs serially; larger values fan each candidate
+            level across per-worker database shards with bit-identical
+            results and query accounting.
 
     Returns:
         A :class:`~repro.core.theory.Theory`, or a
@@ -140,6 +146,22 @@ def mine_frequent_itemsets(
         raise ValueError(
             f"algorithm {algorithm!r} does not support resume; "
             "use levelwise or dualize_advance"
+        )
+    if workers is not None and workers > 1:
+        if algorithm != "levelwise":
+            raise ValueError(
+                f"algorithm {algorithm!r} does not support workers; "
+                "use levelwise"
+            )
+        from repro.parallel.levelwise import mine_frequent_itemsets_parallel
+
+        return mine_frequent_itemsets_parallel(
+            database,
+            min_support,
+            workers=workers,
+            budget=budget,
+            resume=resume,
+            tracer=tracer,
         )
     predicate = FrequencyPredicate(database, min_support)
     universe = database.universe

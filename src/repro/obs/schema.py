@@ -96,6 +96,13 @@ KNOWN_EVENTS: dict[str, tuple[str, tuple[str, ...]]] = {
     "resilient.retry": ("event", ("mask", "attempt", "delay")),
     "resilient.vote": ("event", ("mask", "vote", "answer")),
     "resilient.failure": ("event", ("mask", "kind")),
+    # parallel execution (repro.parallel)
+    "worker.pool": ("event", ("workers",)),
+    "worker.shards": ("event", ("shards", "rows")),
+    "worker.batch": ("event", ("shard", "size")),
+    "worker.crash": ("event", ("error",)),
+    "worker.fallback": ("event", ("reason",)),
+    "worker.minimize": ("event", ("size", "chunks")),
 }
 
 

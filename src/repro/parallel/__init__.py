@@ -1,0 +1,49 @@
+"""Multi-core sharded execution layer.
+
+Three parallel kernels, all with a bit-identical-to-serial contract and
+a serial fallback (``workers <= 1``, or a pool that died past its
+restart allowance):
+
+* :class:`~repro.parallel.sharding.ShardedSupportCounter` — per-worker
+  vertical-bitmap shards of a transaction database; a candidate level's
+  support counts are computed per shard and summed at the coordinator.
+* :func:`~repro.parallel.levelwise.levelwise_parallel` /
+  :func:`~repro.parallel.levelwise.mine_frequent_itemsets_parallel` —
+  Algorithm 9 with the sharded predicate under the standard
+  :class:`~repro.core.oracle.CountingOracle`; budgets, coordinator-side
+  checkpoints (resumable with a different worker count), and tracing
+  compose unchanged.
+* :func:`~repro.parallel.minimize.minimize_masks_parallel` /
+  :func:`~repro.parallel.minimize.berge_transversals_parallel` —
+  chunked antichain reduction merged with
+  :func:`~repro.util.antichain.merge_antichains`, and the Berge engine
+  built on it.
+
+See ``docs/API.md`` §12 for the determinism guarantees and
+worker-crash semantics.
+"""
+
+from repro.parallel.levelwise import (
+    levelwise_parallel,
+    mine_frequent_itemsets_parallel,
+)
+from repro.parallel.minimize import (
+    berge_transversals_parallel,
+    minimize_masks_parallel,
+)
+from repro.parallel.pool import WorkerPool, WorkerPoolBroken, resolve_workers
+from repro.parallel.predicate import ShardedFrequencyPredicate
+from repro.parallel.sharding import ShardedSupportCounter, shard_bounds
+
+__all__ = [
+    "WorkerPool",
+    "WorkerPoolBroken",
+    "resolve_workers",
+    "shard_bounds",
+    "ShardedSupportCounter",
+    "ShardedFrequencyPredicate",
+    "levelwise_parallel",
+    "mine_frequent_itemsets_parallel",
+    "minimize_masks_parallel",
+    "berge_transversals_parallel",
+]

@@ -1,0 +1,127 @@
+"""The parallel levelwise driver and mining entry point.
+
+:func:`levelwise_parallel` runs Algorithm 9 unchanged — the exact
+coordinator loop of :func:`repro.mining.levelwise.levelwise`, with its
+budget checks, checkpoints, resume priming, and tracing — and swaps only
+the predicate underneath the :class:`~repro.core.oracle.CountingOracle`
+for a :class:`~repro.parallel.predicate.ShardedFrequencyPredicate`.
+Consequences, all inherited rather than re-implemented:
+
+* **bit-identical results** — theories, borders, levels, and query
+  accounting match the serial run exactly (per-shard counts are exact
+  partial sums; the oracle sees the same answers in the same order);
+* **budgets** compose — chunked evaluation, the at-most-one-unit
+  overshoot, and certified :class:`~repro.runtime.partial.PartialResult`
+  construction all happen on the coordinator, which is the only place
+  queries are charged;
+* **checkpoints are coordinator-side** — a checkpoint written by a
+  parallel run records no worker state at all, so it can be resumed
+  with *any* worker count (including serially) and still reproduce an
+  uninterrupted run bit for bit (property-tested);
+* **worker crashes degrade, never corrupt** — a pool death past its
+  restart allowance falls the counter back to the serial kernel
+  mid-level (bounded-retry semantics mirroring
+  :class:`~repro.runtime.resilient.ResilientOracle`).
+"""
+
+from __future__ import annotations
+
+from repro.core.oracle import CountingOracle
+from repro.core.theory import Theory
+from repro.datasets.transactions import TransactionDatabase
+from repro.mining.levelwise import LevelwiseResult, levelwise
+from repro.parallel.predicate import ShardedFrequencyPredicate
+from repro.parallel.sharding import ShardedSupportCounter
+from repro.runtime.partial import PartialResult
+
+__all__ = ["levelwise_parallel", "mine_frequent_itemsets_parallel"]
+
+
+def levelwise_parallel(
+    database: TransactionDatabase,
+    min_support: int | float,
+    *,
+    workers: int | None = None,
+    max_rank: int | None = None,
+    budget=None,
+    resume=None,
+    on_exhaust: str = "return",
+    tracer=None,
+    counter: ShardedSupportCounter | None = None,
+) -> "LevelwiseResult | PartialResult":
+    """Algorithm 9 on the frequency oracle with sharded counting.
+
+    Args:
+        database: the transaction database.
+        min_support: absolute (int) or relative (float) threshold.
+        workers: worker processes; ``None`` or ``<= 1`` runs the serial
+            kernel (no pool is created).  Ignored when ``counter`` is
+            supplied.
+        max_rank, budget, resume, on_exhaust, tracer: forwarded
+            verbatim to :func:`repro.mining.levelwise.levelwise`.  A
+            ``resume`` checkpoint may come from a run with a different
+            worker count — checkpoints are coordinator-side.
+        counter: an existing :class:`ShardedSupportCounter` to reuse
+            (its pool is then *not* closed here); by default a counter
+            is created for this run and closed before returning.
+
+    Returns:
+        The same :class:`~repro.mining.levelwise.LevelwiseResult` (or
+        :class:`~repro.runtime.partial.PartialResult`) a serial
+        ``levelwise`` run on the same inputs produces, bit for bit.
+    """
+    own_counter = counter is None
+    if own_counter:
+        counter = ShardedSupportCounter(database, workers, tracer=tracer)
+    predicate = ShardedFrequencyPredicate(counter, min_support)
+    oracle = CountingOracle(predicate, name="frequency")
+    try:
+        return levelwise(
+            database.universe,
+            oracle,
+            max_rank=max_rank,
+            budget=budget,
+            resume=resume,
+            on_exhaust=on_exhaust,
+            tracer=tracer,
+        )
+    finally:
+        if own_counter:
+            counter.close()
+
+
+def mine_frequent_itemsets_parallel(
+    database: TransactionDatabase,
+    min_support: int | float,
+    *,
+    workers: int | None = None,
+    budget=None,
+    resume=None,
+    tracer=None,
+) -> "Theory | PartialResult":
+    """Parallel maximal-frequent-itemset mining (levelwise engine).
+
+    The multi-core entry point corresponding to
+    ``mine_frequent_itemsets(..., algorithm="levelwise")``; the returned
+    :class:`~repro.core.theory.Theory` (including ``queries`` and
+    ``extra["levels"]``) is identical to the serial one.
+    ``mine_frequent_itemsets(workers=N)`` routes here.
+    """
+    result = levelwise_parallel(
+        database,
+        min_support,
+        workers=workers,
+        budget=budget,
+        resume=resume,
+        tracer=tracer,
+    )
+    if isinstance(result, PartialResult):
+        return result
+    return Theory(
+        universe=database.universe,
+        maximal=result.maximal,
+        negative_border=result.negative_border,
+        interesting=result.interesting,
+        queries=result.queries,
+        extra={"levels": result.levels},
+    )

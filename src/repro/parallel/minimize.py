@@ -1,0 +1,231 @@
+"""Chunked parallel antichain reduction and the parallel Berge engine.
+
+The minimality filter distributes because ``min`` is a homomorphism on
+unions: for any partition ``F = F_1 ∪ ... ∪ F_k``,
+
+    ``min(F) = merge(min(F_1), merge(min(F_2), ...))``
+
+where ``merge`` is :func:`repro.util.antichain.merge_antichains` —
+cross-family subsumption between two families that are each already
+antichains.  So a large family is split into deterministic contiguous
+chunks, each chunk is reduced by a worker with the PR-1
+:func:`~repro.util.antichain.minimize_masks` kernel, and the coordinator
+folds the per-chunk antichains left to right.  Chunk boundaries, the
+fold order, and the kernels themselves are all deterministic, so the
+output is bit-identical to one serial ``minimize_masks`` call
+(property-tested).
+
+The same identity parallelizes a Berge multiplication step:
+
+    ``berge_step(T, e) = min(H ∪ E) = merge(H, min(E))``
+
+where ``H`` (transversals already hitting ``e``) is an antichain that no
+extension can subsume, and ``E`` is the extension family — the part
+whose reduction is the super-linear cost on blow-up families like the
+paper's Example 19.  :func:`berge_transversals_parallel` folds a whole
+hypergraph that way on one persistent pool.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.errors import BudgetExhausted
+from repro.hypergraph.hypergraph import minimize_family
+from repro.obs.tracer import as_tracer
+from repro.parallel.pool import WorkerPool, WorkerPoolBroken
+from repro.util.antichain import merge_antichains, minimize_masks
+from repro.util.bitset import iter_bits, popcount
+
+__all__ = [
+    "minimize_masks_parallel",
+    "berge_transversals_parallel",
+    "DEFAULT_MIN_CHUNK",
+]
+
+#: Below this family size the serial kernel always wins on dispatch
+#: overhead; chunks are also never smaller than this.
+DEFAULT_MIN_CHUNK = 2048
+
+
+def _chunk_spans(total: int, workers: int, min_chunk: int) -> list[tuple[int, int]]:
+    n_chunks = min(workers, max(1, total // min_chunk))
+    base, extra = divmod(total, n_chunks)
+    spans = []
+    start = 0
+    for chunk in range(n_chunks):
+        stop = start + base + (1 if chunk < extra else 0)
+        spans.append((start, stop))
+        start = stop
+    return spans
+
+
+def minimize_masks_parallel(
+    masks: Iterable[int],
+    pool: WorkerPool | None,
+    *,
+    min_chunk: int = DEFAULT_MIN_CHUNK,
+    tracer=None,
+) -> list[int]:
+    """Inclusion-minimal members of a family, chunk-parallel.
+
+    Exactly :func:`~repro.util.antichain.minimize_masks` — same output,
+    same (cardinality, value) order — with the reduction of large
+    families fanned across ``pool``.  Small families, a serial/broken
+    pool, and any pool failure past the restart allowance all run the
+    serial kernel, so the function never fails where the serial one
+    would not.
+
+    Args:
+        masks: the family to reduce.
+        pool: a :class:`~repro.parallel.pool.WorkerPool` (or ``None``
+            for serial).
+        min_chunk: smallest chunk worth shipping to a worker; families
+            below ``2 * min_chunk`` are reduced serially.
+        tracer: optional tracer; emits one ``worker.minimize`` event
+            per parallel reduction (family size and chunk count).
+    """
+    unique = sorted(set(masks), key=lambda m: (m.bit_count(), m))
+    if (
+        pool is None
+        or not pool.parallel
+        or len(unique) < 2 * min_chunk
+    ):
+        return minimize_masks(unique)
+    spans = _chunk_spans(len(unique), pool.workers, min_chunk)
+    if len(spans) < 2:
+        return minimize_masks(unique)
+    try:
+        parts = pool.map_in_order(
+            minimize_masks,
+            [(unique[start:stop],) for start, stop in spans],
+        )
+    except WorkerPoolBroken:
+        return minimize_masks(unique)
+    tracer = as_tracer(tracer)
+    if tracer.enabled:
+        tracer.event(
+            "worker.minimize", size=len(unique), chunks=len(spans)
+        )
+    merged = parts[0]
+    for part in parts[1:]:
+        merged = merge_antichains(merged, part)
+    return merged
+
+
+def _parallel_berge_step(
+    family: list[int],
+    edge: int,
+    pool: WorkerPool,
+    *,
+    min_chunk: int,
+    tracer=None,
+) -> list[int]:
+    """One multiplication step: ``merge(hitters, min(extensions))``.
+
+    Budget checks happen at edge boundaries in the caller, exactly as
+    in the serial engine, so a raise always leaves a consistent family.
+    """
+    hitters = [t for t in family if t & edge]
+    non_hitters = [t for t in family if not t & edge]
+    if not non_hitters:
+        return family
+    bits = [1 << bit_index for bit_index in iter_bits(edge)]
+    extensions = {t | bit for t in non_hitters for bit in bits}
+    reduced = minimize_masks_parallel(
+        extensions, pool, min_chunk=min_chunk, tracer=tracer
+    )
+    return merge_antichains(hitters, reduced)
+
+
+def berge_transversals_parallel(
+    edge_masks: Sequence[int],
+    workers: int | None = None,
+    *,
+    pool: WorkerPool | None = None,
+    budget=None,
+    tracer=None,
+    min_chunk: int = DEFAULT_MIN_CHUNK,
+) -> list[int]:
+    """Minimal transversals via Berge multiplication, chunk-parallel.
+
+    Output is identical (same masks, same (cardinality, value) order)
+    to :func:`repro.hypergraph.berge.berge_transversal_masks`; the
+    minimality filter of each multiplication step is what runs on the
+    pool.  Budget semantics mirror the serial engine: the live family
+    is checked at every edge boundary (plus once mid-step, on the raw
+    extension family), and exhaustion raises
+    :class:`~repro.core.errors.BudgetExhausted` carrying a
+    :class:`~repro.runtime.partial.PartialDualization` for the folded
+    edge prefix.
+
+    Args:
+        edge_masks: the hypergraph's edges (minimized internally).
+        workers: pool size when no ``pool`` is supplied.
+        pool: an existing :class:`~repro.parallel.pool.WorkerPool` to
+            reuse (not closed here).
+        budget: optional :class:`~repro.runtime.budget.Budget`.
+        tracer: optional tracer — the same ``berge.run`` / ``berge.edge``
+            spans as the serial engine, plus ``worker.*`` events.
+        min_chunk: forwarded to :func:`minimize_masks_parallel`.
+    """
+    tracer = as_tracer(tracer)
+    edges = minimize_family(edge_masks)
+    if not edges:
+        return [0]
+    if edges[0] == 0:
+        return []
+    own_pool = pool is None
+    if own_pool:
+        pool = WorkerPool(workers, tracer=tracer)
+    try:
+        with tracer.span("berge.run", edges=len(edges)) as run_span:
+            family = [1 << bit_index for bit_index in iter_bits(edges[0])]
+            for position, edge in enumerate(edges[1:], start=1):
+                if budget is not None:
+                    try:
+                        budget.check(family=len(family))
+                    except BudgetExhausted as exhausted:
+                        from repro.runtime.partial import PartialDualization
+
+                        if tracer.enabled:
+                            run_span.note(
+                                outcome="partial", reason=exhausted.reason
+                            )
+                        raise BudgetExhausted(
+                            exhausted.reason,
+                            str(exhausted),
+                            partial=PartialDualization(
+                                reason=exhausted.reason,
+                                family=tuple(
+                                    sorted(
+                                        family,
+                                        key=lambda m: (popcount(m), m),
+                                    )
+                                ),
+                                processed_edges=tuple(edges[:position]),
+                                remaining_edges=tuple(edges[position:]),
+                            ),
+                        ) from exhausted
+                if tracer.enabled:
+                    with tracer.span(
+                        "berge.edge", index=position, family_in=len(family)
+                    ) as edge_span:
+                        family = _parallel_berge_step(
+                            family,
+                            edge,
+                            pool,
+                            min_chunk=min_chunk,
+                            tracer=tracer,
+                        )
+                        edge_span.note(family_out=len(family))
+                else:
+                    family = _parallel_berge_step(
+                        family, edge, pool, min_chunk=min_chunk
+                    )
+            if tracer.enabled:
+                run_span.note(family_out=len(family))
+            return sorted(family, key=lambda m: (popcount(m), m))
+    finally:
+        if own_pool:
+            pool.close()

@@ -1,0 +1,195 @@
+"""A persistent, crash-tolerant worker pool for the parallel engines.
+
+:class:`WorkerPool` is the one place in :mod:`repro.parallel` that talks
+to :class:`concurrent.futures.ProcessPoolExecutor`.  It adds the three
+behaviours every parallel engine here relies on:
+
+* **serial mode** — ``workers <= 1`` builds no processes at all;
+  :attr:`parallel` is then ``False`` and callers run their own serial
+  path.  Every parallel entry point in this package therefore degrades
+  to the exact serial algorithm with zero overhead.
+* **deterministic batch dispatch** — :meth:`map_in_order` submits a
+  whole task list and gathers results in *submission* order, never in
+  completion order, so merged results do not depend on OS scheduling.
+* **bounded crash recovery** — when the pool dies mid-batch (a worker
+  was OOM-killed, segfaulted, or the executor broke), the whole batch
+  is retried on a freshly spawned pool at most ``max_restarts`` times,
+  mirroring the bounded-retry semantics of
+  :class:`~repro.runtime.resilient.ResilientOracle`.  Once restarts are
+  exhausted the pool marks itself broken and raises
+  :class:`WorkerPoolBroken`; callers fall back to their serial path,
+  so a dying pool degrades a run, never corrupts it.  Retrying whole
+  batches is safe because every task shipped through this pool is a
+  pure function of its arguments (support counting, antichain
+  reduction) — re-execution cannot change an answer.
+
+The ``fork`` start method is preferred on platforms that offer it (the
+pool is spawned before any numpy threads exist, and fork makes pool
+startup cheap enough to use inside tests); elsewhere the platform
+default is used.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+__all__ = ["WorkerPool", "WorkerPoolBroken", "resolve_workers"]
+
+
+class WorkerPoolBroken(RuntimeError):
+    """The pool died and its restart allowance is spent.
+
+    Callers catch this and fall back to their serial implementation;
+    results stay bit-identical because every parallel kernel in this
+    package computes the same function as its serial counterpart.
+    """
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalize a worker-count argument to an ``int >= 1``.
+
+    ``None`` means serial (parallelism is opt-in), any value below 1 is
+    clamped to 1.  The CLI and the engine entry points all route their
+    ``workers`` argument through here so "serial" has one spelling.
+    """
+    if workers is None:
+        return 1
+    return max(1, int(workers))
+
+
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+class WorkerPool:
+    """A restartable :class:`ProcessPoolExecutor` with ordered dispatch.
+
+    Args:
+        workers: process count; ``<= 1`` (or ``None``) means serial mode
+            — no executor is created and :attr:`parallel` is ``False``.
+        initializer: optional per-process initializer (e.g. the shard
+            loader of :mod:`repro.parallel.sharding`); rerun on every
+            restart, so a rebuilt pool is indistinguishable from the
+            original.
+        initargs: arguments for ``initializer``; must be picklable.
+        max_restarts: how many times a broken pool may be rebuilt
+            before :class:`WorkerPoolBroken` is raised (default 1).
+        tracer: optional :class:`~repro.obs.tracer.Tracer`; emits a
+            ``worker.pool`` event per (re)spawn and a ``worker.crash``
+            event per pool failure.
+    """
+
+    __slots__ = (
+        "workers",
+        "_initializer",
+        "_initargs",
+        "_restarts_left",
+        "_executor",
+        "_broken",
+        "_tracer",
+    )
+
+    def __init__(
+        self,
+        workers: int | None,
+        *,
+        initializer: Callable | None = None,
+        initargs: tuple = (),
+        max_restarts: int = 1,
+        tracer=None,
+    ):
+        from repro.obs.tracer import as_tracer
+
+        if max_restarts < 0:
+            raise ValueError("max_restarts must be non-negative")
+        self.workers = resolve_workers(workers)
+        self._initializer = initializer
+        self._initargs = initargs
+        self._restarts_left = max_restarts
+        self._executor: ProcessPoolExecutor | None = None
+        self._broken = False
+        self._tracer = as_tracer(tracer)
+        if self.workers > 1:
+            self._spawn()
+
+    @property
+    def parallel(self) -> bool:
+        """True while the pool has live processes to dispatch to."""
+        return self.workers > 1 and not self._broken
+
+    def _spawn(self) -> None:
+        self._executor = ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=_pool_context(),
+            initializer=self._initializer,
+            initargs=self._initargs,
+        )
+        if self._tracer.enabled:
+            self._tracer.event("worker.pool", workers=self.workers)
+
+    def _teardown(self) -> None:
+        if self._executor is not None:
+            # cancel_futures guards against a wedged queue; the broken
+            # executor's processes are already gone or being reaped.
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def map_in_order(
+        self, fn: Callable, task_args: Sequence[tuple]
+    ) -> list:
+        """Run ``fn(*args)`` for every argument tuple, results in order.
+
+        The full batch is submitted up front and gathered in submission
+        order.  Exceptions raised *by* ``fn`` propagate unchanged (they
+        are deterministic and retrying cannot help); a *pool* failure —
+        :class:`BrokenProcessPool` or a dead executor — triggers a
+        rebuild and one whole-batch retry per remaining restart.
+
+        Raises:
+            WorkerPoolBroken: in serial mode, or when the restart
+                allowance is exhausted.
+        """
+        if not self.parallel:
+            raise WorkerPoolBroken("pool is serial or permanently broken")
+        while True:
+            try:
+                futures = [
+                    self._executor.submit(fn, *args) for args in task_args
+                ]
+                return [future.result() for future in futures]
+            except (BrokenProcessPool, RuntimeError) as error:
+                # RuntimeError covers "cannot schedule new futures
+                # after shutdown" from an executor torn down under us.
+                self._teardown()
+                if self._tracer.enabled:
+                    self._tracer.event(
+                        "worker.crash", error=type(error).__name__
+                    )
+                if self._restarts_left <= 0:
+                    self._broken = True
+                    raise WorkerPoolBroken(str(error)) from error
+                self._restarts_left -= 1
+                self._spawn()
+
+    def close(self) -> None:
+        """Shut the executor down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        self._broken = True
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "parallel" if self.parallel else "serial/broken"
+        return f"WorkerPool(workers={self.workers}, {state})"

@@ -1,0 +1,59 @@
+"""The sharded ``Is-frequent`` predicate.
+
+:class:`ShardedFrequencyPredicate` is a drop-in
+:class:`~repro.instances.frequent_itemsets.FrequencyPredicate` whose
+``batch`` method routes a whole candidate level through a
+:class:`~repro.parallel.sharding.ShardedSupportCounter` instead of the
+coordinator's own vertical bitmaps.  Because
+:meth:`~repro.core.oracle.CountingOracle.batch_query` only ever sees a
+``batch`` callable, swapping the predicate changes *where* counts are
+computed and nothing else: cache-insertion order, ``distinct_queries``,
+``total_calls``, ``evaluations``, and every Theorem 10/21 assertion are
+untouched — the whole point of keeping the parallelism below the oracle
+boundary.
+"""
+
+from __future__ import annotations
+
+from repro.instances.frequent_itemsets import FrequencyPredicate
+from repro.parallel.sharding import ShardedSupportCounter
+
+__all__ = ["ShardedFrequencyPredicate"]
+
+
+class ShardedFrequencyPredicate(FrequencyPredicate):
+    """``q(X) = supp(X) ≥ σ`` with shard-parallel batched counting.
+
+    Args:
+        counter: the sharded counter (its ``database`` attribute is the
+            full relation, used for threshold conversion and the
+            single-mask path).
+        min_support: absolute count (``int``) or relative frequency
+            (``float``), exactly as the serial predicate.
+
+    Single-mask calls (``__call__``) stay on the coordinator — one mask
+    has no parallelism to exploit — so serial and parallel evaluation
+    agree mask by mask, not just level by level.
+    """
+
+    __slots__ = ("counter",)
+
+    def __init__(
+        self, counter: ShardedSupportCounter, min_support: int | float
+    ):
+        super().__init__(counter.database, min_support)
+        self.counter = counter
+
+    def batch(self, itemset_masks) -> list[bool]:
+        """Level-at-a-time evaluation over the sharded counter."""
+        threshold = self.threshold
+        return [
+            count >= threshold
+            for count in self.counter.support_counts(itemset_masks)
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedFrequencyPredicate(threshold={self.threshold}, "
+            f"counter={self.counter!r})"
+        )

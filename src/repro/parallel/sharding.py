@@ -1,0 +1,221 @@
+"""Sharded support counting: the data-parallel kernel of this package.
+
+The levelwise algorithm's cost is dominated by the ``|Th ∪ Bd-(Th)|``
+``Is-frequent`` evaluations of Theorem 10, and each evaluation is a
+support count — a sum over transactions.  Sums partition perfectly:
+split the rows of a :class:`~repro.datasets.transactions.TransactionDatabase`
+into contiguous shards, count every candidate of a level on each shard
+with the vectorized
+:meth:`~repro.datasets.transactions.TransactionDatabase.support_counts`
+kernel, and add the per-shard counts at the coordinator.  Integer
+addition is exact and order-independent, so the merged counts — and
+therefore every ``CountingOracle`` answer, theory, border, and query
+count built on them — are **bit-identical** to a serial run.  That is
+the determinism contract the whole package rests on; the CI parallel
+job asserts it at 2 and 4 workers.
+
+Worker processes are persistent (one ``ProcessPoolExecutor`` for the
+whole mining run): the row list ships once per process via the pool
+initializer, and each worker materializes the vertical bitmaps of a
+shard lazily, the first time it is handed that shard id — so a level's
+dispatch moves only candidate masks and counts, never transaction data.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable
+
+from repro.datasets.transactions import TransactionDatabase
+from repro.parallel.pool import WorkerPool, WorkerPoolBroken, resolve_workers
+from repro.util.bitset import Universe
+
+__all__ = ["ShardedSupportCounter", "shard_bounds"]
+
+
+def shard_bounds(n_rows: int, n_shards: int) -> list[tuple[int, int]]:
+    """Contiguous, balanced ``(start, stop)`` row ranges, deterministic.
+
+    The first ``n_rows % n_shards`` shards get one extra row; empty
+    shards are never produced (the shard count is capped at the row
+    count).
+    """
+    if n_rows <= 0 or n_shards <= 0:
+        return []
+    n_shards = min(n_shards, n_rows)
+    base, extra = divmod(n_rows, n_shards)
+    bounds: list[tuple[int, int]] = []
+    start = 0
+    for shard in range(n_shards):
+        stop = start + base + (1 if shard < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+# Per-process shard state, populated by the pool initializer.  Each
+# worker receives the full row list once and builds the vertical
+# bitmaps of a shard only when a task first names that shard id.
+_WORKER_STATE: dict = {}
+
+
+def _init_shard_worker(items, rows, bounds, backend) -> None:
+    _WORKER_STATE["items"] = items
+    _WORKER_STATE["rows"] = rows
+    _WORKER_STATE["bounds"] = bounds
+    _WORKER_STATE["backend"] = backend
+    _WORKER_STATE["shards"] = {}
+
+
+def _shard_database(shard_id: int) -> TransactionDatabase:
+    shards = _WORKER_STATE["shards"]
+    database = shards.get(shard_id)
+    if database is None:
+        start, stop = _WORKER_STATE["bounds"][shard_id]
+        database = TransactionDatabase(
+            Universe(_WORKER_STATE["items"]),
+            _WORKER_STATE["rows"][start:stop],
+            backend=_WORKER_STATE["backend"],
+        )
+        shards[shard_id] = database
+    return database
+
+
+def _count_shard(shard_id: int, masks: list[int]) -> tuple[list[int], float]:
+    """Count a candidate batch on one shard; returns (counts, seconds)."""
+    t0 = time.perf_counter()
+    counts = _shard_database(shard_id).support_counts(masks)
+    return counts, time.perf_counter() - t0
+
+
+class ShardedSupportCounter:
+    """Data-sharded, pool-backed replacement for ``support_counts``.
+
+    Args:
+        database: the full transaction database (kept for single-mask
+            counts, the serial fallback, and shard construction).
+        workers: process count; ``<= 1`` means every call runs the
+            serial kernel directly.  The shard count equals the worker
+            count (capped at the row count) so each process owns one
+            shard in the steady state.
+        tracer: optional :class:`~repro.obs.tracer.Tracer`.  Emits
+            ``worker.pool`` on (re)spawn, one ``worker.batch`` event per
+            shard dispatch (shard id, batch size, in-worker seconds),
+            and ``worker.fallback`` when a broken pool degrades the
+            counter to the serial kernel.
+        max_restarts: forwarded to :class:`~repro.parallel.pool.WorkerPool`.
+
+    The counter quacks like a database for counting purposes
+    (``support_count``, ``support_counts``, ``universe``,
+    ``n_transactions``), which is all
+    :class:`~repro.parallel.predicate.ShardedFrequencyPredicate` needs.
+    """
+
+    __slots__ = ("database", "workers", "_bounds", "_pool", "_tracer")
+
+    def __init__(
+        self,
+        database: TransactionDatabase,
+        workers: int | None = None,
+        *,
+        tracer=None,
+        max_restarts: int = 1,
+    ):
+        from repro.obs.tracer import as_tracer
+
+        self.database = database
+        self.workers = resolve_workers(workers)
+        self._tracer = as_tracer(tracer)
+        self._bounds = shard_bounds(database.n_transactions, self.workers)
+        if self.workers > 1 and len(self._bounds) > 1:
+            self._pool = WorkerPool(
+                self.workers,
+                initializer=_init_shard_worker,
+                initargs=(
+                    tuple(database.universe.items),
+                    database.transaction_masks,
+                    tuple(self._bounds),
+                    database.backend,
+                ),
+                max_restarts=max_restarts,
+                tracer=self._tracer,
+            )
+            if self._tracer.enabled:
+                self._tracer.event(
+                    "worker.shards",
+                    shards=len(self._bounds),
+                    rows=database.n_transactions,
+                )
+        else:
+            self._pool = WorkerPool(1)
+
+    @property
+    def universe(self):
+        """The item universe of the underlying database."""
+        return self.database.universe
+
+    @property
+    def n_transactions(self) -> int:
+        """Row count of the underlying database."""
+        return self.database.n_transactions
+
+    @property
+    def parallel(self) -> bool:
+        """True while batches are being fanned across live workers."""
+        return self._pool.parallel
+
+    def support_count(self, itemset_mask: int) -> int:
+        """Single-mask count — answered on the coordinator directly.
+
+        One mask offers no useful parallelism; the coordinator's own
+        vertical bitmaps are the fastest path and trivially identical.
+        """
+        return self.database.support_count(itemset_mask)
+
+    def support_counts(self, itemset_masks: Iterable[int]) -> list[int]:
+        """Batched counts, fanned across shards and summed.
+
+        Semantically identical to
+        ``self.database.support_counts(masks)`` — the per-shard counts
+        are exact partial sums over a row partition.  On any pool
+        failure past the restart allowance the batch (and all later
+        ones) falls back to the serial kernel, preserving the result.
+        """
+        masks = list(itemset_masks)
+        if not masks or not self._pool.parallel:
+            return self.database.support_counts(masks)
+        tasks = [(shard_id, masks) for shard_id in range(len(self._bounds))]
+        try:
+            per_shard = self._pool.map_in_order(_count_shard, tasks)
+        except WorkerPoolBroken:
+            if self._tracer.enabled:
+                self._tracer.event("worker.fallback", reason="pool-broken")
+            return self.database.support_counts(masks)
+        if self._tracer.enabled:
+            for shard_id, (_, seconds) in enumerate(per_shard):
+                self._tracer.event(
+                    "worker.batch",
+                    shard=shard_id,
+                    size=len(masks),
+                    seconds=round(seconds, 6),
+                )
+        totals = per_shard[0][0]
+        for counts, _ in per_shard[1:]:
+            totals = [a + b for a, b in zip(totals, counts)]
+        return totals
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        self._pool.close()
+
+    def __enter__(self) -> "ShardedSupportCounter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedSupportCounter(workers={self.workers}, "
+            f"shards={len(self._bounds)}, rows={self.n_transactions})"
+        )

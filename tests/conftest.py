@@ -23,10 +23,17 @@ try:
 except ImportError:
     _HAVE_PYTEST_TIMEOUT = False
 
-if not _HAVE_PYTEST_TIMEOUT:
-    import signal
-
-    def pytest_addoption(parser):
+def pytest_addoption(parser):
+    parser.addoption(
+        "--workers",
+        action="store",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker-process count exercised by the parallel "
+        "determinism suite (default 2; CI runs it at 2 and 4)",
+    )
+    if not _HAVE_PYTEST_TIMEOUT:
         # Declare the ini key pytest-timeout would have registered, so
         # `timeout = ...` in pyproject.toml stays valid without it.
         parser.addini(
@@ -34,6 +41,17 @@ if not _HAVE_PYTEST_TIMEOUT:
             "per-test timeout in seconds (SIGALRM fallback shim)",
             default="0",
         )
+
+
+@pytest.fixture(scope="session")
+def worker_count(request) -> int:
+    """The worker count under test (the pytest ``--workers`` option)."""
+    value = request.config.getoption("--workers")
+    return 2 if value is None else max(2, value)
+
+
+if not _HAVE_PYTEST_TIMEOUT:
+    import signal
 
     @pytest.hookimpl(wrapper=True)
     def pytest_runtest_call(item):

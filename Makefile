@@ -1,7 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test perf perf-check lint bench faults trace-smoke par-smoke coverage
+.PHONY: test perf perf-check lint bench faults trace-smoke par-smoke \
+	eclat-smoke coverage
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -14,12 +15,16 @@ faults:
 perf:
 	$(PYTHON) -m benchmarks.run_perf
 
-# Regression gate: rerun the harness to a scratch report and compare it
-# against the committed BENCH_PR1.json baseline (>30% slowdown fails).
+# Regression gate: rerun each suite to a scratch report and compare it
+# against its committed BENCH_PR<n>.json baseline (>30% slowdown fails;
+# check_regression picks the baseline from the report's "pr" field).
 perf-check:
-	$(eval BENCH_OUT := $(shell mktemp /tmp/bench_fresh.XXXXXX.json))
-	$(PYTHON) -m benchmarks.run_perf --output $(BENCH_OUT)
-	$(PYTHON) -m benchmarks.check_regression $(BENCH_OUT)
+	$(eval BENCH_PR1_OUT := $(shell mktemp /tmp/bench_pr1.XXXXXX.json))
+	$(eval BENCH_PR5_OUT := $(shell mktemp /tmp/bench_pr5.XXXXXX.json))
+	$(PYTHON) -m benchmarks.run_perf --suite pr1 --output $(BENCH_PR1_OUT)
+	$(PYTHON) -m benchmarks.check_regression $(BENCH_PR1_OUT)
+	$(PYTHON) -m benchmarks.run_perf --suite pr5 --output $(BENCH_PR5_OUT)
+	$(PYTHON) -m benchmarks.check_regression $(BENCH_PR5_OUT)
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q
@@ -51,6 +56,20 @@ par-smoke:
 		--method berge --workers 2
 	$(PYTHON) -m benchmarks.trace_report $(PAR_DIR)/smoke.jsonl --validate
 	rm -rf $(PAR_DIR)
+
+# Depth-first engine smoke: a traced eclat mine with live metrics, the
+# --engine shorthand with sharded workers (must print the same theory),
+# then schema-validate + profile the trace offline.
+eclat-smoke:
+	$(eval ECLAT_DIR := $(shell mktemp -d /tmp/eclat_smoke.XXXXXX))
+	$(PYTHON) -m repro generate $(ECLAT_DIR)/smoke.dat \
+		--items 20 --transactions 200 --seed 7
+	$(PYTHON) -m repro mine $(ECLAT_DIR)/smoke.dat --min-support 0.2 \
+		--algorithm eclat --trace $(ECLAT_DIR)/smoke.jsonl --metrics
+	$(PYTHON) -m repro mine $(ECLAT_DIR)/smoke.dat --min-support 0.2 \
+		--engine eclat --workers 2
+	$(PYTHON) -m benchmarks.trace_report $(ECLAT_DIR)/smoke.jsonl --validate
+	rm -rf $(ECLAT_DIR)
 
 # Line-coverage floor over src/repro (requires pytest-cov, which CI
 # installs; not part of the baked-in local toolchain).

@@ -1,10 +1,12 @@
 """Performance-regression gate over ``run_perf`` reports.
 
-Compares a freshly generated report against the committed baseline
-(``BENCH_PR1.json``) and fails when any shared workload regressed by
-more than the tolerance (default 30%)::
+Compares a freshly generated report against the committed baseline of
+its suite — the fresh report's ``pr`` field selects
+``BENCH_PR<n>.json``, ``--baseline`` overrides — and fails when any
+shared workload regressed by more than the tolerance (default 30%)::
 
-    PYTHONPATH=src python -m benchmarks.run_perf --output /tmp/bench.json
+    PYTHONPATH=src python -m benchmarks.run_perf --suite pr5 \
+        --output /tmp/bench.json
     PYTHONPATH=src python -m benchmarks.check_regression /tmp/bench.json
 
 The default metric is ``speedup`` — old-kernel-vs-new-kernel wall-clock
@@ -26,8 +28,12 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-BASELINE_PATH = REPO_ROOT / "BENCH_PR1.json"
 DEFAULT_TOLERANCE = 0.30
+
+
+def baseline_path_for(fresh: dict) -> Path:
+    """Committed baseline for a fresh report's suite (its ``pr`` field)."""
+    return REPO_ROOT / f"BENCH_PR{fresh.get('pr', 1)}.json"
 
 
 def _by_name(report: dict) -> dict[str, dict]:
@@ -88,8 +94,9 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--baseline",
         type=Path,
-        default=BASELINE_PATH,
-        help=f"baseline report (default: {BASELINE_PATH.name})",
+        default=None,
+        help="baseline report (default: the BENCH_PR<n>.json matching "
+        "the fresh report's 'pr' field)",
     )
     parser.add_argument(
         "--metric",
@@ -107,8 +114,9 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    baseline = json.loads(args.baseline.read_text())
     fresh = json.loads(args.fresh.read_text())
+    baseline_path = args.baseline or baseline_path_for(fresh)
+    baseline = json.loads(baseline_path.read_text())
     base_names = set(_by_name(baseline))
     new_names = set(_by_name(fresh))
     for name in sorted(base_names - new_names):

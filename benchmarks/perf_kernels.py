@@ -62,6 +62,41 @@ def reference_berge_transversals(edge_masks: Sequence[int]) -> list[int]:
     return sorted(transversals, key=lambda m: (popcount(m), m))
 
 
+def reference_generate_candidates(
+    level_interesting: Sequence[int], interesting_set: set[int], n: int
+) -> list[int]:
+    """Seed levelwise candidate generation (pre-PR-5 ``_generate_candidates``).
+
+    Highest-bit extension with a ``seen`` dedupe set and a full
+    immediate-generalization scan per candidate — the loop that
+    :func:`repro.util.prefix.prefix_join_candidates` replaced with a
+    prefix-bucketed join.  Kept verbatim so the equivalence assertion
+    (same list, same order) keeps guarding the rewrite.
+    """
+
+    def parents_all_interesting(mask: int) -> bool:
+        remaining = mask
+        while remaining:
+            low = remaining & -remaining
+            if (mask & ~low) not in interesting_set:
+                return False
+            remaining ^= low
+        return True
+
+    candidates: list[int] = []
+    seen: set[int] = set()
+    for mask in level_interesting:
+        for bit_index in range(mask.bit_length(), n):
+            extended = mask | (1 << bit_index)
+            if extended in seen:
+                continue
+            seen.add(extended)
+            if parents_all_interesting(extended):
+                candidates.append(extended)
+    candidates.sort()
+    return candidates
+
+
 def reference_level_supports(
     database: TransactionDatabase, levels: Sequence[Sequence[int]]
 ) -> list[list[int]]:

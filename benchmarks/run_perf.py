@@ -1,7 +1,10 @@
-"""Tracked kernel-performance harness for the PR 1 rewrite.
+"""Tracked kernel-performance harness (PR 1 and PR 5 suites).
 
-Times the frozen seed kernels (:mod:`benchmarks.perf_kernels`) against
-the shipped implementations on three deterministic workload families:
+Times frozen seed kernels (:mod:`benchmarks.perf_kernels`) or baseline
+engines against the shipped implementations on deterministic workload
+families, grouped into suites:
+
+``--suite pr1`` (report ``BENCH_PR1.json``):
 
 * the Example 19 matching hypergraph at ``n = 24`` (Berge's worst case,
   where the incremental :class:`~repro.util.antichain.AntichainIndex`
@@ -13,9 +16,17 @@ the shipped implementations on three deterministic workload families:
   replaces one big-int chain per candidate with a shared-parent
   vectorized pass.
 
+``--suite pr5`` (report ``BENCH_PR5.json``):
+
+* candidate generation on a wide (128-item) low-support Quest T10.I4
+  theory — the frozen seed highest-bit/``seen``-set generator vs the
+  prefix-bucketed join (:func:`repro.util.prefix.prefix_join_candidates`);
+* end-to-end Eclat vs Apriori on Quest T10.I4 — same maximal sets,
+  negative border, and support table, depth-first memoized covers vs
+  the level-counting baseline.
+
 Every workload asserts old output == new output before timing is
-recorded, so the harness is also an end-to-end equivalence check.
-Results go to ``BENCH_PR1.json`` at the repository root::
+recorded, so the harness is also an end-to-end equivalence check::
 
     make perf            # or: PYTHONPATH=src python -m benchmarks.run_perf
 
@@ -41,13 +52,13 @@ from repro.util.bitset import popcount
 
 from benchmarks.perf_kernels import (
     reference_berge_transversals,
+    reference_generate_candidates,
     reference_level_supports,
     reference_maximize,
     reference_minimize,
 )
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-OUTPUT_PATH = REPO_ROOT / "BENCH_PR1.json"
 
 MATCHING_N = 24
 LARGE_EDGE = {"n": 32, "k": 6, "n_edges": 30, "seed": 532}
@@ -59,8 +70,17 @@ QUEST = {
     "seed": 9701,
     "min_frequency": 0.005,
 }
+#: PR 5 counting workload: same T10.I4 shape and generator seed, at the
+#: support where the level-counting baseline still completes in seconds.
+QUEST_ECLAT = {**QUEST, "min_frequency": 0.0075}
+#: PR 5 candidate-generation workload: twice the universe width — the
+#: seed generator scans every item above a mask's top bit, so its cost
+#: grows with ``n`` while the prefix join's does not.
+QUEST_WIDE = {**QUEST, "n_items": 128, "min_frequency": 0.0075}
 BERGE_TARGET = 5.0
 APRIORI_TARGET = 3.0
+CANDIDATE_GEN_TARGET = 3.0
+ECLAT_TARGET = 1.5
 
 
 def _best_of(callable_, repeats: int):
@@ -92,7 +112,7 @@ def _workload(name, params, old, new, *, target=None, old_repeats=1,
         "outputs_equal": equal,
     }
     status = "" if target is None else (
-        "  [target %.0fx: %s]" % (target, "MET" if speedup >= target else "MISSED")
+        "  [target %gx: %s]" % (target, "MET" if speedup >= target else "MISSED")
     )
     print(
         f"{name}: old={old_seconds:.3f}s new={new_seconds:.3f}s "
@@ -155,14 +175,14 @@ def bench_minimize_extensions():
     )
 
 
-def _quest_database():
+def _quest_database(spec=QUEST):
     params = QuestParameters(
-        n_items=QUEST["n_items"],
-        n_transactions=QUEST["n_transactions"],
-        avg_transaction_length=QUEST["avg_transaction_length"],
-        avg_pattern_length=QUEST["avg_pattern_length"],
+        n_items=spec["n_items"],
+        n_transactions=spec["n_transactions"],
+        avg_transaction_length=spec["avg_transaction_length"],
+        avg_pattern_length=spec["avg_pattern_length"],
     )
-    return generate_quest_database(params, seed=QUEST["seed"])
+    return generate_quest_database(params, seed=spec["seed"])
 
 
 def bench_apriori_level_counting(database, levels):
@@ -194,23 +214,77 @@ def bench_positive_border(frequent):
     )
 
 
-def main(argv=None) -> int:
-    import argparse
+def _frequent_levels(interesting):
+    """Rank-graded levels (rank ≥ 1) of a frequent family, sorted."""
+    by_size: dict[int, list[int]] = {}
+    for mask in interesting:
+        if mask:
+            by_size.setdefault(popcount(mask), []).append(mask)
+    return [sorted(by_size[size]) for size in sorted(by_size)]
 
+
+def bench_candidate_generation():
+    """Seed highest-bit generator vs the prefix-bucketed join (PR 5)."""
+    from repro.mining.eclat import eclat
+    from repro.util.prefix import prefix_join_candidates
+
+    database = _quest_database(QUEST_WIDE)
+    threshold = database.absolute_support(QUEST_WIDE["min_frequency"])
+    result = eclat(database, threshold)
+    levels = _frequent_levels(result.interesting)
+    interesting_set = set(result.interesting)
+    n = QUEST_WIDE["n_items"]
+    return _workload(
+        "candidate_generation_quest_t10i4",
+        {**QUEST_WIDE, "n_frequent": len(result.interesting),
+         "n_levels": len(levels), "family": "Quest T10.I4, wide universe"},
+        lambda: [
+            reference_generate_candidates(level, interesting_set, n)
+            for level in levels
+        ],
+        lambda: [
+            prefix_join_candidates(level, n, interesting_set)
+            for level in levels
+        ],
+        target=CANDIDATE_GEN_TARGET,
+        old_repeats=2,
+    )
+
+
+def bench_eclat_vs_apriori():
+    """End-to-end depth-first vertical miner vs Apriori (PR 5).
+
+    Both sides are normalized to ``(maximal, negative border, support
+    table)`` so the equality assertion certifies the equivalence theorem
+    the property tests cover, on a real workload.
+    """
     from repro.mining.apriori import apriori
+    from repro.mining.eclat import eclat
 
-    parser = argparse.ArgumentParser(
-        description="Run the tracked kernel-performance workloads."
+    database = _quest_database(QUEST_ECLAT)
+    threshold = database.absolute_support(QUEST_ECLAT["min_frequency"])
+
+    def run_apriori():
+        result = apriori(database, threshold)
+        return result.maximal, result.negative_border, result.supports
+
+    def run_eclat():
+        result = eclat(database, threshold)
+        return result.maximal, result.negative_border, result.supports
+
+    return _workload(
+        "eclat_vs_apriori_quest_t10i4",
+        {**QUEST_ECLAT, "threshold_rows": threshold,
+         "family": "Quest T10.I4"},
+        run_apriori,
+        run_eclat,
+        target=ECLAT_TARGET,
+        new_repeats=2,
     )
-    parser.add_argument(
-        "--output",
-        type=Path,
-        default=OUTPUT_PATH,
-        help="where to write the JSON report (default: the committed "
-        "BENCH_PR1.json baseline; CI passes a scratch path and compares "
-        "against the baseline with benchmarks/check_regression.py)",
-    )
-    args = parser.parse_args(argv)
+
+
+def run_pr1_suite():
+    from repro.mining.apriori import apriori
 
     print("== PR 1 kernel performance harness ==")
     records = [
@@ -240,10 +314,7 @@ def main(argv=None) -> int:
         if mask and support >= border_threshold
     ]
     records.append(bench_positive_border(frequent))
-
-    targeted = [r for r in records if r["target"] is not None]
-    all_met = all(r["meets_target"] for r in targeted)
-    report = {
+    return {
         "pr": 1,
         "description": (
             "Antichain/support-counting kernel rewrite: frozen seed "
@@ -252,10 +323,71 @@ def main(argv=None) -> int:
         ),
         "apriori_threshold_rows": threshold,
         "workloads": records,
-        "targets_met": all_met,
     }
-    args.output.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {args.output}  (targets_met={all_met})")
+
+
+def run_pr5_suite():
+    print("== PR 5 vertical-mining performance harness ==")
+    records = [
+        bench_candidate_generation(),
+        bench_eclat_vs_apriori(),
+    ]
+    return {
+        "pr": 5,
+        "description": (
+            "Depth-first vertical miner and prefix-join candidate "
+            "generation: seed generator and Apriori baseline vs the "
+            "Eclat engine (see benchmarks/run_perf.py)"
+        ),
+        "workloads": records,
+    }
+
+
+SUITES = {
+    "pr1": (run_pr1_suite, "BENCH_PR1.json"),
+    "pr5": (run_pr5_suite, "BENCH_PR5.json"),
+}
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Run the tracked kernel-performance workloads."
+    )
+    parser.add_argument(
+        "--suite",
+        choices=("pr1", "pr5", "all"),
+        default="all",
+        help="which workload suite to run (default: all)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="where to write the JSON report (single suite only; "
+        "default: the committed BENCH_PR<n>.json baseline of the "
+        "suite.  CI passes a scratch path and compares against the "
+        "baseline with benchmarks/check_regression.py)",
+    )
+    args = parser.parse_args(argv)
+    names = ("pr1", "pr5") if args.suite == "all" else (args.suite,)
+    if args.output is not None and len(names) > 1:
+        parser.error("--output requires a single --suite")
+
+    all_met = True
+    for name in names:
+        build, default_output = SUITES[name]
+        report = build()
+        targeted = [
+            r for r in report["workloads"] if r["target"] is not None
+        ]
+        met = all(r["meets_target"] for r in targeted)
+        report["targets_met"] = met
+        all_met = all_met and met
+        output = args.output or (REPO_ROOT / default_output)
+        output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {output}  (targets_met={met})")
     return 0 if all_met else 1
 
 

@@ -6,8 +6,10 @@ CLI's ``--trace FILE``) and prints:
 * per-span wall-clock totals — count, total/mean/max duration per span
   name, so the time split between candidate generation, oracle passes,
   and dualization is visible without a profiler;
-* per-level levelwise progression — ``|C_l|``, interesting, rejected per
-  ``levelwise.level`` span (the Theorem 10 ledger, level by level);
+* per-level levelwise progression — ``|C_l|``, interesting, rejected,
+  and the candidate-generation wall clock (the ``levelwise.generate``
+  sub-span) per ``levelwise.level`` span (the Theorem 10 ledger, level
+  by level);
 * event and query counts — total / charged / cache-served
   ``oracle.query`` events plus every other event name;
 * the offline :class:`repro.obs.monitor.TheoremMonitor` verdict — the
@@ -42,8 +44,10 @@ def build_report(records: list[dict]) -> dict:
 
     Returns a plain dict (stable for tests/JSON): ``spans`` maps span
     name to ``{count, total, mean, max, errors}``; ``levels`` lists the
-    ``levelwise.level`` close records in file order; ``events`` maps
-    event name to count; ``queries`` holds total / charged / cached
+    ``levelwise.level`` close records in file order, each with the
+    matching ``levelwise.generate`` wall clock under ``generate``
+    (``None`` for levels that never generated, e.g. the last); ``events``
+    maps event name to count; ``queries`` holds total / charged / cached
     ``oracle.query`` splits; ``counters`` sums counter deltas.
     """
     durations: dict[str, list[float]] = defaultdict(list)
@@ -52,14 +56,24 @@ def build_report(records: list[dict]) -> dict:
     counters: dict[str, int] = defaultdict(int)
     levels: list[dict] = []
     queries = {"total": 0, "charged": 0, "cached": 0}
+    # The generate span's rank rides on its *open* record; remember it
+    # by span id so the close's duration can be keyed back to the level.
+    generate_rank_by_id: dict[int, int] = {}
+    generate_seconds: dict[int, float] = {}
     for record in records:
         kind = record.get("kind")
         name = record.get("name", "")
         attrs = record.get("attrs", {}) or {}
+        if kind == "span_open" and name == "levelwise.generate":
+            generate_rank_by_id[record.get("id")] = attrs.get("rank")
         if kind == "span_close":
             durations[name].append(float(record.get("dur", 0.0)))
             if record.get("error"):
                 span_errors[name] += 1
+            if name == "levelwise.generate":
+                rank = generate_rank_by_id.get(record.get("id"))
+                if rank is not None:
+                    generate_seconds[rank] = float(record.get("dur", 0.0))
             if name == "levelwise.level":
                 levels.append(
                     {
@@ -80,6 +94,8 @@ def build_report(records: list[dict]) -> dict:
                     queries["cached"] += 1
         elif kind == "counter":
             counters[name] += int(record.get("delta", 0))
+    for row in levels:
+        row["generate"] = generate_seconds.get(row["rank"])
     spans = {
         name: {
             "count": len(times),
@@ -123,14 +139,19 @@ def render_report(report: dict, monitor: TheoremMonitor, out=None) -> None:
     if report["levels"]:
         print("levelwise progression:", file=out)
         print(
-            "  rank  candidates  interesting  rejected  seconds",
+            "  rank  candidates  interesting  rejected  seconds   "
+            "generate",
             file=out,
         )
         for row in report["levels"]:
+            generate = row.get("generate")
+            generate_text = (
+                "-" if generate is None else f"{generate:.6f}"
+            )
             print(
                 f"  {row['rank']!s:<4}  {row['candidates']!s:<10}  "
                 f"{row['interesting']!s:<11}  {row['rejected']!s:<8}  "
-                f"{row['seconds']:.6f}",
+                f"{row['seconds']:.6f}  {generate_text}",
                 file=out,
             )
     queries = report["queries"]

@@ -83,6 +83,7 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=(
             "apriori",
             "levelwise",
+            "eclat",
             "dualize_advance",
             "randomized",
             "maxminer",
@@ -98,9 +99,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     mine.add_argument(
         "--engine",
-        choices=("berge", "fk"),
+        choices=("berge", "fk", "eclat"),
         default="berge",
-        help="transversal engine for --algorithm dualize_advance",
+        help="transversal engine for --algorithm dualize_advance; "
+        "'eclat' instead selects the depth-first vertical miner "
+        "(shorthand for --algorithm eclat)",
     )
     mine.add_argument(
         "--budget-queries",
@@ -143,8 +146,9 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         metavar="N",
-        help="worker processes for sharded support counting "
-        "(--algorithm levelwise; results are bit-identical to serial)",
+        help="worker processes: sharded support counting for "
+        "--algorithm levelwise, root-class sharding for --algorithm "
+        "eclat (results are bit-identical to serial either way)",
     )
     _add_observability_flags(mine)
 
@@ -326,6 +330,8 @@ def _report_partial(args: argparse.Namespace, partial: PartialResult) -> int:
 
 def _cmd_mine(args: argparse.Namespace) -> int:
     database = _read_database(args.input)
+    if args.engine == "eclat" and args.algorithm in ("apriori", "eclat"):
+        args.algorithm = "eclat"
     threshold: int | float = args.min_support
     if threshold > 1:
         threshold = int(threshold)

@@ -20,6 +20,19 @@ Three representations are kept in sync:
 The numpy path is an exact accelerator: counts are bit-identical to the
 pure-int path, numpy is optional (``backend="int"`` or a missing numpy
 falls back transparently), and nothing about query accounting changes.
+
+The vertical column bitmaps double as Eclat's *tidsets*: the tidset of
+an itemset is the AND of its item columns (:meth:`tidset`), and its
+*diffset* relative to a prefix is the prefix rows that drop out when one
+more item is added (:meth:`diffset`) — the dEclat identity
+``supp(P∪{x}) = supp(P) − |d(P∪{x}|P)|``.  ``backend="tidset"`` and
+``backend="diffset"`` select pure big-int counting kernels phrased in
+those terms (``diffset`` counts via column complements); both are
+bit-identical to ``"int"`` and exist for the engine-equivalence tests
+and benchmarks.  The depth-first miner itself
+(:mod:`repro.mining.eclat`) memoizes covers per branch through
+:meth:`tidsets_view` / :attr:`full_tidset` rather than re-deriving them
+per query.
 """
 
 from __future__ import annotations
@@ -37,7 +50,7 @@ except ImportError:  # pragma: no cover - exercised only without numpy
 # is used (correctness is identical either way).
 _HAS_VECTOR_POPCOUNT = _np is not None and hasattr(_np, "bitwise_count")
 
-_BACKENDS = ("auto", "numpy", "int")
+_BACKENDS = ("auto", "numpy", "int", "tidset", "diffset")
 # Below these sizes the big-int kernel wins on dispatch overhead alone.
 _AUTO_MIN_ROWS = 128
 _AUTO_MIN_BATCH = 64
@@ -59,10 +72,12 @@ class TransactionDatabase:
         transaction_masks: one bitmask per row over ``universe``.
         backend: vertical-counting backend — ``"auto"`` (default: numpy
             for large batched workloads, big-int otherwise), ``"numpy"``
-            (force the chunked-bitmap path where possible), or ``"int"``
-            (pure big-int, the seed behavior).  All backends return
-            bit-identical counts; the knob exists for benchmarks and the
-            equivalence tests.
+            (force the chunked-bitmap path where possible), ``"int"``
+            (pure big-int, the seed behavior), ``"tidset"`` (big-int
+            tidset intersections, the Eclat view of ``"int"``), or
+            ``"diffset"`` (count through column complements, the dEclat
+            identity).  All backends return bit-identical counts; the
+            knob exists for benchmarks and the equivalence tests.
 
     Rows may repeat (multiset semantics, as in market-basket data).
     """
@@ -240,6 +255,8 @@ class TransactionDatabase:
             raise ValueError(
                 f"unknown backend {backend!r}; expected one of {_BACKENDS}"
             )
+        if chosen == "diffset":
+            return [self._support_count_diffset(mask) for mask in masks]
         if not self._use_numpy(chosen, len(masks)):
             return [self.support_count(mask) for mask in masks]
         return self._support_counts_numpy(masks)
@@ -247,7 +264,7 @@ class TransactionDatabase:
     def _use_numpy(self, backend: str, batch_size: int) -> bool:
         if not _HAS_VECTOR_POPCOUNT:
             return False
-        if backend == "int":
+        if backend in ("int", "tidset", "diffset"):
             return False
         if backend == "numpy":
             return True
@@ -432,6 +449,61 @@ class TransactionDatabase:
                     )
                 )
         return out.tolist()
+
+    def _support_count_diffset(self, itemset_mask: int) -> int:
+        """Support via complements: rows missing *some* item of the mask.
+
+        ``supp(X) = n − |⋃_{x∈X} (T \\ t(x))|`` — the dEclat phrasing of
+        the same count.  Bit-identical to :meth:`support_count`.
+        """
+        if itemset_mask == 0:
+            return len(self._rows)
+        full = self.full_tidset
+        columns = self._columns
+        missing = 0
+        for item_index in iter_bits(itemset_mask):
+            missing |= full & ~columns[item_index]
+        return len(self._rows) - popcount(missing)
+
+    # -- tidsets (the Eclat vertical surface) --------------------------------
+
+    @property
+    def full_tidset(self) -> int:
+        """Bitmask with one set bit per transaction (the tidset of ∅)."""
+        return (1 << len(self._rows)) - 1
+
+    def tidsets_view(self) -> list[int]:
+        """The per-item column bitmaps (tidsets of singletons), zero-copy.
+
+        Bit ``t`` of entry ``i`` is set when transaction ``t`` contains
+        item ``i``.  The depth-first miner seeds its root equivalence
+        class from this list.  Callers must not mutate the returned
+        list.
+        """
+        return self._columns
+
+    def tidset(self, itemset_mask: int) -> int:
+        """Bitmask of the transactions containing every item of the mask.
+
+        ``support_count(m) == popcount(tidset(m))`` by construction; the
+        empty itemset's tidset is :attr:`full_tidset`.
+        """
+        if itemset_mask == 0:
+            return self.full_tidset
+        columns = self._columns
+        bits = iter_bits(itemset_mask)
+        accumulator = columns[next(bits)]
+        for item_index in bits:
+            accumulator &= columns[item_index]
+        return accumulator
+
+    def diffset(self, itemset_mask: int, item_index: int) -> int:
+        """Transactions of the itemset that *lack* ``item_index``.
+
+        ``d(X∪{x} | X) = t(X) \\ t(x)`` — the dEclat difference list;
+        ``supp(X∪{x}) = supp(X) − popcount(diffset(X, x))``.
+        """
+        return self.tidset(itemset_mask) & ~self._columns[item_index]
 
     def frequency(self, itemset_mask: int) -> float:
         """Relative support in ``[0, 1]`` (0.0 for an empty database)."""

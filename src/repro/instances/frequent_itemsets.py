@@ -16,6 +16,7 @@ from repro.core.theory import Theory
 from repro.datasets.transactions import TransactionDatabase
 from repro.mining.apriori import apriori
 from repro.mining.dualize_advance import dualize_and_advance
+from repro.mining.eclat import eclat
 from repro.mining.levelwise import levelwise
 from repro.mining.maxminer import maxminer
 from repro.mining.randomized import randomized_maxth
@@ -25,6 +26,7 @@ from repro.runtime.partial import PartialResult
 _ALGORITHMS = (
     "apriori",
     "levelwise",
+    "eclat",
     "dualize_advance",
     "randomized",
     "maxminer",
@@ -98,20 +100,24 @@ def mine_frequent_itemsets(
         database: the transaction database.
         min_support: absolute (int) or relative (float) threshold.
         algorithm: ``"apriori"`` (default), ``"levelwise"`` (generic
-            Algorithm 9 on the frequency oracle), ``"dualize_advance"``
-            (Algorithm 16), ``"randomized"`` ([11]), or ``"maxminer"``
-            (the lookahead maximal-set baseline).
+            Algorithm 9 on the frequency oracle), ``"eclat"`` (the
+            depth-first vertical miner with memoized tidset/diffset
+            covers — same theory and borders as levelwise, fastest end
+            to end), ``"dualize_advance"`` (Algorithm 16),
+            ``"randomized"`` ([11]), or ``"maxminer"`` (the lookahead
+            maximal-set baseline).
         seed: RNG seed for the randomized variants.
         engine: transversal engine for ``"dualize_advance"``.  Defaults
             to ``"berge"``, which amortizes best on basket data; pass
             ``"fk"`` for the incremental Corollary 22 engine (the right
             choice when intermediate transversal families blow up,
-            cf. Example 19).
+            cf. Example 19).  ``engine="eclat"`` is a shorthand that
+            selects ``algorithm="eclat"`` (the CLI's ``--engine eclat``).
         budget: optional :class:`~repro.runtime.budget.Budget`;
-            supported by ``"levelwise"``, ``"dualize_advance"``, and
-            ``"maxminer"`` (the oracle-driven algorithms with
-            cooperative checkpoints).  ``"apriori"`` and ``"randomized"``
-            reject it.
+            supported by ``"levelwise"``, ``"eclat"``,
+            ``"dualize_advance"``, and ``"maxminer"`` (the oracle-driven
+            algorithms with cooperative checkpoints).  ``"apriori"`` and
+            ``"randomized"`` reject it.
         resume: optional :class:`~repro.runtime.checkpoint.Checkpoint`
             (or path/JSON) from an earlier budgeted ``"levelwise"`` or
             ``"dualize_advance"`` run on the same universe.
@@ -119,11 +125,12 @@ def mine_frequent_itemsets(
             the chosen algorithm (the CLI's ``--trace`` / ``--metrics``
             path; see ``docs/API.md`` §11).  ``"randomized"`` does not
             take one.
-        workers: worker processes for sharded support counting
-            (``"levelwise"`` only; see ``docs/API.md`` §12).  ``None``
-            or ``<= 1`` runs serially; larger values fan each candidate
-            level across per-worker database shards with bit-identical
-            results and query accounting.
+        workers: worker processes (``"levelwise"`` and ``"eclat"``; see
+            ``docs/API.md`` §12–13).  ``None`` or ``<= 1`` runs
+            serially; larger values fan each candidate level across
+            per-worker database shards (levelwise) or root equivalence
+            classes across pool workers (eclat), with bit-identical
+            results and query accounting either way.
 
     Returns:
         A :class:`~repro.core.theory.Theory`, or a
@@ -133,6 +140,10 @@ def mine_frequent_itemsets(
         ``extra["supports"]``, and Dualize and Advance stores its
         iteration trace under ``extra["iterations"]``.
     """
+    if engine == "eclat" and algorithm in ("apriori", "eclat"):
+        # --engine eclat selects the depth-first miner without needing a
+        # separate --algorithm flag (apriori is the untouched default).
+        algorithm = "eclat"
     if algorithm not in _ALGORITHMS:
         raise ValueError(
             f"unknown algorithm {algorithm!r}; expected one of {_ALGORITHMS}"
@@ -148,23 +159,51 @@ def mine_frequent_itemsets(
             "use levelwise or dualize_advance"
         )
     if workers is not None and workers > 1:
-        if algorithm != "levelwise":
+        if algorithm not in ("levelwise", "eclat"):
             raise ValueError(
                 f"algorithm {algorithm!r} does not support workers; "
-                "use levelwise"
+                "use levelwise or eclat"
             )
-        from repro.parallel.levelwise import mine_frequent_itemsets_parallel
+        if algorithm == "levelwise":
+            from repro.parallel.levelwise import (
+                mine_frequent_itemsets_parallel,
+            )
 
-        return mine_frequent_itemsets_parallel(
-            database,
-            min_support,
-            workers=workers,
-            budget=budget,
-            resume=resume,
-            tracer=tracer,
-        )
+            return mine_frequent_itemsets_parallel(
+                database,
+                min_support,
+                workers=workers,
+                budget=budget,
+                resume=resume,
+                tracer=tracer,
+            )
+        # eclat routes its own root-class sharding below.
     predicate = FrequencyPredicate(database, min_support)
     universe = database.universe
+
+    if algorithm == "eclat":
+        result = eclat(
+            database,
+            predicate.threshold,
+            budget=budget,
+            tracer=tracer,
+            workers=workers,
+        )
+        if isinstance(result, PartialResult):
+            return result
+        return Theory(
+            universe=universe,
+            maximal=result.maximal,
+            negative_border=result.negative_border,
+            interesting=result.interesting,
+            queries=result.queries,
+            extra={
+                "supports": result.supports,
+                "min_support": result.min_support,
+                "nodes": result.nodes,
+                "diffset_nodes": result.diffset_nodes,
+            },
+        )
 
     if algorithm == "apriori":
         result = apriori(database, predicate.threshold, tracer=tracer)

@@ -5,6 +5,9 @@
 * :mod:`repro.mining.apriori` — the classic frequent-set specialization
   of levelwise with join-based candidate generation and vertical-bitmap
   support counting.
+* :mod:`repro.mining.eclat` — the depth-first vertical counterpart
+  (Eclat/dEclat): equivalence-class enumeration with memoized
+  tidset/diffset covers, same theory and borders as levelwise.
 * :mod:`repro.mining.dualize_advance` — Algorithm 16, engine-parametric
   over the transversal enumerator (Berge or Fredman–Khachiyan).
 * :mod:`repro.mining.randomized` — the randomized MaxTh discovery of
@@ -22,6 +25,7 @@ from repro.mining.levelwise import (
     levelwise_generic,
 )
 from repro.mining.apriori import AprioriResult, apriori
+from repro.mining.eclat import EclatResult, eclat
 from repro.mining.dualize_advance import (
     DualizeAdvanceIteration,
     DualizeAdvanceResult,
@@ -49,6 +53,8 @@ __all__ = [
     "levelwise_generic",
     "AprioriResult",
     "apriori",
+    "EclatResult",
+    "eclat",
     "DualizeAdvanceIteration",
     "DualizeAdvanceResult",
     "dualize_and_advance",

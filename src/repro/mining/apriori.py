@@ -21,6 +21,7 @@ from repro.datasets.transactions import TransactionDatabase
 from repro.obs.tracer import Tracer, as_tracer
 from repro.hypergraph.hypergraph import maximize_family
 from repro.util.bitset import Universe, popcount
+from repro.util.prefix import prefix_join_candidates
 
 
 @dataclass(frozen=True)
@@ -158,9 +159,10 @@ def apriori(
             level += 1
             if max_size is not None and level > max_size:
                 break
-            candidates = _join_candidates(
-                current_frequent, set(current_frequent), n
-            )
+            # Classic Apriori-gen: two frequent k-sets sharing a
+            # (k-1)-prefix join into a (k+1)-set, then every remaining
+            # k-subset is probed — the shared prefix-bucketed kernel.
+            candidates = prefix_join_candidates(current_frequent, n)
 
         frequent_nonempty = [mask for mask in supports if mask != 0]
         maximal = maximize_family(frequent_nonempty or [0])
@@ -186,36 +188,3 @@ def apriori(
         )
 
 
-def _join_candidates(
-    frequent: list[int], frequent_set: set[int], n: int
-) -> list[int]:
-    """Classic Apriori-gen: join on shared prefix, prune by subsets.
-
-    Two frequent k-sets that differ only in their highest bit join into
-    a (k+1)-set; the join is realized bit-wise (extend each set with
-    items above its top bit and require the top-removed sibling to be
-    frequent), after which all remaining k-subsets are checked —
-    together equivalent to the textbook prefix join + prune.
-    """
-    candidates: list[int] = []
-    seen: set[int] = set()
-    for mask in frequent:
-        for bit_index in range(mask.bit_length(), n):
-            extended = mask | (1 << bit_index)
-            if extended in seen:
-                continue
-            seen.add(extended)
-            if _subsets_frequent(extended, frequent_set):
-                candidates.append(extended)
-    candidates.sort()
-    return candidates
-
-
-def _subsets_frequent(mask: int, frequent: set[int]) -> bool:
-    remaining = mask
-    while remaining:
-        low = remaining & -remaining
-        if (mask & ~low) not in frequent:
-            return False
-        remaining ^= low
-    return True

@@ -40,6 +40,7 @@ from repro.runtime.budget import Budget
 from repro.runtime.checkpoint import Checkpoint
 from repro.runtime.partial import PartialResult, build_partial
 from repro.util.bitset import Universe, popcount
+from repro.util.prefix import prefix_join_candidates
 
 #: Chunk size for deadline-only budgets: small enough that a wall-clock
 #: check happens frequently, large enough to keep batch dispatch cheap.
@@ -118,7 +119,10 @@ def levelwise(
         tracer: optional :class:`~repro.obs.tracer.Tracer`.  Emits a
             ``levelwise.run`` span, one ``levelwise.level`` span per
             lattice level (opened with ``candidates = |C_l|``, closed
-            with the interesting/rejected split), per-query events from
+            with the interesting/rejected split), one
+            ``levelwise.generate`` span per candidate-generation step
+            (its wall clock is the per-level join column of
+            ``benchmarks/trace_report.py``), per-query events from
             the oracle underneath, and a terminal ``levelwise.done``
             event carrying the Theorem 10 accounting that the
             :class:`~repro.obs.monitor.TheoremMonitor` certifies.
@@ -305,9 +309,14 @@ def levelwise(
                 level_rank += 1
                 if max_rank is not None and level_rank > max_rank:
                     break
-                next_candidates = _generate_candidates(
-                    current_level_interesting, set(interesting_all), n
-                )
+                with tracer.span(
+                    "levelwise.generate", rank=level_rank
+                ) as gen_span:
+                    next_candidates = _generate_candidates(
+                        current_level_interesting, set(interesting_all), n
+                    )
+                    if tracer.enabled:
+                        gen_span.note(candidates=len(next_candidates))
                 current_candidates = next_candidates
                 position = 0
                 current_level_interesting = []
@@ -368,33 +377,15 @@ def _generate_candidates(
 ) -> list[int]:
     """Step 5 of Algorithm 9 on the subset lattice.
 
-    Each candidate of rank ``i+1`` is produced once, from the parent
-    missing its highest bit, then pruned unless *all* its immediate
-    generalizations were interesting — i.e. it lies on the negative
-    border of what is known so far.
+    Each candidate of rank ``i+1`` is produced once, from its two
+    largest-item parents (the prefix-bucketed join of
+    :func:`~repro.util.prefix.prefix_join_candidates`), then pruned
+    unless *all* its immediate generalizations were interesting — i.e.
+    it lies on the negative border of what is known so far.  Probing
+    ``interesting_set`` (all ranks) equals probing the level alone: the
+    immediate generalizations of a rank-``i+1`` mask have rank ``i``.
     """
-    candidates: list[int] = []
-    seen: set[int] = set()
-    for mask in level_interesting:
-        for bit_index in range(mask.bit_length(), n):
-            extended = mask | (1 << bit_index)
-            if extended in seen:
-                continue
-            seen.add(extended)
-            if _parents_all_interesting(extended, interesting_set):
-                candidates.append(extended)
-    candidates.sort()
-    return candidates
-
-
-def _parents_all_interesting(mask: int, interesting: set[int]) -> bool:
-    remaining = mask
-    while remaining:
-        low = remaining & -remaining
-        if (mask & ~low) not in interesting:
-            return False
-        remaining ^= low
-    return True
+    return prefix_join_candidates(level_interesting, n, interesting_set)
 
 
 @dataclass(frozen=True)

@@ -18,6 +18,13 @@ Checks performed:
 * **Theorem 12 / Corollaries 13–14** — the Corollary 13 instantiation
   ``queries ≤ 2^k · n · |MTh|`` of the ``dc(k)·width·|MTh|`` bound, and
   the Corollary 14 cap on ``|Bd-|``, tracked as measured-vs-bound pairs.
+* **Eclat accounting** — on ``eclat.done``: the charged query events
+  match the reported count, the Theorem 2 floor
+  ``queries ≥ |MTh| + |Bd-|`` holds (depth-first enumeration evaluates
+  a superset of ``Th ∪ Bd-``, never less than the border), and the
+  Corollary 13 ceiling ``queries ≤ 2^k·n·|MTh| + 1`` holds (every
+  evaluated mask is a frequent prefix plus one item, so
+  ``queries ≤ n·|Th| + 1``; the ``+1`` is the ``∅`` probe).
 * **Dualize-and-Advance bracket monotonicity** — every
   ``dualize.maximal`` event must genuinely grow ``Bd+``: the new
   maximal set is incomparable with every previous one (a subset would
@@ -391,6 +398,57 @@ class TheoremMonitor(Tracer):
     def _on_maxminer_done(self, attrs: dict[str, Any]) -> None:
         self._check_charged("maxminer", attrs)
 
+    def _on_eclat_done(self, attrs: dict[str, Any]) -> None:
+        queries = int(attrs.get("queries", 0))
+        negative = int(attrs.get("negative", 0))
+        maximal = int(attrs.get("maximal", 0))
+        rank = int(attrs.get("rank", 0))
+        n = int(attrs.get("n", 0))
+
+        self._check_charged("eclat", attrs)
+        # Theorem 2 floor: any sound miner decides at least the border.
+        floor = maximal + negative
+        ok = queries >= floor
+        self._checks.append(
+            Check(
+                name="theorem2_floor",
+                ok=ok,
+                measured=queries,
+                bound=floor,
+                detail=f"queries ≥ |MTh| + |Bd-| = {maximal} + {negative}",
+            )
+        )
+        if not ok:
+            self._violations.append(
+                f"Theorem 2 floor violated: {queries} queries < "
+                f"|MTh| + |Bd-| = {floor} — the run cannot have verified "
+                "its own border"
+            )
+        if maximal > 0:
+            # Depth-first enumeration charges at most one query per
+            # (frequent prefix, extension item) pair plus the ∅ probe,
+            # so n·|Th| + 1 ≤ 2^k·n·|MTh| + 1 caps it — the Corollary 13
+            # ceiling with one unit of slack for ∅.
+            bound = (
+                _bounds().corollary13_frequent_sets_bound(rank, n, maximal)
+                + 1
+            )
+            ok = queries <= bound
+            self._checks.append(
+                Check(
+                    name="theorem12",
+                    ok=ok,
+                    measured=queries,
+                    bound=bound,
+                    detail=f"Corollary 13: 2^{rank}·{n}·{maximal} + 1 (∅)",
+                )
+            )
+            if not ok:
+                self._violations.append(
+                    f"Theorem 12 bound violated: {queries} queries > "
+                    f"2^k·n·|MTh| + 1 = {bound}"
+                )
+
     # -- reporting -------------------------------------------------------
 
     def report(self) -> TheoremReport:
@@ -413,4 +471,5 @@ _EVENT_HANDLERS = {
     "dualize.maximal": TheoremMonitor._on_dualize_maximal,
     "dualize.done": TheoremMonitor._on_dualize_done,
     "maxminer.done": TheoremMonitor._on_maxminer_done,
+    "eclat.done": TheoremMonitor._on_eclat_done,
 }

@@ -58,9 +58,26 @@ KNOWN_EVENTS: dict[str, tuple[str, tuple[str, ...]]] = {
     # levelwise (repro.mining.levelwise)
     "levelwise.run": ("span_open", ("n", "resumed")),
     "levelwise.level": ("span_open", ("rank", "candidates")),
+    "levelwise.generate": ("span_open", ("rank",)),
     "levelwise.done": (
         "event",
         ("queries", "theory", "negative", "maximal", "rank", "n"),
+    ),
+    # eclat (repro.mining.eclat)
+    "eclat.run": ("span_open", ("n", "threshold")),
+    "eclat.node": ("event", ("prefix", "tail", "kind")),
+    "eclat.done": (
+        "event",
+        (
+            "queries",
+            "theory",
+            "negative",
+            "maximal",
+            "rank",
+            "n",
+            "nodes",
+            "diffset_nodes",
+        ),
     ),
     # dualize and advance (repro.mining.dualize_advance)
     "dualize.run": ("span_open", ("engine", "incremental", "resumed")),

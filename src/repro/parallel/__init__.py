@@ -13,6 +13,10 @@ restart allowance):
   :class:`~repro.core.oracle.CountingOracle`; budgets, coordinator-side
   checkpoints (resumable with a different worker count), and tracing
   compose unchanged.
+* :func:`~repro.parallel.eclat.eclat_parallel` — the depth-first
+  vertical miner with root equivalence classes fanned across the pool;
+  each worker mines whole subtrees through the serial hot kernel, so
+  the merged result is the serial one bit for bit.
 * :func:`~repro.parallel.minimize.minimize_masks_parallel` /
   :func:`~repro.parallel.minimize.berge_transversals_parallel` —
   chunked antichain reduction merged with
@@ -23,6 +27,7 @@ See ``docs/API.md`` §12 for the determinism guarantees and
 worker-crash semantics.
 """
 
+from repro.parallel.eclat import eclat_parallel
 from repro.parallel.levelwise import (
     levelwise_parallel,
     mine_frequent_itemsets_parallel,
@@ -42,6 +47,7 @@ __all__ = [
     "shard_bounds",
     "ShardedSupportCounter",
     "ShardedFrequencyPredicate",
+    "eclat_parallel",
     "levelwise_parallel",
     "mine_frequent_itemsets_parallel",
     "minimize_masks_parallel",

@@ -1,0 +1,403 @@
+"""Root-equivalence-class sharding for the depth-first vertical miner.
+
+The Rymon tree decomposes at its first level: the subtree under root
+member ``x_i`` (prefix ``{x_i}``, candidate tail ``{x_j : j > i}``)
+shares no evaluated mask with any sibling subtree, so the whole run
+splits into one coordinator step (``∅`` plus all singletons — the root
+class) and independent root tasks.  Each worker receives the vertical
+column bitmaps once (pool initializer), rebuilds the root class with the
+same deterministic tidset→diffset switch the serial engine applies, and
+mines its assigned subtree through the *same* hot kernel
+(:func:`repro.mining.eclat._mine_subtree`) — so the union of the
+per-root results is bit-identical to the serial run: same supports, same
+rejected masks, same node counts, same query total.
+
+Budgets are honoured at *wave* granularity: roots are dispatched in
+batches of ``workers``, the budget is checked between waves, and on
+exhaustion the remaining roots become the partial result's frontier
+(the pairwise masks ``{x_r, x_j}`` — every undecided itemset extends
+one of them, or is decided by an infrequent singleton in the history).
+One wave of subtrees is the atomic overshoot unit, the parallel
+analogue of the serial engine's one-evaluation granularity.
+
+A pool that dies past its restart allowance degrades to the serial
+kernel on the coordinator for the remaining roots (``worker.fallback``
+event), never corrupting the result — the
+:class:`~repro.parallel.pool.WorkerPool` contract.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.errors import BudgetExhausted
+from repro.datasets.transactions import TransactionDatabase
+from repro.mining.eclat import (
+    EclatResult,
+    _maximal_from_supports,
+    _mine_subtree,
+)
+from repro.obs.tracer import as_tracer
+from repro.parallel.pool import WorkerPool, WorkerPoolBroken, resolve_workers
+from repro.runtime.partial import PartialResult, build_partial
+from repro.util.bitset import popcount
+from repro.util.prefix import parents_all_in
+
+__all__ = ["eclat_parallel"]
+
+# Per-process worker state: set once by the pool initializer, read by
+# every _mine_root call in that process (same pattern as
+# repro.parallel.sharding).
+_WORKER_STATE: dict = {}
+
+
+def _root_class(
+    columns: list[int], n_rows: int, threshold: int
+) -> tuple[list[tuple[int, int, int]], bool]:
+    """The root equivalence class, exactly as the serial engine forms it.
+
+    Returns the frequent singleton members ``(bit, supp, cover)`` and
+    whether the class switched to diffset covers — the same
+    supports-only rule :func:`repro.mining.eclat._expand` applies, so
+    coordinator and every worker agree on the representation.
+    """
+    full_cover = (1 << n_rows) - 1
+    members: list[tuple[int, int, int]] = []
+    tid_total = 0
+    diff_total = 0
+    for item, column in enumerate(columns):
+        supp = popcount(column)
+        if supp >= threshold:
+            members.append((1 << item, supp, column))
+            tid_total += supp
+            diff_total += n_rows - supp
+    if diff_total < tid_total and len(members) > 1:
+        members = [
+            (bit, supp, full_cover & ~cover) for bit, supp, cover in members
+        ]
+        return members, True
+    return members, False
+
+
+def _init_eclat_worker(
+    columns: tuple[int, ...], n_rows: int, threshold: int
+) -> None:
+    members, is_diff = _root_class(list(columns), n_rows, threshold)
+    _WORKER_STATE["members"] = members
+    _WORKER_STATE["is_diff"] = is_diff
+    _WORKER_STATE["threshold"] = threshold
+
+
+def _mine_root(position: int) -> tuple[dict[int, int], list[int], int, int]:
+    """Mine the subtree rooted at root member ``position`` (in a worker).
+
+    Pure function of the initializer state plus ``position`` — safe for
+    the pool's whole-batch retry on a crash.
+    """
+    members = _WORKER_STATE["members"]
+    bit, supp, cover = members[position]
+    supports: dict[int, int] = {}
+    rejected: list[int] = []
+    nodes, diffset_nodes = _mine_subtree(
+        bit,
+        _WORKER_STATE["is_diff"],
+        supp,
+        cover,
+        members[position + 1 :],
+        _WORKER_STATE["threshold"],
+        supports,
+        rejected,
+    )
+    return supports, rejected, nodes, diffset_nodes
+
+
+def eclat_parallel(
+    database: TransactionDatabase,
+    min_support: int | float,
+    *,
+    workers: int | None = None,
+    budget=None,
+    on_exhaust: str = "return",
+    tracer=None,
+) -> "EclatResult | PartialResult":
+    """Depth-first vertical mining with root subtrees fanned across a pool.
+
+    Args:
+        database: the transaction database.
+        min_support: absolute (int) or relative (float) threshold.
+        workers: worker processes; ``None`` or ``<= 1`` delegates to the
+            serial :func:`repro.mining.eclat.eclat`.
+        budget: optional :class:`~repro.runtime.budget.Budget`, checked
+            on the coordinator before the root class and between
+            dispatch waves (one wave of root subtrees is the overshoot
+            unit).
+        on_exhaust: ``"return"`` or ``"raise"``, as in the serial
+            engine.
+        tracer: optional tracer.  The coordinator emits the ``eclat.run``
+            span, the root-class ``eclat.node`` event, one ``oracle.query``
+            event per evaluation (worker answers are re-emitted on merge
+            — same masks and answers as serial, grouped per subtree
+            rather than interleaved), per-wave ``worker.batch`` events,
+            and the ``eclat.done`` accounting that
+            :class:`~repro.obs.monitor.TheoremMonitor` certifies.
+            Workers themselves never trace; interior ``eclat.node``
+            events are a serial-only detail.
+
+    Returns:
+        The same :class:`~repro.mining.eclat.EclatResult` (or certified
+        :class:`~repro.runtime.partial.PartialResult`) the serial engine
+        produces — identical theory, borders, supports, and accounting.
+    """
+    if resolve_workers(workers) <= 1:
+        from repro.mining.eclat import eclat
+
+        return eclat(
+            database,
+            min_support,
+            budget=budget,
+            on_exhaust=on_exhaust,
+            tracer=tracer,
+        )
+    if on_exhaust not in ("return", "raise"):
+        raise ValueError(
+            f"on_exhaust must be 'return' or 'raise', got {on_exhaust!r}"
+        )
+    threshold = (
+        database.absolute_support(min_support)
+        if isinstance(min_support, float)
+        else min_support
+    )
+    if threshold < 0:
+        raise ValueError("min_support must be non-negative")
+    tracer = as_tracer(tracer)
+    universe = database.universe
+    n = len(universe)
+    n_rows = database.n_transactions
+    columns = database.tidsets_view()
+
+    supports: dict[int, int] = {}
+    rejected: list[int] = []
+    history: dict[int, bool] = {}
+    queries = 0
+    nodes = 0
+    diffset_nodes = 0
+    run_t0 = time.monotonic()
+    if budget is not None:
+        budget.begin()
+
+    members: list[tuple[int, int, int]] = []
+    next_position = 0
+
+    def make_partial(reason: str) -> PartialResult:
+        # Remaining (undispatched or unmerged) root subtrees: every
+        # undecided mask has two or more frequent-singleton bits whose
+        # smallest is such a root, so it extends one of the pairwise
+        # masks below; masks with an infrequent singleton are decided
+        # False by the history.
+        frontier: list[int] = []
+        for a in range(next_position, len(members)):
+            bit_a = members[a][0]
+            for b in range(a + 1, len(members)):
+                frontier.append(bit_a | members[b][0])
+        return build_partial(
+            universe,
+            "eclat",
+            reason,
+            history,
+            interesting=list(supports),
+            negative_candidates=rejected,
+            frontier=frontier,
+            frontier_kind="lower",
+            frontier_complete=True,
+            queries=queries,
+            total_calls=queries,
+            evaluations=queries,
+            elapsed=time.monotonic() - run_t0,
+        )
+
+    def finish_partial(reason: str, run_span) -> PartialResult:
+        partial = make_partial(reason)
+        if tracer.enabled:
+            run_span.note(outcome="partial", reason=reason)
+        if on_exhaust == "raise":
+            raise BudgetExhausted(reason, partial=partial)
+        return partial
+
+    def record(mask: int, answer: bool, supp: int) -> None:
+        nonlocal queries
+        queries += 1
+        history[mask] = answer
+        if answer:
+            supports[mask] = supp
+        else:
+            rejected.append(mask)
+        if tracer.enabled:
+            tracer.event(
+                "oracle.query", mask=mask, answer=answer, charged=True
+            )
+
+    def merge(result: tuple[dict[int, int], list[int], int, int]) -> None:
+        nonlocal queries, nodes, diffset_nodes
+        sub_supports, sub_rejected, sub_nodes, sub_diff = result
+        for mask, supp in sub_supports.items():
+            supports[mask] = supp
+            history[mask] = True
+            if tracer.enabled:
+                tracer.event(
+                    "oracle.query", mask=mask, answer=True, charged=True
+                )
+        for mask in sub_rejected:
+            history[mask] = False
+            if tracer.enabled:
+                tracer.event(
+                    "oracle.query", mask=mask, answer=False, charged=True
+                )
+        rejected.extend(sub_rejected)
+        queries += len(sub_supports) + len(sub_rejected)
+        nodes += sub_nodes
+        diffset_nodes += sub_diff
+
+    with tracer.span("eclat.run", n=n, threshold=threshold) as run_span:
+        pool = WorkerPool(
+            workers,
+            initializer=_init_eclat_worker,
+            initargs=(tuple(columns), n_rows, threshold),
+            tracer=tracer,
+        )
+        try:
+            # Coordinator: ∅ and the root class (all singletons), the
+            # exact probes the serial engine issues first.
+            if budget is not None:
+                budget.check(queries=0)
+            record(0, n_rows >= threshold, n_rows)
+            if not history[0]:
+                if tracer.enabled:
+                    run_span.note(outcome="complete", queries=queries)
+                    tracer.event(
+                        "eclat.done",
+                        queries=queries,
+                        theory=0,
+                        negative=1,
+                        maximal=0,
+                        rank=0,
+                        n=n,
+                        nodes=0,
+                        diffset_nodes=0,
+                    )
+                return EclatResult(
+                    universe=universe,
+                    interesting=(),
+                    maximal=(),
+                    negative_border=(0,),
+                    queries=queries,
+                    min_support=threshold,
+                    supports=supports,
+                )
+            nodes = 1
+            if tracer.enabled:
+                tracer.event("eclat.node", prefix=0, tail=n, kind="tid")
+            if budget is not None:
+                budget.check(queries=queries, family=n)
+            for item in range(n):
+                if budget is not None:
+                    budget.check(queries=queries)
+                record(
+                    1 << item,
+                    popcount(columns[item]) >= threshold,
+                    popcount(columns[item]),
+                )
+            members, root_is_diff = _root_class(columns, n_rows, threshold)
+            # The last member has no candidate tail — no task for it.
+            task_count = max(0, len(members) - 1)
+            wave_size = pool.workers
+            while next_position < task_count:
+                if budget is not None:
+                    budget.check(queries=queries, family=len(members))
+                wave = list(
+                    range(
+                        next_position,
+                        min(next_position + wave_size, task_count),
+                    )
+                )
+                wave_t0 = time.monotonic()
+                try:
+                    if not pool.parallel:
+                        raise WorkerPoolBroken("pool is not available")
+                    results = pool.map_in_order(
+                        _mine_root, [(position,) for position in wave]
+                    )
+                except WorkerPoolBroken:
+                    if tracer.enabled:
+                        tracer.event("worker.fallback", reason="pool-broken")
+                    results = []
+                    for position in wave:
+                        bit, supp, cover = members[position]
+                        sub_supports: dict[int, int] = {}
+                        sub_rejected: list[int] = []
+                        sub_nodes, sub_diff = _mine_subtree(
+                            bit,
+                            root_is_diff,
+                            supp,
+                            cover,
+                            members[position + 1 :],
+                            threshold,
+                            sub_supports,
+                            sub_rejected,
+                        )
+                        results.append(
+                            (sub_supports, sub_rejected, sub_nodes, sub_diff)
+                        )
+                for result in results:
+                    merge(result)
+                if tracer.enabled:
+                    tracer.event(
+                        "worker.batch",
+                        shard=wave[0] // wave_size,
+                        size=len(wave),
+                        seconds=round(time.monotonic() - wave_t0, 6),
+                    )
+                next_position = wave[-1] + 1
+        except BudgetExhausted as exhausted:
+            return finish_partial(exhausted.reason, run_span)
+        except KeyboardInterrupt:
+            return finish_partial("interrupt", run_span)
+        finally:
+            pool.close()
+
+        frequent_set = set(supports)
+        negative = [
+            mask for mask in rejected if parents_all_in(mask, frequent_set)
+        ]
+        maximal = _maximal_from_supports(supports, n)
+        sorted_maximal = tuple(
+            sorted(maximal, key=lambda m: (popcount(m), m))
+        )
+        if tracer.enabled:
+            rank = max((popcount(m) for m in sorted_maximal), default=0)
+            run_span.note(outcome="complete", queries=queries)
+            tracer.event(
+                "eclat.done",
+                queries=queries,
+                theory=len(supports),
+                negative=len(negative),
+                maximal=len(sorted_maximal),
+                rank=rank,
+                n=n,
+                nodes=nodes,
+                diffset_nodes=diffset_nodes,
+            )
+        return EclatResult(
+            universe=universe,
+            interesting=tuple(
+                sorted(supports, key=lambda m: (popcount(m), m))
+            ),
+            maximal=sorted_maximal,
+            negative_border=tuple(
+                sorted(negative, key=lambda m: (popcount(m), m))
+            ),
+            queries=queries,
+            min_support=threshold,
+            supports=supports,
+            nodes=nodes,
+            diffset_nodes=diffset_nodes,
+        )

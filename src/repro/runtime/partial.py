@@ -76,7 +76,7 @@ class PartialResult:
     Attributes:
         universe: the attribute universe.
         algorithm: which engine produced this (``"levelwise"``,
-            ``"dualize_advance"``, ``"maxminer"``).
+            ``"dualize_advance"``, ``"maxminer"``, ``"eclat"``).
         reason: why the run stopped — ``"queries"``, ``"timeout"``,
             ``"family"``, or ``"interrupt"``.
         interesting: sentences confirmed interesting so far (answered

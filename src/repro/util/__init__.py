@@ -20,6 +20,7 @@ from repro.util.bitset import (
     mask_of_indices,
     popcount,
 )
+from repro.util.prefix import parents_all_in, prefix_join_candidates
 from repro.util.combinatorics import (
     binomial,
     iter_subsets,
@@ -42,6 +43,8 @@ __all__ = [
     "lowest_bit",
     "mask_of_indices",
     "popcount",
+    "parents_all_in",
+    "prefix_join_candidates",
     "binomial",
     "iter_subsets",
     "iter_subsets_of_size",

@@ -51,7 +51,7 @@ class TestGenerateAndMine:
         assert "algorithm=apriori" in capsys.readouterr().out
 
     @pytest.mark.parametrize(
-        "algorithm", ["levelwise", "dualize_advance", "randomized"]
+        "algorithm", ["levelwise", "dualize_advance", "randomized", "eclat"]
     )
     def test_other_algorithms(self, tmp_path, capsys, algorithm):
         path = str(tmp_path / "data.dat")
@@ -241,6 +241,54 @@ class TestBudgetAndResume:
         )
         assert code == 0
         assert "minimal transversals" in capsys.readouterr().out
+
+
+class TestEclatCli:
+    @pytest.fixture
+    def dataset(self, tmp_path, capsys):
+        path = str(tmp_path / "data.dat")
+        main(["generate", path, "--items", "12", "--transactions", "80",
+              "--seed", "11"])
+        capsys.readouterr()
+        return path
+
+    def test_matches_apriori_output(self, dataset, capsys):
+        base = ["mine", dataset, "--min-support", "0.3", "--show", "5"]
+        assert main(base) == 0
+        apriori_out = capsys.readouterr().out
+        assert main(base + ["--algorithm", "eclat"]) == 0
+        eclat_out = capsys.readouterr().out
+        assert "algorithm=eclat" in eclat_out
+        # Identical except for the algorithm named in the summary line.
+        assert eclat_out.replace("algorithm=eclat", "algorithm=apriori") == (
+            apriori_out
+        )
+
+    def test_engine_shorthand_selects_eclat(self, dataset, capsys):
+        assert (
+            main(["mine", dataset, "--min-support", "0.3",
+                  "--engine", "eclat"])
+            == 0
+        )
+        assert "algorithm=eclat" in capsys.readouterr().out
+
+    def test_workers_compose(self, dataset, capsys):
+        base = ["mine", dataset, "--min-support", "0.3",
+                "--algorithm", "eclat", "--show", "5"]
+        assert main(base) == 0
+        serial_out = capsys.readouterr().out
+        assert main(base + ["--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_budget_partial_exits_3(self, dataset, capsys):
+        code = main(
+            ["mine", dataset, "--min-support", "0.5",
+             "--algorithm", "eclat", "--budget-queries", "6"]
+        )
+        assert code == 3
+        out = capsys.readouterr().out
+        assert "partial result (queries)" in out
+        assert "certificate: valid" in out
 
 
 class TestParser:

@@ -138,3 +138,83 @@ class TestDunders:
         masks = database.transaction_masks
         masks.append(0b10)
         assert database.n_transactions == 1
+
+
+class TestVerticalBackends:
+    """The tidset/diffset surface and five-way backend agreement."""
+
+    @pytest.fixture
+    def database(self):
+        return TransactionDatabase(
+            Universe(range(5)), [0b10111, 0b00111, 0b11010, 0b01010, 0b10001]
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=12),
+        st.lists(st.integers(min_value=0, max_value=63), max_size=12),
+        st.randoms(use_true_random=False),
+    )
+    def test_backends_agree_on_support_counts(
+        self, n_items, n_rows, masks, rng
+    ):
+        universe = Universe(range(n_items))
+        rows = [rng.randrange(1 << n_items) for _ in range(n_rows)]
+        database = TransactionDatabase(universe, rows)
+        masks = [mask & ((1 << n_items) - 1) for mask in masks]
+        reference = database.support_counts(masks, backend="int")
+        for backend in ("auto", "numpy", "tidset", "diffset"):
+            assert (
+                database.support_counts(masks, backend=backend) == reference
+            ), backend
+
+    def test_full_tidset_covers_every_row(self, database):
+        assert database.full_tidset == 0b11111
+        assert database.tidset(0) == database.full_tidset
+
+    def test_tidset_popcount_is_support(self, database):
+        for mask in range(1 << database.n_items):
+            assert (
+                database.tidset(mask).bit_count()
+                == database.support_count(mask)
+            ), bin(mask)
+
+    def test_tidsets_view_holds_singleton_columns(self, database):
+        columns = database.tidsets_view()
+        assert len(columns) == database.n_items
+        for item_index, column in enumerate(columns):
+            assert column == database.tidset(1 << item_index)
+
+    def test_diffset_identity(self, database):
+        """``supp(X∪{x}) = supp(X) − |d(X∪{x} | X)|`` (the dEclat law)."""
+        for mask in range(1 << database.n_items):
+            for item_index in range(database.n_items):
+                if mask >> item_index & 1:
+                    continue
+                child = mask | (1 << item_index)
+                diff = database.diffset(mask, item_index)
+                assert database.support_count(child) == (
+                    database.support_count(mask) - diff.bit_count()
+                )
+                assert diff == database.tidset(mask) & ~database.tidset(
+                    1 << item_index
+                )
+
+    def test_diffset_counting_kernel(self, database):
+        assert database._support_count_diffset(0) == database.n_transactions
+        for mask in range(1 << database.n_items):
+            assert database._support_count_diffset(mask) == (
+                database.support_count(mask)
+            )
+
+    def test_unknown_backend_rejected(self, database):
+        with pytest.raises(ValueError):
+            TransactionDatabase(Universe("A"), [1], backend="columnar")
+        with pytest.raises(ValueError):
+            database.support_counts([0], backend="columnar")
+
+    def test_backend_property_reports_choice(self):
+        database = TransactionDatabase(Universe("A"), [1], backend="diffset")
+        assert database.backend == "diffset"
+        assert database.shards(2)[0].backend == "diffset"

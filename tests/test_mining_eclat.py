@@ -1,0 +1,337 @@
+"""Tests for the depth-first vertical (tidset/diffset) Eclat miner.
+
+The headline contract is the equivalence theorem: on every database and
+threshold, :func:`repro.mining.eclat.eclat` produces the same theory,
+positive border, and negative border as the generic levelwise walk, and
+the same support table as Apriori — with budgets, tracing, and worker
+sharding composing without changing any of it.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import BudgetExhausted
+from repro.core.oracle import CountingOracle
+from repro.datasets.transactions import TransactionDatabase
+from repro.instances.frequent_itemsets import (
+    FrequencyPredicate,
+    mine_frequent_itemsets,
+)
+from repro.mining.apriori import apriori
+from repro.mining.eclat import eclat
+from repro.mining.levelwise import levelwise
+from repro.obs.jsonl import JsonlTraceWriter
+from repro.obs.monitor import TheoremMonitor
+from repro.obs.schema import parse_trace, validate_trace
+from repro.parallel.eclat import eclat_parallel
+from repro.runtime.budget import Budget
+from repro.runtime.partial import PartialResult
+from repro.util.bitset import Universe
+
+from tests.conftest import labels
+
+
+def _random_database(rng, n_items, n_rows):
+    universe = Universe(range(n_items))
+    rows = [rng.randrange(1 << n_items) for _ in range(n_rows)]
+    return TransactionDatabase(universe, rows)
+
+
+@pytest.fixture
+def figure1_database() -> TransactionDatabase:
+    """A database whose 2-frequent sets realize Figure 1 exactly."""
+    return TransactionDatabase.from_transactions(
+        [
+            {"A", "B", "C"},
+            {"A", "B", "C"},
+            {"B", "D"},
+            {"B", "D"},
+        ]
+    )
+
+
+class TestEclatOnFigure1:
+    def test_maximal_and_borders(self, figure1_database):
+        result = eclat(figure1_database, 2)
+        universe = figure1_database.universe
+        assert labels(universe, result.maximal) == ["ABC", "BD"]
+        reference = apriori(figure1_database, 2)
+        assert result.maximal == reference.maximal
+        assert result.negative_border == reference.negative_border
+        assert result.interesting == tuple(reference.frequent_masks())
+        assert result.supports == reference.supports
+
+    def test_relative_threshold(self, figure1_database):
+        assert eclat(figure1_database, 0.5).maximal == (
+            eclat(figure1_database, 2).maximal
+        )
+
+    def test_counts_nodes(self, figure1_database):
+        result = eclat(figure1_database, 2)
+        assert result.nodes >= 1
+        assert 0 <= result.diffset_nodes <= result.nodes
+
+
+class TestEclatEdgeCases:
+    def test_empty_database_nothing_frequent(self):
+        database = TransactionDatabase(Universe("AB"), [])
+        result = eclat(database, 1)
+        assert result.interesting == ()
+        assert result.maximal == ()
+        assert result.negative_border == (0,)
+        assert result.queries == 1
+
+    def test_zero_threshold_everything_frequent(self):
+        database = TransactionDatabase(Universe("AB"), [])
+        result = eclat(database, 0)
+        assert result.maximal == (0b11,)
+        assert result.negative_border == ()
+
+    def test_rejects_bad_on_exhaust(self, figure1_database):
+        with pytest.raises(ValueError):
+            eclat(figure1_database, 1, on_exhaust="explode")
+
+
+class TestEclatEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=7),
+        st.integers(min_value=0, max_value=14),
+        st.integers(min_value=0, max_value=5),
+        st.randoms(use_true_random=False),
+    )
+    def test_matches_levelwise_and_apriori(
+        self, n_items, n_rows, threshold, rng
+    ):
+        database = _random_database(rng, n_items, n_rows)
+        result = eclat(database, threshold)
+        oracle = CountingOracle(FrequencyPredicate(database, threshold))
+        reference = levelwise(database.universe, oracle)
+        assert sorted(result.interesting) == sorted(reference.interesting)
+        assert result.maximal == reference.maximal
+        assert result.negative_border == reference.negative_border
+        if threshold >= 1:
+            assert result.supports == apriori(database, threshold).supports
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=7),
+        st.integers(min_value=0, max_value=14),
+        st.integers(min_value=0, max_value=5),
+        st.randoms(use_true_random=False),
+    )
+    def test_query_count_is_prefix_anchored(
+        self, n_items, n_rows, threshold, rng
+    ):
+        """Every evaluation extends a frequent prefix: the Theorem 2
+        floor and the one-AND-per-frequent-set ceiling both hold."""
+        database = _random_database(rng, n_items, n_rows)
+        result = eclat(database, threshold)
+        floor = len(result.maximal) + len(result.negative_border)
+        ceiling = 1 + n_items * max(1, len(result.interesting))
+        assert floor <= result.queries <= ceiling
+
+
+class TestEclatBudgets:
+    def _database(self):
+        universe = Universe(range(6))
+        rows = [i % 63 or 1 for i in range(1, 40)]
+        return TransactionDatabase(universe, rows)
+
+    def test_exact_query_limit_and_certificate(self):
+        database = self._database()
+        full = eclat(database, 4)
+        for limit in range(1, full.queries + 1):
+            partial = eclat(
+                database, 4, budget=Budget(max_queries=limit)
+            )
+            if isinstance(partial, PartialResult):
+                assert partial.queries <= limit
+                assert partial.algorithm == "eclat"
+                assert partial.frontier_kind == "lower"
+                assert partial.certificate().ok
+            else:
+                # Enough budget to finish: identical complete result.
+                assert partial.maximal == full.maximal
+                assert limit >= full.queries
+
+    def test_generous_budget_is_transparent(self):
+        database = self._database()
+        full = eclat(database, 4)
+        budgeted = eclat(
+            database, 4, budget=Budget(max_queries=10_000)
+        )
+        assert not isinstance(budgeted, PartialResult)
+        assert budgeted.maximal == full.maximal
+        assert budgeted.queries == full.queries
+
+    def test_on_exhaust_raise(self):
+        database = self._database()
+        with pytest.raises(BudgetExhausted) as excinfo:
+            eclat(
+                database,
+                4,
+                budget=Budget(max_queries=2),
+                on_exhaust="raise",
+            )
+        assert excinfo.value.partial is not None
+        assert excinfo.value.partial.certificate().ok
+
+    def test_frontier_bounds_the_undecided_region(self):
+        """Every undecided mask specializes a frontier mask (the lower
+        frontier completeness claim the certificate relies on)."""
+        database = self._database()
+        full = eclat(database, 4)
+        decided_true = set(full.interesting)
+        for limit in (1, 3, 7, 15):
+            partial = eclat(
+                database, 4, budget=Budget(max_queries=limit)
+            )
+            assert isinstance(partial, PartialResult)
+            assert partial.frontier_complete
+            history = set(partial.history)
+            frontier = partial.frontier
+            for mask in range(1 << 6):
+                if mask in history:
+                    continue
+                decided = any(
+                    (mask & ~h) == 0 and not answer
+                    for h, answer in partial.history.items()
+                )
+                if decided:
+                    continue  # implied infrequent by monotonicity
+                assert any(
+                    front & ~mask == 0 for front in frontier
+                ), (limit, mask)
+            # Sanity: the frontier claim is about *this* database too.
+            assert decided_true  # non-trivial workload
+
+
+class TestEclatTracing:
+    def test_trace_transparent_and_certified(
+        self, figure1_database, tmp_path
+    ):
+        plain = eclat(figure1_database, 2)
+        trace_path = tmp_path / "eclat.jsonl"
+        writer = JsonlTraceWriter(trace_path)
+        monitor = TheoremMonitor()
+        traced = eclat(figure1_database, 2, tracer=writer)
+        writer.close()
+        monitored = eclat(figure1_database, 2, tracer=monitor)
+        assert traced.maximal == plain.maximal
+        assert traced.queries == plain.queries
+        assert monitored.maximal == plain.maximal
+        report = monitor.report()
+        assert report.ok, report.summary()
+        records = parse_trace(str(trace_path))
+        assert validate_trace(records) == []
+        names = {record["name"] for record in records}
+        assert {"eclat.run", "eclat.node", "eclat.done"} <= names
+        queries = [
+            record
+            for record in records
+            if record["name"] == "oracle.query"
+        ]
+        assert len(queries) == plain.queries
+
+    def test_budgeted_trace_certified(self):
+        universe = Universe(range(5))
+        database = TransactionDatabase(
+            universe, [31, 7, 14, 28, 19, 21] * 3
+        )
+        monitor = TheoremMonitor()
+        partial = eclat(
+            database, 3, budget=Budget(max_queries=9), tracer=monitor
+        )
+        assert isinstance(partial, PartialResult)
+        report = monitor.report()
+        assert report.ok, report.summary()
+
+
+class TestEclatParallel:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=12),
+        st.integers(min_value=0, max_value=4),
+        st.randoms(use_true_random=False),
+    )
+    def test_workers_bit_identical(self, n_items, n_rows, threshold, rng):
+        database = _random_database(rng, n_items, n_rows)
+        serial = eclat(database, threshold)
+        parallel = eclat_parallel(database, threshold, workers=2)
+        assert parallel.interesting == serial.interesting
+        assert parallel.maximal == serial.maximal
+        assert parallel.negative_border == serial.negative_border
+        assert parallel.supports == serial.supports
+        assert parallel.queries == serial.queries
+
+    def test_worker_count_fixture(self, worker_count):
+        universe = Universe(range(7))
+        rows = [(i * 37) % 127 or 1 for i in range(1, 60)]
+        database = TransactionDatabase(universe, rows)
+        serial = eclat(database, 5)
+        sharded = eclat(database, 5, workers=worker_count)
+        assert sharded.interesting == serial.interesting
+        assert sharded.maximal == serial.maximal
+        assert sharded.negative_border == serial.negative_border
+        assert sharded.queries == serial.queries
+
+    def test_parallel_budget_partial_certified(self):
+        universe = Universe(range(6))
+        rows = [(i * 11) % 63 or 1 for i in range(1, 50)]
+        database = TransactionDatabase(universe, rows)
+        partial = eclat_parallel(
+            database, 4, workers=2, budget=Budget(max_queries=8)
+        )
+        assert isinstance(partial, PartialResult)
+        assert partial.reason == "queries"
+        # Waves are the atomic budget unit: dispatched subtrees run to
+        # completion, so queries may exceed the limit by one wave's
+        # worth — but everything recorded must still certify.
+        assert partial.queries >= 8
+        assert partial.certificate().ok
+
+    def test_workers_one_is_serial(self, figure1_database):
+        assert eclat_parallel(figure1_database, 2, workers=1).maximal == (
+            eclat(figure1_database, 2).maximal
+        )
+
+
+class TestEclatEntryPoint:
+    def test_mine_frequent_itemsets_eclat(self, figure1_database):
+        theory = mine_frequent_itemsets(
+            figure1_database, 2, algorithm="eclat"
+        )
+        reference = mine_frequent_itemsets(
+            figure1_database, 2, algorithm="levelwise"
+        )
+        assert theory.maximal == reference.maximal
+        assert theory.negative_border == reference.negative_border
+        assert "supports" in theory.extra
+        assert "nodes" in theory.extra
+
+    def test_engine_shorthand(self, figure1_database):
+        theory = mine_frequent_itemsets(
+            figure1_database, 2, engine="eclat"
+        )
+        assert "diffset_nodes" in theory.extra
+
+    def test_workers_routed(self, figure1_database):
+        theory = mine_frequent_itemsets(
+            figure1_database, 2, algorithm="eclat", workers=2
+        )
+        serial = mine_frequent_itemsets(
+            figure1_database, 2, algorithm="eclat"
+        )
+        assert theory.maximal == serial.maximal
+        assert theory.queries == serial.queries
+
+    def test_resume_rejected(self, figure1_database):
+        with pytest.raises(ValueError):
+            mine_frequent_itemsets(
+                figure1_database, 2, algorithm="eclat", resume="x.json"
+            )

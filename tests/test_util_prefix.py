@@ -1,0 +1,109 @@
+"""Tests for the shared prefix-bucketed candidate-generation kernel.
+
+The load-bearing property is *bit-identity with the seed generator*:
+:func:`repro.util.prefix.prefix_join_candidates` must return exactly the
+list (same masks, same order) that the pre-PR-5 highest-bit/``seen``-set
+loop returned, because levelwise checkpoints, Theorem 10 accounting, and
+the parallel determinism contract are all stated over that list.  The
+frozen seed loop lives in :mod:`benchmarks.perf_kernels` precisely so
+this equivalence stays testable forever.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from benchmarks.perf_kernels import reference_generate_candidates
+from repro.util.prefix import parents_all_in, prefix_join_candidates
+
+
+@st.composite
+def graded_levels(draw, max_vertices: int = 10, max_level: int = 14):
+    """Strategy: ``(n, rank, level, known)`` with a well-formed level.
+
+    ``level`` is a set of distinct rank-``rank`` masks over ``n`` bits;
+    ``known`` contains the level plus arbitrary masks of *other* ranks —
+    the kernel's contract is that the rank-``rank`` slice of ``known``
+    equals the level (true at every call site: Apriori passes the level
+    itself, levelwise passes its interesting set, whose rank-``rank``
+    members are exactly the level's survivors).
+    """
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    rank = draw(st.integers(min_value=0, max_value=n))
+    pool = [
+        sum(1 << bit for bit in combo)
+        for combo in itertools.combinations(range(n), rank)
+    ]
+    size = draw(st.integers(min_value=0, max_value=min(len(pool), max_level)))
+    level = sorted(draw(st.permutations(pool))[:size])
+    extras = draw(
+        st.sets(st.integers(min_value=0, max_value=(1 << n) - 1), max_size=8)
+    )
+    known = set(level) | {m for m in extras if m.bit_count() != rank}
+    return n, rank, level, known
+
+
+class TestPrefixJoinEquivalence:
+    @settings(max_examples=300, deadline=None)
+    @given(graded_levels())
+    def test_matches_seed_generator_exactly(self, data):
+        """Same candidate list, same order, as the frozen seed loop."""
+        n, _, level, known = data
+        assert prefix_join_candidates(level, n, known) == (
+            reference_generate_candidates(level, known, n)
+        )
+
+    @settings(max_examples=200, deadline=None)
+    @given(graded_levels())
+    def test_default_known_is_the_level(self, data):
+        n, _, level, _ = data
+        assert prefix_join_candidates(level, n) == (
+            reference_generate_candidates(level, set(level), n)
+        )
+
+    @settings(max_examples=200, deadline=None)
+    @given(graded_levels())
+    def test_candidates_are_pruned_and_one_rank_up(self, data):
+        n, rank, level, known = data
+        candidates = prefix_join_candidates(level, n, known)
+        assert len(set(candidates)) == len(candidates)
+        for mask in candidates:
+            assert mask.bit_count() == rank + 1
+            assert parents_all_in(mask, known)
+
+    def test_rank_zero_level_yields_all_singletons(self):
+        assert prefix_join_candidates([0], 3) == [1, 2, 4]
+        assert prefix_join_candidates([0], 3, known=set()) == []
+
+    def test_empty_level_yields_nothing(self):
+        assert prefix_join_candidates([], 5) == []
+
+
+class TestParentsAllIn:
+    def test_empty_mask_passes_vacuously(self):
+        assert parents_all_in(0, set())
+
+    def test_detects_missing_parent(self):
+        family = {0b011, 0b101}
+        assert not parents_all_in(0b111, family)  # 0b110 missing
+        assert parents_all_in(0b111, family | {0b110})
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.data(),
+    )
+    def test_matches_explicit_subset_enumeration(self, n, data):
+        mask = data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+        family = data.draw(
+            st.sets(st.integers(min_value=0, max_value=(1 << n) - 1), max_size=12)
+        )
+        parents = [
+            mask ^ (1 << bit) for bit in range(n) if mask >> bit & 1
+        ]
+        assert parents_all_in(mask, family) == all(
+            parent in family for parent in parents
+        )

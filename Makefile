@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test perf perf-check lint bench faults trace-smoke par-smoke \
-	eclat-smoke coverage
+	eclat-smoke steal-smoke coverage
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -21,10 +21,13 @@ perf:
 perf-check:
 	$(eval BENCH_PR1_OUT := $(shell mktemp /tmp/bench_pr1.XXXXXX.json))
 	$(eval BENCH_PR5_OUT := $(shell mktemp /tmp/bench_pr5.XXXXXX.json))
+	$(eval BENCH_PR6_OUT := $(shell mktemp /tmp/bench_pr6.XXXXXX.json))
 	$(PYTHON) -m benchmarks.run_perf --suite pr1 --output $(BENCH_PR1_OUT)
 	$(PYTHON) -m benchmarks.check_regression $(BENCH_PR1_OUT)
 	$(PYTHON) -m benchmarks.run_perf --suite pr5 --output $(BENCH_PR5_OUT)
 	$(PYTHON) -m benchmarks.check_regression $(BENCH_PR5_OUT)
+	$(PYTHON) -m benchmarks.bench_steal --output $(BENCH_PR6_OUT)
+	$(PYTHON) -m benchmarks.check_regression $(BENCH_PR6_OUT)
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q
@@ -70,6 +73,25 @@ eclat-smoke:
 		--engine eclat --workers 2
 	$(PYTHON) -m benchmarks.trace_report $(ECLAT_DIR)/smoke.jsonl --validate
 	rm -rf $(ECLAT_DIR)
+
+# Work-stealing + shared-memory smoke: the steal determinism suite at
+# 2 workers, a CLI mine through each --memory transport (identical
+# theories by construction — the suite asserts it), a traced shm mine
+# schema-validated offline, and the /dev/shm leak sweep.
+steal-smoke:
+	$(eval STEAL_DIR := $(shell mktemp -d /tmp/steal_smoke.XXXXXX))
+	$(PYTHON) -m pytest -x -q --workers 2 tests/test_parallel_steal.py \
+		tests/test_parallel_shm.py
+	$(PYTHON) -m repro generate $(STEAL_DIR)/smoke.dat \
+		--items 20 --transactions 500 --seed 11
+	$(PYTHON) -m repro mine $(STEAL_DIR)/smoke.dat --min-support 0.3 \
+		--algorithm eclat --workers 2 --memory shm \
+		--trace $(STEAL_DIR)/smoke.jsonl --metrics
+	$(PYTHON) -m repro mine $(STEAL_DIR)/smoke.dat --min-support 0.3 \
+		--algorithm eclat --workers 2 --memory pickle
+	$(PYTHON) -m benchmarks.trace_report $(STEAL_DIR)/smoke.jsonl --validate
+	$(PYTHON) -m benchmarks.shm_leak_check
+	rm -rf $(STEAL_DIR)
 
 # Line-coverage floor over src/repro (requires pytest-cov, which CI
 # installs; not part of the baked-in local toolchain).

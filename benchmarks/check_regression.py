@@ -1,9 +1,13 @@
 """Performance-regression gate over ``run_perf`` reports.
 
-Compares a freshly generated report against the committed baseline of
-its suite — the fresh report's ``pr`` field selects
-``BENCH_PR<n>.json``, ``--baseline`` overrides — and fails when any
-shared workload regressed by more than the tolerance (default 30%)::
+Compares a freshly generated report against **every** committed
+``BENCH_PR*.json`` baseline that shares a workload name with it —
+not just the one named by the report's ``pr`` field, so a workload
+carried across PRs is gated against its strongest committed number,
+and a regression introduced in PR ``n+1`` cannot hide behind a weaker
+PR ``n+1`` baseline.  ``--baseline`` restricts the comparison to one
+explicit file.  The gate fails when any shared workload regressed by
+more than the tolerance (default 30%)::
 
     PYTHONPATH=src python -m benchmarks.run_perf --suite pr5 \
         --output /tmp/bench.json
@@ -34,6 +38,35 @@ DEFAULT_TOLERANCE = 0.30
 def baseline_path_for(fresh: dict) -> Path:
     """Committed baseline for a fresh report's suite (its ``pr`` field)."""
     return REPO_ROOT / f"BENCH_PR{fresh.get('pr', 1)}.json"
+
+
+def committed_baselines() -> list[Path]:
+    """Every committed ``BENCH_PR*.json``, sorted by PR number."""
+
+    def _pr_key(path: Path):
+        digits = "".join(c for c in path.stem if c.isdigit())
+        return (int(digits) if digits else 0, path.name)
+
+    return sorted(REPO_ROOT.glob("BENCH_PR*.json"), key=_pr_key)
+
+
+def baselines_for(fresh: dict) -> list[Path]:
+    """All committed baselines sharing at least one workload name.
+
+    The report's own ``pr`` baseline is included when present; a fresh
+    report whose workloads appear in older baselines is gated against
+    those too (a workload's history is its contract, not its file).
+    """
+    names = set(_by_name(fresh))
+    matching: list[Path] = []
+    for path in committed_baselines():
+        try:
+            report = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if names & set(_by_name(report)):
+            matching.append(path)
+    return matching
 
 
 def _by_name(report: dict) -> dict[str, dict]:
@@ -95,8 +128,8 @@ def main(argv=None) -> int:
         "--baseline",
         type=Path,
         default=None,
-        help="baseline report (default: the BENCH_PR<n>.json matching "
-        "the fresh report's 'pr' field)",
+        help="compare against this one report only (default: every "
+        "committed BENCH_PR*.json sharing a workload name)",
     )
     parser.add_argument(
         "--metric",
@@ -115,33 +148,49 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     fresh = json.loads(args.fresh.read_text())
-    baseline_path = args.baseline or baseline_path_for(fresh)
-    baseline = json.loads(baseline_path.read_text())
-    base_names = set(_by_name(baseline))
+    if args.baseline is not None:
+        baseline_paths = [args.baseline]
+    else:
+        baseline_paths = baselines_for(fresh)
+        if not baseline_paths:
+            fallback = baseline_path_for(fresh)
+            baseline_paths = [fallback] if fallback.exists() else []
     new_names = set(_by_name(fresh))
-    for name in sorted(base_names - new_names):
-        print(f"note: workload {name!r} missing from the fresh report")
-    for name in sorted(new_names - base_names):
-        print(f"note: workload {name!r} has no baseline yet")
 
-    problems = compare(
-        baseline, fresh, metric=args.metric, tolerance=args.tolerance
-    )
+    problems: list[str] = []
+    covered: set[str] = set()
+    for baseline_path in baseline_paths:
+        baseline = json.loads(baseline_path.read_text())
+        base_names = set(_by_name(baseline))
+        shared = base_names & new_names
+        covered |= shared
+        if not shared:
+            print(f"note: {baseline_path.name} shares no workloads")
+            continue
+        for problem in compare(
+            baseline, fresh, metric=args.metric, tolerance=args.tolerance
+        ):
+            problems.append(f"[vs {baseline_path.name}] {problem}")
+        for name in sorted(shared):
+            b, f = _by_name(baseline)[name], _by_name(fresh)[name]
+            print(
+                f"{name} [vs {baseline_path.name}]: baseline speedup "
+                f"{b['speedup']:.2f}x ({b['new_seconds']:.4f}s) -> "
+                f"fresh {f['speedup']:.2f}x ({f['new_seconds']:.4f}s)"
+            )
+    for name in sorted(new_names - covered):
+        print(f"note: workload {name!r} has no baseline yet")
     if not fresh.get("targets_met", True):
         problems.append("fresh report has unmet speedup targets")
-    for name in sorted(base_names & new_names):
-        b, f = _by_name(baseline)[name], _by_name(fresh)[name]
-        print(
-            f"{name}: baseline speedup {b['speedup']:.2f}x "
-            f"({b['new_seconds']:.4f}s) -> fresh {f['speedup']:.2f}x "
-            f"({f['new_seconds']:.4f}s)"
-        )
     if problems:
         for problem in problems:
             print(f"REGRESSION: {problem}", file=sys.stderr)
         return 1
-    print(f"gate passed: no workload regressed by more than "
-          f"{args.tolerance:.0%} ({args.metric})")
+    baselines_label = ", ".join(p.name for p in baseline_paths) or "none"
+    print(
+        f"gate passed: no workload regressed by more than "
+        f"{args.tolerance:.0%} ({args.metric}) vs {baselines_label}"
+    )
     return 0
 
 

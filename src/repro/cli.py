@@ -147,8 +147,18 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1,
         metavar="N",
         help="worker processes: sharded support counting for "
-        "--algorithm levelwise, root-class sharding for --algorithm "
-        "eclat (results are bit-identical to serial either way)",
+        "--algorithm levelwise, work-stolen subtree tasks for "
+        "--algorithm eclat (results are bit-identical to serial "
+        "either way)",
+    )
+    mine.add_argument(
+        "--memory",
+        choices=("auto", "shm", "pickle"),
+        default="auto",
+        help="worker transport for --workers > 1: 'shm' maps one "
+        "shared-memory copy of the vertical store into every worker "
+        "(zero-copy), 'pickle' ships the data per process, 'auto' "
+        "picks shm when available (results are identical either way)",
     )
     _add_observability_flags(mine)
 
@@ -348,6 +358,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             resume=args.resume,
             tracer=tracer,
             workers=args.workers,
+            memory=args.memory,
         )
     finally:
         finalize()

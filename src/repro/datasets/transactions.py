@@ -82,7 +82,17 @@ class TransactionDatabase:
     Rows may repeat (multiset semantics, as in market-basket data).
     """
 
-    __slots__ = ("universe", "_rows", "_columns", "_backend", "_matrix")
+    __slots__ = (
+        "universe",
+        "_rows",
+        "_n_rows",
+        "_columns",
+        "_backend",
+        "_matrix",
+        # weak-referenceable so ShmVerticalStore can detach the shared
+        # numpy views of issued databases without keeping them alive
+        "__weakref__",
+    )
 
     def __init__(
         self,
@@ -100,10 +110,72 @@ class TransactionDatabase:
         for row in rows:
             if row & ~universe.full_mask:
                 raise ValueError("transaction uses items outside the universe")
-        self._rows: list[int] = rows
+        self._rows: list[int] | None = rows
+        self._n_rows: int = len(rows)
         self._columns: list[int] = self._build_columns(rows, len(universe))
         self._backend = backend
         self._matrix = None  # chunked vertical bitmaps, built lazily
+
+    @classmethod
+    def from_vertical(
+        cls,
+        universe: Universe,
+        columns: Sequence[int],
+        n_rows: int,
+        *,
+        backend: str = "auto",
+    ) -> "TransactionDatabase":
+        """Build directly from per-item column bitmaps (tidsets).
+
+        The vertical-first constructor used by the shared-memory store
+        (:class:`repro.parallel.shm.ShmVerticalStore`): a worker that
+        mapped the column bitmaps of a published database reconstructs
+        a counting-equivalent instance without ever materializing the
+        horizontal row list.  Rows are derived lazily (and only) when a
+        horizontal view is actually requested (``transaction_masks``,
+        ``project``, iteration); every counting path — ``support_count``,
+        ``support_counts``, tidsets, diffsets — works straight off the
+        columns.
+        """
+        if backend not in _BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {_BACKENDS}"
+            )
+        if len(columns) != len(universe):
+            raise ValueError(
+                f"expected {len(universe)} columns, got {len(columns)}"
+            )
+        if n_rows < 0:
+            raise ValueError("n_rows must be non-negative")
+        full = (1 << n_rows) - 1
+        for column in columns:
+            if column & ~full:
+                raise ValueError("column uses rows outside the database")
+        database = cls.__new__(cls)
+        database.universe = universe
+        database._rows = None
+        database._n_rows = n_rows
+        database._columns = list(columns)
+        database._backend = backend
+        database._matrix = None
+        return database
+
+    def _rows_view(self) -> list[int]:
+        """The horizontal row list, materialized from columns on demand.
+
+        Instances built by :meth:`from_vertical` carry no rows until a
+        horizontal consumer asks; the reconstruction (transpose of the
+        column bitmaps) preserves the exact row order the columns
+        encode, so a round trip is the identity.
+        """
+        if self._rows is None:
+            rows = [0] * self._n_rows
+            for item_index, column in enumerate(self._columns):
+                item_bit = 1 << item_index
+                for row_index in iter_bits(column):
+                    rows[row_index] |= item_bit
+            self._rows = rows
+        return self._rows
 
     @staticmethod
     def _build_columns(rows: Sequence[int], n_items: int) -> list[int]:
@@ -147,7 +219,7 @@ class TransactionDatabase:
     @property
     def n_transactions(self) -> int:
         """Number of rows."""
-        return len(self._rows)
+        return self._n_rows
 
     @property
     def n_items(self) -> int:
@@ -155,10 +227,10 @@ class TransactionDatabase:
         return len(self.universe)
 
     def __len__(self) -> int:
-        return len(self._rows)
+        return self._n_rows
 
     def __iter__(self):
-        return iter(self._rows)
+        return iter(self._rows_view())
 
     def __repr__(self) -> str:
         return (
@@ -174,7 +246,7 @@ class TransactionDatabase:
     @property
     def transaction_masks(self) -> list[int]:
         """A copy of the horizontal representation (safe to mutate)."""
-        return list(self._rows)
+        return list(self._rows_view())
 
     def shards(self, n_shards: int) -> list["TransactionDatabase"]:
         """Split the rows into contiguous shard databases.
@@ -187,13 +259,14 @@ class TransactionDatabase:
         """
         from repro.parallel.sharding import shard_bounds
 
+        rows = self._rows_view()
         return [
             TransactionDatabase(
                 self.universe,
-                self._rows[start:stop],
+                rows[start:stop],
                 backend=self._backend,
             )
-            for start, stop in shard_bounds(len(self._rows), n_shards)
+            for start, stop in shard_bounds(self._n_rows, n_shards)
         ]
 
     def _masks_view(self) -> list[int]:
@@ -203,11 +276,11 @@ class TransactionDatabase:
         harnesses) that would otherwise pay a defensive copy per call.
         Callers must not mutate the returned list.
         """
-        return self._rows
+        return self._rows_view()
 
     def transactions_as_sets(self) -> list[frozenset]:
         """Rows as ``frozenset`` objects (allocates; for inspection)."""
-        return [self.universe.to_set(row) for row in self._rows]
+        return [self.universe.to_set(row) for row in self._rows_view()]
 
     # -- support ------------------------------------------------------------
 
@@ -219,7 +292,7 @@ class TransactionDatabase:
         always frequent (the levelwise seed).
         """
         if itemset_mask == 0:
-            return len(self._rows)
+            return self._n_rows
         columns = self._columns
         bits = iter_bits(itemset_mask)
         accumulator = columns[next(bits)]
@@ -270,13 +343,13 @@ class TransactionDatabase:
             return True
         return (
             batch_size >= _AUTO_MIN_BATCH
-            and len(self._rows) >= _AUTO_MIN_ROWS
+            and self._n_rows >= _AUTO_MIN_ROWS
         )
 
     def _vertical_matrix(self):
         """The chunked vertical bitmaps: ``(n_items, ⌈n/64⌉)`` uint64."""
         if self._matrix is None:
-            n_chunks = (len(self._rows) + 63) // 64
+            n_chunks = (self._n_rows + 63) // 64
             n_bytes = n_chunks * 8
             packed = b"".join(
                 column.to_bytes(n_bytes, "little") for column in self._columns
@@ -388,7 +461,7 @@ class TransactionDatabase:
 
     def _support_counts_numpy_1chunk(self, masks: list[int]) -> list[int]:
         n = len(masks)
-        n_rows = len(self._rows)
+        n_rows = self._n_rows
         vector = _np.fromiter(masks, dtype=_np.uint64, count=n)
         sizes = _np.bitwise_count(vector)
         out = _np.empty(n, dtype=_np.int64)
@@ -419,7 +492,7 @@ class TransactionDatabase:
             return []
         if len(self.universe) <= 64:
             return self._support_counts_numpy_1chunk(masks)
-        n_rows = len(self._rows)
+        n_rows = self._n_rows
         mask_chunks = max(1, (len(self.universe) + 63) // 64)
         mask_bytes = mask_chunks * 8
         packed = b"".join(m.to_bytes(mask_bytes, "little") for m in masks)
@@ -457,20 +530,20 @@ class TransactionDatabase:
         the same count.  Bit-identical to :meth:`support_count`.
         """
         if itemset_mask == 0:
-            return len(self._rows)
+            return self._n_rows
         full = self.full_tidset
         columns = self._columns
         missing = 0
         for item_index in iter_bits(itemset_mask):
             missing |= full & ~columns[item_index]
-        return len(self._rows) - popcount(missing)
+        return self._n_rows - popcount(missing)
 
     # -- tidsets (the Eclat vertical surface) --------------------------------
 
     @property
     def full_tidset(self) -> int:
         """Bitmask with one set bit per transaction (the tidset of ∅)."""
-        return (1 << len(self._rows)) - 1
+        return (1 << self._n_rows) - 1
 
     def tidsets_view(self) -> list[int]:
         """The per-item column bitmaps (tidsets of singletons), zero-copy.
@@ -507,9 +580,9 @@ class TransactionDatabase:
 
     def frequency(self, itemset_mask: int) -> float:
         """Relative support in ``[0, 1]`` (0.0 for an empty database)."""
-        if not self._rows:
+        if not self._n_rows:
             return 0.0
-        return self.support_count(itemset_mask) / len(self._rows)
+        return self.support_count(itemset_mask) / self._n_rows
 
     def is_frequent(self, itemset_mask: int, min_support: int) -> bool:
         """True when support count reaches the absolute threshold."""
@@ -527,7 +600,7 @@ class TransactionDatabase:
 
         if min_frequency == 0.0:
             return 0
-        return max(1, math.ceil(min_frequency * len(self._rows)))
+        return max(1, math.ceil(min_frequency * self._n_rows))
 
     def item_support_counts(self) -> list[int]:
         """Support count of each single item, in universe order."""

@@ -93,6 +93,7 @@ def mine_frequent_itemsets(
     resume=None,
     tracer=None,
     workers: int | None = None,
+    memory: str = "auto",
 ) -> "Theory | PartialResult":
     """Mine the maximal frequent itemsets with a chosen algorithm.
 
@@ -128,9 +129,13 @@ def mine_frequent_itemsets(
         workers: worker processes (``"levelwise"`` and ``"eclat"``; see
             ``docs/API.md`` §12–13).  ``None`` or ``<= 1`` runs
             serially; larger values fan each candidate level across
-            per-worker database shards (levelwise) or root equivalence
-            classes across pool workers (eclat), with bit-identical
-            results and query accounting either way.
+            per-worker database shards (levelwise) or work-stolen
+            subtree tasks across pool workers (eclat), with
+            bit-identical results and query accounting either way.
+        memory: worker transport for parallel runs — ``"shm"``
+            (zero-copy shared vertical store), ``"pickle"``, or
+            ``"auto"`` (shm when available; the default).  Ignored
+            serially; results never depend on it (docs/API.md §14).
 
     Returns:
         A :class:`~repro.core.theory.Theory`, or a
@@ -176,6 +181,7 @@ def mine_frequent_itemsets(
                 budget=budget,
                 resume=resume,
                 tracer=tracer,
+                memory=memory,
             )
         # eclat routes its own root-class sharding below.
     predicate = FrequencyPredicate(database, min_support)
@@ -188,6 +194,7 @@ def mine_frequent_itemsets(
             budget=budget,
             tracer=tracer,
             workers=workers,
+            memory=memory,
         )
         if isinstance(result, PartialResult):
             return result

@@ -246,6 +246,7 @@ def eclat(
     on_exhaust: str = "return",
     tracer: "Tracer | None" = None,
     workers: int | None = None,
+    memory: str = "auto",
 ) -> "EclatResult | PartialResult":
     """Mine all frequent itemsets depth-first with memoized covers.
 
@@ -279,11 +280,15 @@ def eclat(
             :class:`~repro.obs.monitor.TheoremMonitor` certifies against
             the Theorem 2 floor and the Corollary 13 ceiling.  Tracing
             never changes the result (property-tested).
-        workers: ``None`` or ``<= 1`` runs serially; larger values shard
-            root equivalence classes across a
-            :class:`~repro.parallel.pool.WorkerPool` via
-            :func:`repro.parallel.eclat.eclat_parallel` with
-            bit-identical output.
+        workers: ``None`` or ``<= 1`` runs serially; larger values fan
+            subtree tasks across a
+            :class:`~repro.parallel.pool.WorkerPool` with dynamic work
+            stealing via :func:`repro.parallel.eclat.eclat_parallel`,
+            with bit-identical output.
+        memory: worker transport for parallel runs — ``"shm"``
+            (zero-copy shared vertical store), ``"pickle"``, or
+            ``"auto"`` (shm when available).  Ignored serially; results
+            never depend on it.
 
     Returns:
         An :class:`EclatResult` whose theory and borders equal
@@ -312,6 +317,7 @@ def eclat(
             budget=budget,
             on_exhaust=on_exhaust,
             tracer=tracer,
+            memory=memory,
         )
     tracer = as_tracer(tracer)
     universe = database.universe

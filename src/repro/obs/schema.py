@@ -120,6 +120,10 @@ KNOWN_EVENTS: dict[str, tuple[str, tuple[str, ...]]] = {
     "worker.crash": ("event", ("error",)),
     "worker.fallback": ("event", ("reason",)),
     "worker.minimize": ("event", ("size", "chunks")),
+    "worker.steal": ("event", ("seq", "pending")),
+    # shared-memory vertical store (repro.parallel.shm)
+    "shm.publish": ("event", ("segment", "bytes", "rows", "items")),
+    "shm.attach": ("event", ("segment", "workers")),
 }
 
 

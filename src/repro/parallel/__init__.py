@@ -14,16 +14,25 @@ restart allowance):
   checkpoints (resumable with a different worker count), and tracing
   compose unchanged.
 * :func:`~repro.parallel.eclat.eclat_parallel` — the depth-first
-  vertical miner with root equivalence classes fanned across the pool;
-  each worker mines whole subtrees through the serial hot kernel, so
-  the merged result is the serial one bit for bit.
+  vertical miner with subtree tasks dynamically *work-stolen* across
+  the pool (:class:`~repro.parallel.steal.StealScheduler`); each worker
+  mines through the serial hot kernel and results fold in task-sequence
+  order, so the merged result is the serial one bit for bit at every
+  worker count and steal schedule.
 * :func:`~repro.parallel.minimize.minimize_masks_parallel` /
   :func:`~repro.parallel.minimize.berge_transversals_parallel` —
   chunked antichain reduction merged with
   :func:`~repro.util.antichain.merge_antichains`, and the Berge engine
   built on it.
 
-See ``docs/API.md`` §12 for the determinism guarantees and
+Transaction data reaches workers through the ``memory=`` switch:
+``"shm"`` publishes the vertical bitmaps once into a
+:class:`~repro.parallel.shm.ShmVerticalStore` (zero-copy — workers map
+the same pages), ``"pickle"`` ships them through the pool initializer,
+and ``"auto"`` picks shm when the platform has it.  Results never
+depend on the transport.
+
+See ``docs/API.md`` §12–14 for the determinism guarantees and
 worker-crash semantics.
 """
 
@@ -38,15 +47,34 @@ from repro.parallel.minimize import (
 )
 from repro.parallel.pool import WorkerPool, WorkerPoolBroken, resolve_workers
 from repro.parallel.predicate import ShardedFrequencyPredicate
-from repro.parallel.sharding import ShardedSupportCounter, shard_bounds
+from repro.parallel.sharding import (
+    ShardedSupportCounter,
+    aligned_shard_bounds,
+    shard_bounds,
+)
+from repro.parallel.shm import (
+    MEMORY_MODES,
+    ShmHandle,
+    ShmVerticalStore,
+    resolve_memory,
+    shm_available,
+)
+from repro.parallel.steal import StealScheduler
 
 __all__ = [
     "WorkerPool",
     "WorkerPoolBroken",
     "resolve_workers",
     "shard_bounds",
+    "aligned_shard_bounds",
     "ShardedSupportCounter",
     "ShardedFrequencyPredicate",
+    "MEMORY_MODES",
+    "ShmHandle",
+    "ShmVerticalStore",
+    "StealScheduler",
+    "resolve_memory",
+    "shm_available",
     "eclat_parallel",
     "levelwise_parallel",
     "mine_frequent_itemsets_parallel",

@@ -1,29 +1,57 @@
-"""Root-equivalence-class sharding for the depth-first vertical miner.
+"""Work-stealing parallel Eclat over a shared-memory vertical store.
 
-The Rymon tree decomposes at its first level: the subtree under root
-member ``x_i`` (prefix ``{x_i}``, candidate tail ``{x_j : j > i}``)
-shares no evaluated mask with any sibling subtree, so the whole run
-splits into one coordinator step (``∅`` plus all singletons — the root
-class) and independent root tasks.  Each worker receives the vertical
-column bitmaps once (pool initializer), rebuilds the root class with the
-same deterministic tidset→diffset switch the serial engine applies, and
-mines its assigned subtree through the *same* hot kernel
-(:func:`repro.mining.eclat._mine_subtree`) — so the union of the
-per-root results is bit-identical to the serial run: same supports, same
-rejected masks, same node counts, same query total.
+PR 5 sharded the Rymon tree at its first level and dispatched root
+subtrees in deterministic *waves* — a barrier per ``workers`` subtrees.
+On the skewed class sizes the paper's borders produce (one deep prefix
+subtree, many shallow ones) a wave runs at the speed of its slowest
+subtree.  This engine removes both the barrier and the per-worker
+pickled database copy:
 
-Budgets are honoured at *wave* granularity: roots are dispatched in
-batches of ``workers``, the budget is checked between waves, and on
-exhaustion the remaining roots become the partial result's frontier
-(the pairwise masks ``{x_r, x_j}`` — every undecided itemset extends
-one of them, or is decided by an infrequent singleton in the history).
-One wave of subtrees is the atomic overshoot unit, the parallel
-analogue of the serial engine's one-evaluation granularity.
+* **transport** — with ``memory="shm"`` the coordinator publishes the
+  column bitmaps once into a
+  :class:`~repro.parallel.shm.ShmVerticalStore`; the pool initializer
+  ships only the small segment handle, and each worker materializes its
+  big-int columns straight from the mapped pages (no pickle stream).
+  ``memory="pickle"`` keeps the PR 5 transport for platforms without
+  shared memory; ``"auto"`` picks shm when available.
+* **scheduling** — tasks go through a
+  :class:`~repro.parallel.steal.StealScheduler`: a coordinator-owned
+  deque, idle workers steal from the tail the moment they finish, and
+  results fold strictly by task sequence number.  Large root classes
+  are *split* one level down (every depth-2 subtree of a root whose
+  tail has at least ``_SPLIT_TAIL`` members becomes its own task), so
+  even a single dominant root subtree spreads across all workers.
 
-A pool that dies past its restart allowance degrades to the serial
-kernel on the coordinator for the remaining roots (``worker.fallback``
-event), never corrupting the result — the
-:class:`~repro.parallel.pool.WorkerPool` contract.
+**Determinism.**  The task list, the split rule, and the fold order are
+functions of the database and threshold alone — never of the worker
+count or the steal schedule.  Workers compute pure functions of their
+payloads; every side effect (support recording, query charging, budget
+checks, trace events) happens coordinator-side in fold order.  The
+depth-2 evaluations of a split root are *computed* during task
+building (workers need the task list immediately) but *charged* at the
+root's serial DFS position in the fold stream, so theory, Bd+, Bd-,
+supports, node counts, and Theorem 10/21 query accounting are
+bit-identical to the serial engine at every worker count — and a
+mid-run budget cut lands between the same two fold steps everywhere,
+making budgeted :class:`~repro.runtime.partial.PartialResult`s
+deterministic too (the wave-free replacement for PR 5's wave-granular
+budgets; one task subtree is now the overshoot unit).
+
+The partial's lower frontier stays *complete* at any cut: remaining
+singletons (and pairwise masks of confirmed ones) during the root
+class; during a split-root charge its unreplayed pair masks plus
+pairwise specializations of its confirmed members; pairwise root masks
+for every untouched subtree; and for a charged split root the pairwise
+specializations of its child prefixes per unfolded task.  Every
+undecided mask extends one of these (monotonicity decides the rest).
+
+Crash tolerance is the scheduler's: a dying pool reclaims in-flight
+tasks and retries on a rebuilt pool through the bounded restart
+allowance; past it the coordinator mines the remaining sequence
+numbers itself (``worker.fallback``), still folding in order.  The
+shared-memory segment is tied to the pool as a finalizer — pool close
+(normal, exception, or interrupt) unlinks it, with an ``atexit`` hook
+as the last line of defence against leaked ``/dev/shm`` entries.
 """
 
 from __future__ import annotations
@@ -34,19 +62,29 @@ from repro.core.errors import BudgetExhausted
 from repro.datasets.transactions import TransactionDatabase
 from repro.mining.eclat import (
     EclatResult,
+    _expand,
     _maximal_from_supports,
     _mine_subtree,
 )
 from repro.obs.tracer import as_tracer
 from repro.parallel.pool import WorkerPool, WorkerPoolBroken, resolve_workers
+from repro.parallel.shm import ShmVerticalStore, resolve_memory
+from repro.parallel.steal import StealScheduler
 from repro.runtime.partial import PartialResult, build_partial
 from repro.util.bitset import popcount
 from repro.util.prefix import parents_all_in
 
 __all__ = ["eclat_parallel"]
 
+#: Root members whose candidate tail has at least this many members are
+#: split into one task per depth-2 subtree; shorter tails ship as one
+#: whole-root task.  A constant (never derived from the worker count)
+#: so the task list — and with it every budget cut point — is identical
+#: at every worker count.
+_SPLIT_TAIL = 4
+
 # Per-process worker state: set once by the pool initializer, read by
-# every _mine_root call in that process (same pattern as
+# every _mine_task call in that process (same pattern as
 # repro.parallel.sharding).
 _WORKER_STATE: dict = {}
 
@@ -79,36 +117,105 @@ def _root_class(
     return members, False
 
 
-def _init_eclat_worker(
-    columns: tuple[int, ...], n_rows: int, threshold: int
-) -> None:
-    members, is_diff = _root_class(list(columns), n_rows, threshold)
+def _init_steal_worker(spec: tuple) -> None:
+    """Build the per-process mining state from the transport spec.
+
+    ``("shm", handle, threshold)`` attaches the published segment and
+    reads the columns from the mapped pages (then unmaps — the big-int
+    kernel owns its columns from here); ``("pickle", columns, n_rows,
+    threshold)`` is the shipped-once fallback transport.
+    """
+    _WORKER_STATE.clear()
+    if spec[0] == "shm":
+        handle, threshold = spec[1], spec[2]
+        store = ShmVerticalStore.attach(handle)
+        try:
+            columns = store.columns()
+        finally:
+            store.close()
+        n_rows = handle.n_rows
+    else:
+        columns = list(spec[1])
+        n_rows = spec[2]
+        threshold = spec[3]
+    members, is_diff = _root_class(columns, n_rows, threshold)
     _WORKER_STATE["members"] = members
     _WORKER_STATE["is_diff"] = is_diff
     _WORKER_STATE["threshold"] = threshold
+    _WORKER_STATE["expansions"] = {}
 
 
-def _mine_root(position: int) -> tuple[dict[int, int], list[int], int, int]:
-    """Mine the subtree rooted at root member ``position`` (in a worker).
+def _mine_payload(
+    members: list[tuple[int, int, int]],
+    is_diff: bool,
+    threshold: int,
+    expansions: dict,
+    position: int,
+    split_index: int | None,
+) -> tuple[dict[int, int], list[int], int, int, float]:
+    """Mine one task subtree — the pure kernel both sides share.
 
-    Pure function of the initializer state plus ``position`` — safe for
-    the pool's whole-batch retry on a crash.
+    ``split_index=None`` mines the whole subtree under root member
+    ``position``; otherwise the depth-2 subtree under that root's
+    ``split_index``-th child.  Child classes of split roots are derived
+    once per process and memoized in ``expansions`` (their evaluations
+    are charged coordinator-side; recomputation here is pure).
+    Returns ``(supports, rejected, nodes, diffset_nodes, seconds)``.
     """
-    members = _WORKER_STATE["members"]
+    t0 = time.perf_counter()
     bit, supp, cover = members[position]
     supports: dict[int, int] = {}
     rejected: list[int] = []
-    nodes, diffset_nodes = _mine_subtree(
-        bit,
+    if split_index is None:
+        nodes, diffset_nodes = _mine_subtree(
+            bit,
+            is_diff,
+            supp,
+            cover,
+            members[position + 1 :],
+            threshold,
+            supports,
+            rejected,
+        )
+    else:
+        node = expansions.get(position)
+        if node is None:
+            node = _expand(
+                bit,
+                is_diff,
+                supp,
+                cover,
+                members[position + 1 :],
+                threshold,
+                {},
+                [],
+            )
+            expansions[position] = node
+        child_members, child_diff = node
+        child_bit, child_supp, child_cover = child_members[split_index]
+        nodes, diffset_nodes = _mine_subtree(
+            bit | child_bit,
+            child_diff,
+            child_supp,
+            child_cover,
+            child_members[split_index + 1 :],
+            threshold,
+            supports,
+            rejected,
+        )
+    return supports, rejected, nodes, diffset_nodes, time.perf_counter() - t0
+
+
+def _mine_task(position: int, split_index: int | None):
+    """Worker entry point: mine one task from the initializer state."""
+    return _mine_payload(
+        _WORKER_STATE["members"],
         _WORKER_STATE["is_diff"],
-        supp,
-        cover,
-        members[position + 1 :],
         _WORKER_STATE["threshold"],
-        supports,
-        rejected,
+        _WORKER_STATE["expansions"],
+        position,
+        split_index,
     )
-    return supports, rejected, nodes, diffset_nodes
 
 
 def eclat_parallel(
@@ -119,34 +226,46 @@ def eclat_parallel(
     budget=None,
     on_exhaust: str = "return",
     tracer=None,
+    memory: str = "auto",
+    steal_rng=None,
 ) -> "EclatResult | PartialResult":
-    """Depth-first vertical mining with root subtrees fanned across a pool.
+    """Depth-first vertical mining, work-stolen across a worker pool.
 
     Args:
         database: the transaction database.
         min_support: absolute (int) or relative (float) threshold.
         workers: worker processes; ``None`` or ``<= 1`` delegates to the
             serial :func:`repro.mining.eclat.eclat`.
-        budget: optional :class:`~repro.runtime.budget.Budget`, checked
-            on the coordinator before the root class and between
-            dispatch waves (one wave of root subtrees is the overshoot
-            unit).
+        budget: optional :class:`~repro.runtime.budget.Budget`, charged
+            coordinator-side in fold order — before every coordinator
+            evaluation and before every task fold, so cut points are
+            identical at every worker count (one task subtree is the
+            overshoot unit).
         on_exhaust: ``"return"`` or ``"raise"``, as in the serial
             engine.
-        tracer: optional tracer.  The coordinator emits the ``eclat.run``
-            span, the root-class ``eclat.node`` event, one ``oracle.query``
-            event per evaluation (worker answers are re-emitted on merge
-            — same masks and answers as serial, grouped per subtree
-            rather than interleaved), per-wave ``worker.batch`` events,
-            and the ``eclat.done`` accounting that
+        tracer: optional tracer.  The coordinator emits the
+            ``eclat.run`` span, ``shm.publish``/``shm.attach`` when the
+            shared store is used, root-level ``eclat.node`` events, one
+            ``oracle.query`` event per evaluation (worker answers are
+            re-emitted on fold — same masks and answers as serial,
+            grouped per subtree), one ``worker.steal`` event per steal,
+            one ``worker.batch`` event per folded task, and the
+            ``eclat.done`` accounting that
             :class:`~repro.obs.monitor.TheoremMonitor` certifies.
-            Workers themselves never trace; interior ``eclat.node``
-            events are a serial-only detail.
+            Workers themselves never trace.
+        memory: ``"shm"`` (zero-copy shared segment), ``"pickle"``
+            (ship columns through the initializer, the PR 5 transport),
+            or ``"auto"`` (shm when available).
+        steal_rng: test hook — a ``random.Random``-like object that
+            turns tail steals into seeded random steals; results are
+            independent of it by construction, which the determinism
+            suite asserts.
 
     Returns:
         The same :class:`~repro.mining.eclat.EclatResult` (or certified
-        :class:`~repro.runtime.partial.PartialResult`) the serial engine
-        produces — identical theory, borders, supports, and accounting.
+        :class:`~repro.runtime.partial.PartialResult`) the serial
+        engine produces — identical theory, borders, supports, node
+        counts, and accounting.
     """
     if resolve_workers(workers) <= 1:
         from repro.mining.eclat import eclat
@@ -162,6 +281,7 @@ def eclat_parallel(
         raise ValueError(
             f"on_exhaust must be 'return' or 'raise', got {on_exhaust!r}"
         )
+    mode = resolve_memory(memory)
     threshold = (
         database.absolute_support(min_support)
         if isinstance(min_support, float)
@@ -186,19 +306,81 @@ def eclat_parallel(
         budget.begin()
 
     members: list[tuple[int, int, int]] = []
-    next_position = 0
+    root_is_diff = False
+    tasks: list[tuple[int, int | None]] = []
+    charges: dict[int, tuple[list[tuple[int, bool, int]], int]] = {}
+    split_child_bits: dict[int, list[int]] = {}
+    charged: set[int] = set()
+    # Cut-point state for frontier construction: which stage the fold
+    # stream is in, how far the singleton scan got, the confirmed
+    # frequent singletons, the in-progress charge replay (position,
+    # next index), and the first unfolded task sequence number.
+    phase: dict = {
+        "stage": "root",
+        "next_item": 0,
+        "confirmed": [],
+        "charge": None,
+        "next_unfolded": 0,
+    }
 
     def make_partial(reason: str) -> PartialResult:
-        # Remaining (undispatched or unmerged) root subtrees: every
-        # undecided mask has two or more frequent-singleton bits whose
-        # smallest is such a root, so it extends one of the pairwise
-        # masks below; masks with an infrequent singleton are decided
-        # False by the history.
         frontier: list[int] = []
-        for a in range(next_position, len(members)):
-            bit_a = members[a][0]
-            for b in range(a + 1, len(members)):
-                frontier.append(bit_a | members[b][0])
+        if phase["stage"] == "root":
+            # Nothing decided yet: ∅ alone covers everything.
+            frontier.append(0)
+        elif phase["stage"] == "singletons":
+            # Unevaluated singletons cover every mask containing them;
+            # a mask of decided singletons is either decided False or
+            # extends a pair of confirmed ones.
+            for item in range(phase["next_item"], n):
+                frontier.append(1 << item)
+            bits = phase["confirmed"]
+            for a in range(len(bits)):
+                for b in range(a + 1, len(bits)):
+                    frontier.append(bits[a] | bits[b])
+        else:
+            progress = phase["charge"]
+            if progress is not None:
+                # Mid-charge on one split root: its unreplayed pair
+                # masks, plus pairwise specializations of the members
+                # confirmed so far (their subtrees are all unfolded).
+                position, index = progress
+                replay, _ = charges[position]
+                for mask, _, _ in replay[index:]:
+                    frontier.append(mask)
+                confirmed = [
+                    mask for mask, answer, _ in replay[:index] if answer
+                ]
+                for a in range(len(confirmed)):
+                    for b in range(a + 1, len(confirmed)):
+                        frontier.append(confirmed[a] | confirmed[b])
+            unfolded: dict[int, list[int]] = {}
+            for seq in range(phase["next_unfolded"], len(tasks)):
+                position, split_index = tasks[seq]
+                unfolded.setdefault(position, []).append(split_index)
+            for position in range(max(0, len(members) - 1)):
+                if progress is not None and position == progress[0]:
+                    continue  # handled above
+                if position in charged:
+                    # Pairs are decided; each unfolded depth-2 task is
+                    # covered by the pairwise specializations of its
+                    # child prefixes.
+                    prefixes = [
+                        members[position][0] | child
+                        for child in split_child_bits[position]
+                    ]
+                    for split_index in unfolded.get(position, ()):
+                        for later in range(split_index + 1, len(prefixes)):
+                            frontier.append(
+                                prefixes[split_index] | prefixes[later]
+                            )
+                elif position in charges or position in unfolded:
+                    # Untouched subtree (uncharged split root, or
+                    # unfolded whole-root task): every mask under it
+                    # extends a pair of root members.
+                    bit_p = members[position][0]
+                    for later_bit, _, _ in members[position + 1 :]:
+                        frontier.append(bit_p | later_bit)
         return build_partial(
             universe,
             "eclat",
@@ -236,9 +418,41 @@ def eclat_parallel(
                 "oracle.query", mask=mask, answer=answer, charged=True
             )
 
-    def merge(result: tuple[dict[int, int], list[int], int, int]) -> None:
+    def charge_expansion(position: int) -> None:
+        """Charge a split root's depth-2 evaluations at its DFS slot.
+
+        Replays the precomputed pair answers in extension order with
+        the exact budget checks the serial engine performs at this
+        node, and counts the node — so query totals, node totals, and
+        cut points match serial.
+        """
+        nonlocal nodes, diffset_nodes
+        replay, tail_len = charges[position]
+        nodes += 1
+        if root_is_diff:
+            diffset_nodes += 1
+        if tracer.enabled:
+            tracer.event(
+                "eclat.node",
+                prefix=members[position][0],
+                tail=tail_len,
+                kind="diff" if root_is_diff else "tid",
+            )
+        if budget is not None:
+            budget.check(queries=queries, family=tail_len)
+        progress = [position, 0]
+        phase["charge"] = progress
+        for index, (mask, answer, supp) in enumerate(replay):
+            if budget is not None:
+                budget.check(queries=queries)
+            record(mask, answer, supp)
+            progress[1] = index + 1
+        phase["charge"] = None
+        charged.add(position)
+
+    def merge(result) -> None:
         nonlocal queries, nodes, diffset_nodes
-        sub_supports, sub_rejected, sub_nodes, sub_diff = result
+        sub_supports, sub_rejected, sub_nodes, sub_diff, _ = result
         for mask, supp in sub_supports.items():
             supports[mask] = supp
             history[mask] = True
@@ -257,13 +471,57 @@ def eclat_parallel(
         nodes += sub_nodes
         diffset_nodes += sub_diff
 
+    # pre_charges maps a task sequence number to the split roots whose
+    # charge belongs immediately before that fold; assigned during task
+    # building below.
+    pre_charges: dict[int, list[int]] = {}
+
+    def fold(seq: int, result) -> None:
+        for position in pre_charges.get(seq, ()):
+            charge_expansion(position)
+        if budget is not None:
+            budget.check(queries=queries, family=len(members))
+        merge(result)
+        if tracer.enabled:
+            tracer.event(
+                "worker.batch",
+                shard=seq,
+                size=len(result[0]) + len(result[1]),
+                seconds=round(result[4], 6),
+            )
+        phase["next_unfolded"] = seq + 1
+
     with tracer.span("eclat.run", n=n, threshold=threshold) as run_span:
+        if mode == "shm":
+            store = ShmVerticalStore.publish(database)
+            if tracer.enabled:
+                tracer.event(
+                    "shm.publish",
+                    segment=store.handle.name,
+                    bytes=store.handle.n_bytes,
+                    rows=n_rows,
+                    items=n,
+                )
+            spec = ("shm", store.handle, threshold)
+        else:
+            store = None
+            spec = ("pickle", tuple(columns), n_rows, threshold)
         pool = WorkerPool(
             workers,
-            initializer=_init_eclat_worker,
-            initargs=(tuple(columns), n_rows, threshold),
+            initializer=_init_steal_worker,
+            initargs=(spec,),
             tracer=tracer,
         )
+        if store is not None:
+            # Pool lifetime == segment lifetime: close() runs this on
+            # every exit path (success, exception, interrupt).
+            pool.add_finalizer(store.unlink)
+            if tracer.enabled:
+                tracer.event(
+                    "shm.attach",
+                    segment=store.handle.name,
+                    workers=pool.workers,
+                )
         try:
             # Coordinator: ∅ and the root class (all singletons), the
             # exact probes the serial engine issues first.
@@ -293,6 +551,7 @@ def eclat_parallel(
                     min_support=threshold,
                     supports=supports,
                 )
+            phase["stage"] = "singletons"
             nodes = 1
             if tracer.enabled:
                 tracer.event("eclat.node", prefix=0, tail=n, kind="tid")
@@ -301,62 +560,95 @@ def eclat_parallel(
             for item in range(n):
                 if budget is not None:
                     budget.check(queries=queries)
-                record(
-                    1 << item,
-                    popcount(columns[item]) >= threshold,
-                    popcount(columns[item]),
-                )
+                supp = popcount(columns[item])
+                record(1 << item, supp >= threshold, supp)
+                phase["next_item"] = item + 1
+                if supp >= threshold:
+                    phase["confirmed"].append(1 << item)
             members, root_is_diff = _root_class(columns, n_rows, threshold)
-            # The last member has no candidate tail — no task for it.
-            task_count = max(0, len(members) - 1)
-            wave_size = pool.workers
-            while next_position < task_count:
-                if budget is not None:
-                    budget.check(queries=queries, family=len(members))
-                wave = list(
-                    range(
-                        next_position,
-                        min(next_position + wave_size, task_count),
-                    )
+
+            # Build the task list: one task per short root subtree, one
+            # per depth-2 subtree of long roots.  Split expansions are
+            # computed here (pure — tasks must exist before dispatch)
+            # and queued for charging at their fold-order slot.
+            pending_charge: list[int] = []
+            for position in range(max(0, len(members) - 1)):
+                bit, supp, cover = members[position]
+                tail = members[position + 1 :]
+                if len(tail) < _SPLIT_TAIL:
+                    seq = len(tasks)
+                    if pending_charge:
+                        pre_charges[seq] = pending_charge
+                        pending_charge = []
+                    tasks.append((position, None))
+                    continue
+                scratch_supports: dict[int, int] = {}
+                child_members, _ = _expand(
+                    bit,
+                    root_is_diff,
+                    supp,
+                    cover,
+                    tail,
+                    threshold,
+                    scratch_supports,
+                    [],
                 )
-                wave_t0 = time.monotonic()
+                replay = []
+                for ext_bit, _, _ in tail:
+                    mask = bit | ext_bit
+                    child_supp = scratch_supports.get(mask)
+                    replay.append(
+                        (mask, child_supp is not None, child_supp or 0)
+                    )
+                charges[position] = (replay, len(tail))
+                split_child_bits[position] = [
+                    member[0] for member in child_members
+                ]
+                pending_charge.append(position)
+                for split_index in range(len(child_members) - 1):
+                    seq = len(tasks)
+                    if pending_charge:
+                        pre_charges[seq] = pending_charge
+                        pending_charge = []
+                    tasks.append((position, split_index))
+            tail_charges = pending_charge
+            phase["stage"] = "tree"
+
+            if tasks:
+                scheduler = StealScheduler(
+                    pool,
+                    _mine_task,
+                    tasks,
+                    tracer=tracer,
+                    steal_rng=steal_rng,
+                )
                 try:
                     if not pool.parallel:
                         raise WorkerPoolBroken("pool is not available")
-                    results = pool.map_in_order(
-                        _mine_root, [(position,) for position in wave]
-                    )
+                    scheduler.run(fold)
                 except WorkerPoolBroken:
                     if tracer.enabled:
-                        tracer.event("worker.fallback", reason="pool-broken")
-                    results = []
-                    for position in wave:
-                        bit, supp, cover = members[position]
-                        sub_supports: dict[int, int] = {}
-                        sub_rejected: list[int] = []
-                        sub_nodes, sub_diff = _mine_subtree(
-                            bit,
-                            root_is_diff,
-                            supp,
-                            cover,
-                            members[position + 1 :],
-                            threshold,
-                            sub_supports,
-                            sub_rejected,
+                        tracer.event(
+                            "worker.fallback", reason="pool-broken"
                         )
-                        results.append(
-                            (sub_supports, sub_rejected, sub_nodes, sub_diff)
+                    # Finish the remaining sequence numbers on the
+                    # coordinator, folding through the same path.
+                    local_expansions: dict = {}
+                    for seq in range(phase["next_unfolded"], len(tasks)):
+                        position, split_index = tasks[seq]
+                        fold(
+                            seq,
+                            _mine_payload(
+                                members,
+                                root_is_diff,
+                                threshold,
+                                local_expansions,
+                                position,
+                                split_index,
+                            ),
                         )
-                for result in results:
-                    merge(result)
-                if tracer.enabled:
-                    tracer.event(
-                        "worker.batch",
-                        shard=wave[0] // wave_size,
-                        size=len(wave),
-                        seconds=round(time.monotonic() - wave_t0, 6),
-                    )
-                next_position = wave[-1] + 1
+            for position in tail_charges:
+                charge_expansion(position)
         except BudgetExhausted as exhausted:
             return finish_partial(exhausted.reason, run_span)
         except KeyboardInterrupt:

@@ -48,6 +48,7 @@ def levelwise_parallel(
     on_exhaust: str = "return",
     tracer=None,
     counter: ShardedSupportCounter | None = None,
+    memory: str = "auto",
 ) -> "LevelwiseResult | PartialResult":
     """Algorithm 9 on the frequency oracle with sharded counting.
 
@@ -64,6 +65,10 @@ def levelwise_parallel(
         counter: an existing :class:`ShardedSupportCounter` to reuse
             (its pool is then *not* closed here); by default a counter
             is created for this run and closed before returning.
+        memory: transport for the counter's workers — ``"shm"``
+            (zero-copy shared vertical store), ``"pickle"``, or
+            ``"auto"``; see :class:`ShardedSupportCounter`.  Ignored
+            when ``counter`` is supplied.  Results never depend on it.
 
     Returns:
         The same :class:`~repro.mining.levelwise.LevelwiseResult` (or
@@ -72,7 +77,9 @@ def levelwise_parallel(
     """
     own_counter = counter is None
     if own_counter:
-        counter = ShardedSupportCounter(database, workers, tracer=tracer)
+        counter = ShardedSupportCounter(
+            database, workers, tracer=tracer, memory=memory
+        )
     predicate = ShardedFrequencyPredicate(counter, min_support)
     oracle = CountingOracle(predicate, name="frequency")
     try:
@@ -98,6 +105,7 @@ def mine_frequent_itemsets_parallel(
     budget=None,
     resume=None,
     tracer=None,
+    memory: str = "auto",
 ) -> "Theory | PartialResult":
     """Parallel maximal-frequent-itemset mining (levelwise engine).
 
@@ -114,6 +122,7 @@ def mine_frequent_itemsets_parallel(
         budget=budget,
         resume=resume,
         tracer=tracer,
+        memory=memory,
     )
     if isinstance(result, PartialResult):
         return result

@@ -93,6 +93,7 @@ class WorkerPool:
         "_executor",
         "_broken",
         "_tracer",
+        "_finalizers",
     )
 
     def __init__(
@@ -115,8 +116,20 @@ class WorkerPool:
         self._executor: ProcessPoolExecutor | None = None
         self._broken = False
         self._tracer = as_tracer(tracer)
+        self._finalizers: list[Callable[[], None]] = []
         if self.workers > 1:
             self._spawn()
+
+    def add_finalizer(self, finalizer: Callable[[], None]) -> None:
+        """Register a cleanup callback bound to this pool's lifetime.
+
+        Finalizers run exactly once, on the first :meth:`close` — which
+        the context manager guarantees even on exceptions and
+        ``KeyboardInterrupt``.  This is how engines tie shared-memory
+        segments (:class:`~repro.parallel.shm.ShmVerticalStore`) to the
+        pool: close the pool, release the segment — no leak paths.
+        """
+        self._finalizers.append(finalizer)
 
     @property
     def parallel(self) -> bool:
@@ -140,6 +153,46 @@ class WorkerPool:
             self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
 
+    def restart(self, error: BaseException | None = None) -> None:
+        """Tear the pool down and respawn it, consuming one restart.
+
+        The shared recovery path of :meth:`map_in_order`,
+        :meth:`submit`, and the work-stealing scheduler: emits a
+        ``worker.crash`` event, and once the restart allowance is spent
+        marks the pool permanently broken and raises
+        :class:`WorkerPoolBroken` so callers take their serial path.
+        """
+        self._teardown()
+        if self._tracer.enabled:
+            self._tracer.event(
+                "worker.crash",
+                error=type(error).__name__ if error else "restart",
+            )
+        if self._restarts_left <= 0:
+            self._broken = True
+            raise WorkerPoolBroken(str(error) or "pool broken") from error
+        self._restarts_left -= 1
+        self._spawn()
+
+    def submit(self, fn: Callable, *args):
+        """Submit one task to the live executor (no implicit recovery).
+
+        Returns a :class:`concurrent.futures.Future`.  Unlike
+        :meth:`map_in_order` this performs *no* retry or restart of its
+        own: a submission that trips over a broken executor raises that
+        executor's :class:`BrokenProcessPool`/``RuntimeError`` for the
+        caller to fold into its own recovery — the stealing scheduler
+        funnels every failure sign (dead future *or* failed submit)
+        through a single :meth:`restart` per pool death, so one crash
+        never consumes two restarts.
+
+        Raises:
+            WorkerPoolBroken: in serial mode or permanently broken.
+        """
+        if not self.parallel:
+            raise WorkerPoolBroken("pool is serial or permanently broken")
+        return self._executor.submit(fn, *args)
+
     def map_in_order(
         self, fn: Callable, task_args: Sequence[tuple]
     ) -> list:
@@ -149,7 +202,11 @@ class WorkerPool:
         order.  Exceptions raised *by* ``fn`` propagate unchanged (they
         are deterministic and retrying cannot help); a *pool* failure —
         :class:`BrokenProcessPool` or a dead executor — triggers a
-        rebuild and one whole-batch retry per remaining restart.
+        rebuild and one whole-batch retry per remaining restart.  Any
+        other interruption (``KeyboardInterrupt``, a budget signal)
+        cancels the not-yet-running remainder of the batch before
+        propagating, so an abandoned batch cannot wedge the executor's
+        queue or strand worker processes past :meth:`close`.
 
         Raises:
             WorkerPoolBroken: in serial mode, or when the restart
@@ -158,31 +215,40 @@ class WorkerPool:
         if not self.parallel:
             raise WorkerPoolBroken("pool is serial or permanently broken")
         while True:
+            futures: list = []
             try:
                 futures = [
                     self._executor.submit(fn, *args) for args in task_args
                 ]
                 return [future.result() for future in futures]
             except (BrokenProcessPool, RuntimeError) as error:
-                # RuntimeError covers "cannot schedule new futures
-                # after shutdown" from an executor torn down under us.
-                self._teardown()
-                if self._tracer.enabled:
-                    self._tracer.event(
-                        "worker.crash", error=type(error).__name__
-                    )
-                if self._restarts_left <= 0:
-                    self._broken = True
-                    raise WorkerPoolBroken(str(error)) from error
-                self._restarts_left -= 1
-                self._spawn()
+                self.restart(error)
+            except BaseException:
+                for future in futures:
+                    future.cancel()
+                raise
 
     def close(self) -> None:
-        """Shut the executor down (idempotent)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
-        self._broken = True
+        """Shut the executor down and run finalizers (idempotent).
+
+        Queued-but-unstarted work is cancelled — after an interrupt
+        nobody is left to consume it — and registered finalizers run
+        exactly once, each shielded from the others, so pool-scoped
+        resources (shared-memory segments above all) are released on
+        every exit path.
+        """
+        try:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True, cancel_futures=True)
+                self._executor = None
+        finally:
+            self._broken = True
+            finalizers, self._finalizers = self._finalizers, []
+            for finalizer in finalizers:
+                try:
+                    finalizer()
+                except Exception:  # pragma: no cover - defensive
+                    pass
 
     def __enter__(self) -> "WorkerPool":
         return self

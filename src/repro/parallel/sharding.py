@@ -15,10 +15,25 @@ the determinism contract the whole package rests on; the CI parallel
 job asserts it at 2 and 4 workers.
 
 Worker processes are persistent (one ``ProcessPoolExecutor`` for the
-whole mining run): the row list ships once per process via the pool
-initializer, and each worker materializes the vertical bitmaps of a
-shard lazily, the first time it is handed that shard id — so a level's
-dispatch moves only candidate masks and counts, never transaction data.
+whole mining run).  How the transaction data reaches them is the
+``memory=`` switch:
+
+* ``"shm"`` (the ``"auto"`` default where supported) — the coordinator
+  publishes the vertical bitmaps once into a
+  :class:`~repro.parallel.shm.ShmVerticalStore`; the initializer ships
+  only the segment handle, and each worker builds its shard database as
+  a zero-copy *view* of the shared pages (shard bounds are 64-aligned
+  so row ranges map onto whole uint64 chunks — see
+  :func:`aligned_shard_bounds`).  The segment is unlinked by a pool
+  finalizer on every exit path.
+* ``"pickle"`` — the PR 4/5 transport: the row list ships once per
+  process via the pool initializer, and each worker materializes the
+  vertical bitmaps of a shard lazily, the first time it is handed that
+  shard id.
+
+Either way a level's dispatch moves only candidate masks and counts,
+never transaction data, and the merged counts are independent of the
+transport and the shard partition.
 """
 
 from __future__ import annotations
@@ -28,9 +43,14 @@ from collections.abc import Iterable
 
 from repro.datasets.transactions import TransactionDatabase
 from repro.parallel.pool import WorkerPool, WorkerPoolBroken, resolve_workers
+from repro.parallel.shm import ShmVerticalStore, resolve_memory
 from repro.util.bitset import Universe
 
-__all__ = ["ShardedSupportCounter", "shard_bounds"]
+__all__ = [
+    "ShardedSupportCounter",
+    "aligned_shard_bounds",
+    "shard_bounds",
+]
 
 
 def shard_bounds(n_rows: int, n_shards: int) -> list[tuple[int, int]]:
@@ -53,17 +73,49 @@ def shard_bounds(n_rows: int, n_shards: int) -> list[tuple[int, int]]:
     return bounds
 
 
+def aligned_shard_bounds(
+    n_rows: int, n_shards: int, *, align: int = 64
+) -> list[tuple[int, int]]:
+    """Balanced ``(start, stop)`` row ranges with ``align``-ed starts.
+
+    Shards the *chunks* (``⌈n_rows/align⌉`` groups of ``align`` rows)
+    with :func:`shard_bounds` and scales back to rows, capping the last
+    stop at ``n_rows`` — so every shard start is a multiple of
+    ``align`` and a shard's rows occupy whole uint64 chunks of the
+    shared vertical matrix, which is what lets
+    :meth:`~repro.parallel.shm.ShmVerticalStore.shard_database` hand
+    out slice views instead of repacking.  Small databases may yield
+    fewer shards than requested (at most one per chunk).
+    """
+    chunks = (n_rows + align - 1) // align
+    return [
+        (lo * align, min(hi * align, n_rows))
+        for lo, hi in shard_bounds(chunks, n_shards)
+    ]
+
+
 # Per-process shard state, populated by the pool initializer.  Each
-# worker receives the full row list once and builds the vertical
-# bitmaps of a shard only when a task first names that shard id.
+# worker receives the transaction data once (a mapped shared-memory
+# handle or the pickled row list) and builds the database of a shard
+# only when a task first names that shard id.
 _WORKER_STATE: dict = {}
 
 
 def _init_shard_worker(items, rows, bounds, backend) -> None:
+    _WORKER_STATE.clear()
     _WORKER_STATE["items"] = items
     _WORKER_STATE["rows"] = rows
     _WORKER_STATE["bounds"] = bounds
     _WORKER_STATE["backend"] = backend
+    _WORKER_STATE["shards"] = {}
+
+
+def _init_shard_worker_shm(handle, bounds) -> None:
+    # The attached store stays open for the life of the process: the
+    # shard databases' numpy matrices are views into its pages.
+    _WORKER_STATE.clear()
+    _WORKER_STATE["store"] = ShmVerticalStore.attach(handle)
+    _WORKER_STATE["bounds"] = bounds
     _WORKER_STATE["shards"] = {}
 
 
@@ -72,11 +124,15 @@ def _shard_database(shard_id: int) -> TransactionDatabase:
     database = shards.get(shard_id)
     if database is None:
         start, stop = _WORKER_STATE["bounds"][shard_id]
-        database = TransactionDatabase(
-            Universe(_WORKER_STATE["items"]),
-            _WORKER_STATE["rows"][start:stop],
-            backend=_WORKER_STATE["backend"],
-        )
+        store = _WORKER_STATE.get("store")
+        if store is not None:
+            database = store.shard_database(start, stop)
+        else:
+            database = TransactionDatabase(
+                Universe(_WORKER_STATE["items"]),
+                _WORKER_STATE["rows"][start:stop],
+                backend=_WORKER_STATE["backend"],
+            )
         shards[shard_id] = database
     return database
 
@@ -102,8 +158,13 @@ class ShardedSupportCounter:
             ``worker.pool`` on (re)spawn, one ``worker.batch`` event per
             shard dispatch (shard id, batch size, in-worker seconds),
             and ``worker.fallback`` when a broken pool degrades the
-            counter to the serial kernel.
+            counter to the serial kernel.  Shared-memory runs add one
+            ``shm.publish`` and one ``shm.attach`` event.
         max_restarts: forwarded to :class:`~repro.parallel.pool.WorkerPool`.
+        memory: ``"shm"`` (publish the vertical store once; workers
+            count on zero-copy views of the shared pages), ``"pickle"``
+            (ship the row list through the initializer), or ``"auto"``
+            (shm when available).  Counts are identical either way.
 
     The counter quacks like a database for counting purposes
     (``support_count``, ``support_counts``, ``universe``,
@@ -111,7 +172,14 @@ class ShardedSupportCounter:
     :class:`~repro.parallel.predicate.ShardedFrequencyPredicate` needs.
     """
 
-    __slots__ = ("database", "workers", "_bounds", "_pool", "_tracer")
+    __slots__ = (
+        "database",
+        "workers",
+        "memory",
+        "_bounds",
+        "_pool",
+        "_tracer",
+    )
 
     def __init__(
         self,
@@ -120,26 +188,60 @@ class ShardedSupportCounter:
         *,
         tracer=None,
         max_restarts: int = 1,
+        memory: str = "auto",
     ):
         from repro.obs.tracer import as_tracer
 
         self.database = database
         self.workers = resolve_workers(workers)
+        self.memory = resolve_memory(memory)
         self._tracer = as_tracer(tracer)
-        self._bounds = shard_bounds(database.n_transactions, self.workers)
-        if self.workers > 1 and len(self._bounds) > 1:
-            self._pool = WorkerPool(
-                self.workers,
-                initializer=_init_shard_worker,
-                initargs=(
-                    tuple(database.universe.items),
-                    database.transaction_masks,
-                    tuple(self._bounds),
-                    database.backend,
-                ),
-                max_restarts=max_restarts,
-                tracer=self._tracer,
+        if self.memory == "shm":
+            self._bounds = aligned_shard_bounds(
+                database.n_transactions, self.workers
             )
+        else:
+            self._bounds = shard_bounds(
+                database.n_transactions, self.workers
+            )
+        if self.workers > 1 and len(self._bounds) > 1:
+            if self.memory == "shm":
+                store = ShmVerticalStore.publish(database)
+                if self._tracer.enabled:
+                    self._tracer.event(
+                        "shm.publish",
+                        segment=store.handle.name,
+                        bytes=store.handle.n_bytes,
+                        rows=store.handle.n_rows,
+                        items=store.handle.n_items,
+                    )
+                self._pool = WorkerPool(
+                    self.workers,
+                    initializer=_init_shard_worker_shm,
+                    initargs=(store.handle, tuple(self._bounds)),
+                    max_restarts=max_restarts,
+                    tracer=self._tracer,
+                )
+                self._pool.add_finalizer(store.unlink)
+                if self._tracer.enabled:
+                    self._tracer.event(
+                        "shm.attach",
+                        segment=store.handle.name,
+                        workers=self.workers,
+                    )
+            else:
+                self._pool = WorkerPool(
+                    self.workers,
+                    initializer=_init_shard_worker,
+                    initargs=(
+                        tuple(database.universe.items),
+                        database.transaction_masks,
+                        tuple(self._bounds),
+                        database.backend,
+                    ),
+                    max_restarts=max_restarts,
+                    tracer=self._tracer,
+                )
             if self._tracer.enabled:
                 self._tracer.event(
                     "worker.shards",
@@ -217,5 +319,6 @@ class ShardedSupportCounter:
     def __repr__(self) -> str:
         return (
             f"ShardedSupportCounter(workers={self.workers}, "
-            f"shards={len(self._bounds)}, rows={self.n_transactions})"
+            f"shards={len(self._bounds)}, rows={self.n_transactions}, "
+            f"memory={self.memory!r})"
         )

@@ -1,0 +1,365 @@
+"""Zero-copy shared-memory publication of the vertical store.
+
+PR 4/5 shipped transaction data to workers by *pickling* it into every
+process: the sharded counter's pool initializer serialized the full row
+list once per worker, and the parallel Eclat initializer did the same
+with the column bitmaps.  That copy is pure overhead — the vertical
+representation is immutable for the lifetime of a mining run, so every
+worker can map the *same* pages.
+
+:class:`ShmVerticalStore` does exactly that.  ``publish()`` packs the
+per-item column bitmaps of a
+:class:`~repro.datasets.transactions.TransactionDatabase` into one
+``multiprocessing.shared_memory`` segment using the same chunked layout
+as the database's numpy kernel (``n_items`` rows of ``⌈n/64⌉`` uint64
+chunks, little-endian), and hands out a small picklable
+:class:`ShmHandle`.  ``attach()`` in a worker maps the segment read-only
+(zero copy — the kernel shares the physical pages) and can rebuild
+
+* the big-int column bitmaps (``columns()``) for the Eclat kernels,
+* a counting-equivalent :class:`TransactionDatabase` for a 64-aligned
+  row range (``shard_database()``) whose numpy matrix is a *view* into
+  the shared pages — the sharded counter's vectorized kernel then runs
+  directly on shared memory.
+
+Lifetime discipline — the part that keeps ``/dev/shm`` clean:
+
+* the publishing (owner) side is responsible for ``unlink()``; engines
+  register it as a :class:`~repro.parallel.pool.WorkerPool` finalizer
+  (run on ``close()``, including after exceptions and interrupts) *and*
+  every publisher is recorded in a module registry flushed by a single
+  ``atexit`` hook, so even a SIGINT that skips the engine's ``finally``
+  cannot leak a segment past interpreter shutdown;
+* attaching sides only ``close()`` (unmap); they never unlink.  Workers
+  attach with ``track=False`` where the runtime supports it so the
+  resource tracker does not double-account segments it does not own
+  (forked workers share the parent's tracker, and the owner already
+  registered the name).
+
+``unlink()`` and ``close()`` are idempotent; a handle whose segment is
+already gone attaches loudly (``FileNotFoundError``), never silently.
+"""
+
+from __future__ import annotations
+
+import atexit
+import weakref
+from dataclasses import dataclass
+
+from repro.datasets.transactions import TransactionDatabase
+from repro.util.bitset import Universe
+
+try:  # pragma: no cover - exercised indirectly via shm_available()
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - platforms without _posixshmem
+    _shared_memory = None
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is optional
+    _np = None
+
+__all__ = [
+    "MEMORY_MODES",
+    "ShmHandle",
+    "ShmVerticalStore",
+    "resolve_memory",
+    "shm_available",
+]
+
+#: Accepted values for the ``memory=`` switch of the parallel engines.
+MEMORY_MODES = ("auto", "shm", "pickle")
+
+
+def shm_available() -> bool:
+    """True when the runtime can create shared-memory segments."""
+    return _shared_memory is not None
+
+
+def resolve_memory(memory: str) -> str:
+    """Normalize a ``memory=`` argument to ``"shm"`` or ``"pickle"``.
+
+    ``"auto"`` picks shared memory when the runtime supports it and
+    falls back to pickling otherwise; an explicit ``"shm"`` on a
+    runtime without shared memory fails loudly rather than silently
+    changing transport.
+    """
+    if memory not in MEMORY_MODES:
+        raise ValueError(
+            f"unknown memory mode {memory!r}; expected one of {MEMORY_MODES}"
+        )
+    if memory == "auto":
+        return "shm" if shm_available() else "pickle"
+    if memory == "shm" and not shm_available():
+        raise ValueError(
+            "memory='shm' requested but multiprocessing.shared_memory "
+            "is unavailable on this platform; use memory='auto' or "
+            "memory='pickle'"
+        )
+    return memory
+
+
+# Owner-side segments that have not been unlinked yet.  The atexit hook
+# is the last line of defence: normal runs unlink through pool
+# finalizers / engine ``finally`` blocks long before interpreter exit.
+_LIVE_STORES: dict[str, "ShmVerticalStore"] = {}
+_CLEANUP_REGISTERED = False
+
+
+def _cleanup_live_stores() -> None:  # pragma: no cover - exit hook
+    for store in list(_LIVE_STORES.values()):
+        store.unlink()
+
+
+def _register_owner(store: "ShmVerticalStore") -> None:
+    global _CLEANUP_REGISTERED
+    if not _CLEANUP_REGISTERED:
+        atexit.register(_cleanup_live_stores)
+        _CLEANUP_REGISTERED = True
+    _LIVE_STORES[store.handle.name] = store
+
+
+@dataclass(frozen=True)
+class ShmHandle:
+    """Everything a worker needs to attach a published store.
+
+    Small and picklable — this is what travels through the pool
+    initializer instead of the transaction data itself.
+    """
+
+    name: str
+    n_rows: int
+    n_items: int
+    items: tuple
+    backend: str
+
+    @property
+    def n_chunks(self) -> int:
+        """uint64 chunks per column (at least one, even when empty)."""
+        return max(1, (self.n_rows + 63) // 64)
+
+    @property
+    def n_bytes(self) -> int:
+        """Total payload size of the segment in bytes."""
+        return max(1, self.n_items * self.n_chunks * 8)
+
+
+class ShmVerticalStore:
+    """One shared-memory segment holding a database's column bitmaps.
+
+    Build with :meth:`publish` (owner side) or :meth:`attach` (worker
+    side); never construct directly.  The owner must eventually call
+    :meth:`unlink`; attachers at most :meth:`close`.
+    """
+
+    __slots__ = ("handle", "_shm", "_owner", "_closed", "_unlinked", "_issued")
+
+    def __init__(self, handle: ShmHandle, shm, owner: bool):
+        self.handle = handle
+        self._shm = shm
+        self._owner = owner
+        self._closed = False
+        self._unlinked = False
+        # Databases whose numpy matrix is a view into this segment.
+        # close() detaches them (they fall back to repacking from their
+        # own big-int columns) so the mapping can actually be released
+        # — a numpy view would otherwise pin the pages and make
+        # ``SharedMemory`` complain about exported pointers at exit.
+        self._issued: list = []
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def publish(cls, database: TransactionDatabase) -> "ShmVerticalStore":
+        """Export a database's vertical bitmaps into shared memory.
+
+        The layout matches ``TransactionDatabase._vertical_matrix``
+        byte for byte: item-major, ``⌈n_rows/64⌉`` little-endian uint64
+        chunks per item.
+        """
+        if _shared_memory is None:
+            raise RuntimeError(
+                "multiprocessing.shared_memory is unavailable; "
+                "use memory='pickle'"
+            )
+        handle_proto = ShmHandle(
+            name="",
+            n_rows=database.n_transactions,
+            n_items=database.n_items,
+            items=tuple(database.universe.items),
+            backend=database.backend,
+        )
+        segment = _shared_memory.SharedMemory(
+            create=True, size=handle_proto.n_bytes
+        )
+        handle = ShmHandle(
+            name=segment.name,
+            n_rows=handle_proto.n_rows,
+            n_items=handle_proto.n_items,
+            items=handle_proto.items,
+            backend=handle_proto.backend,
+        )
+        chunk_bytes = handle.n_chunks * 8
+        buffer = segment.buf
+        for index, column in enumerate(database.tidsets_view()):
+            start = index * chunk_bytes
+            buffer[start : start + chunk_bytes] = column.to_bytes(
+                chunk_bytes, "little"
+            )
+        store = cls(handle, segment, owner=True)
+        _register_owner(store)
+        return store
+
+    @classmethod
+    def attach(cls, handle: ShmHandle) -> "ShmVerticalStore":
+        """Map an already-published segment (worker side, zero copy)."""
+        if _shared_memory is None:
+            raise RuntimeError(
+                "multiprocessing.shared_memory is unavailable; "
+                "cannot attach"
+            )
+        try:
+            # Opt out of resource tracking where supported: the owner
+            # registered the segment and is the one that unlinks it.
+            segment = _shared_memory.SharedMemory(
+                name=handle.name, track=False
+            )
+        except TypeError:  # Python < 3.13 has no track= parameter
+            segment = _shared_memory.SharedMemory(name=handle.name)
+        return cls(handle, segment, owner=False)
+
+    # -- views --------------------------------------------------------------
+
+    def columns(self) -> list[int]:
+        """Rebuild the big-int column bitmaps from the shared pages."""
+        handle = self.handle
+        chunk_bytes = handle.n_chunks * 8
+        buffer = self._shm.buf
+        return [
+            int.from_bytes(
+                buffer[index * chunk_bytes : (index + 1) * chunk_bytes],
+                "little",
+            )
+            for index in range(handle.n_items)
+        ]
+
+    def matrix(self):
+        """The full chunked matrix as a numpy *view* of the segment.
+
+        ``None`` when numpy is unavailable.  The view stays valid only
+        while this store is open; callers must keep the store alive for
+        as long as they hold the array.
+        """
+        if _np is None:
+            return None
+        handle = self.handle
+        return _np.frombuffer(
+            self._shm.buf,
+            dtype="<u8",
+            count=handle.n_items * handle.n_chunks,
+        ).reshape(handle.n_items, handle.n_chunks)
+
+    def database(self) -> TransactionDatabase:
+        """A counting-equivalent database over the whole row range."""
+        handle = self.handle
+        database = TransactionDatabase.from_vertical(
+            Universe(handle.items),
+            self.columns(),
+            handle.n_rows,
+            backend=handle.backend,
+        )
+        matrix = self.matrix()
+        if matrix is not None:
+            database._matrix = matrix
+            self._issued.append(weakref.ref(database))
+        return database
+
+    def shard_database(self, start: int, stop: int) -> TransactionDatabase:
+        """A database restricted to rows ``[start, stop)``, zero-copy.
+
+        ``start`` must be 64-aligned so the shard's rows map onto whole
+        uint64 chunks of the shared matrix — that is what lets the
+        shard's numpy matrix be a *slice view* of the shared pages
+        instead of a repack (see ``aligned_shard_bounds``).  The final
+        shard may end off-alignment; its trailing chunk bits are zero
+        in the published matrix by construction.
+        """
+        handle = self.handle
+        if start % 64 != 0:
+            raise ValueError(
+                f"shard start {start} is not 64-aligned; use "
+                "aligned_shard_bounds()"
+            )
+        if not 0 <= start <= stop <= handle.n_rows:
+            raise ValueError(
+                f"shard [{start}, {stop}) outside 0..{handle.n_rows}"
+            )
+        n_rows = stop - start
+        window = (1 << n_rows) - 1
+        columns = [
+            (column >> start) & window for column in self.columns()
+        ]
+        database = TransactionDatabase.from_vertical(
+            Universe(handle.items),
+            columns,
+            n_rows,
+            backend=handle.backend,
+        )
+        matrix = self.matrix()
+        if matrix is not None and n_rows:
+            lo = start // 64
+            hi = (stop + 63) // 64
+            database._matrix = matrix[:, lo:hi]
+            self._issued.append(weakref.ref(database))
+        return database
+
+    # -- lifetime -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Unmap the segment (idempotent; attachers stop here).
+
+        Databases issued by this store first have their shared numpy
+        views detached (their column bitmaps are independent copies, so
+        counting stays correct — the matrix is just rebuilt privately
+        on next use).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for reference in self._issued:
+            database = reference()
+            if database is not None:
+                database._matrix = None
+        self._issued.clear()
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - external live view
+            # A caller-held matrix() view keeps the mapping pinned; the
+            # pages are then released with the process instead.
+            pass
+
+    def unlink(self) -> None:
+        """Remove the segment from the system (owner side, idempotent)."""
+        _LIVE_STORES.pop(self.handle.name, None)
+        if not self._owner or self._unlinked:
+            self.close()
+            return
+        self._unlinked = True
+        self.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def __enter__(self) -> "ShmVerticalStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.unlink() if self._owner else self.close()
+
+    def __repr__(self) -> str:
+        role = "owner" if self._owner else "attached"
+        return (
+            f"ShmVerticalStore({self.handle.name}, {role}, "
+            f"rows={self.handle.n_rows}, items={self.handle.n_items})"
+        )

@@ -1,0 +1,203 @@
+"""Dynamic work stealing with a deterministic reduction order.
+
+PR 5 parallelized Eclat in *waves*: dispatch ``workers`` root-class
+subtrees, wait for the whole wave, merge, repeat.  Static waves leave
+cores idle exactly when the paper's borders make subtrees skewed — one
+deep prefix subtree holds the wave hostage while the other workers sit
+drained.  :class:`StealScheduler` replaces the wave barrier with a
+coordinator-owned deque of tasks:
+
+* tasks carry **sequence numbers** assigned once, up front, in the
+  serial traversal order of the work they represent;
+* the head of the deque feeds the initial dispatch; whenever any worker
+  finishes, the coordinator immediately hands it the task at the *tail*
+  (the classic steal end — deepest-pending, coldest work), so no worker
+  ever waits on a barrier while pending work exists;
+* completed results are buffered and **folded strictly in sequence
+  order**.  Execution order is free; reduction order is not.
+
+That last line is the determinism contract: every fold-side effect
+(support recording, query charging, budget checks, trace events)
+happens in the same order at every worker count and under every steal
+schedule, so theory, borders, supports, and Theorem 10/21 accounting
+stay bit-identical to the serial engine — and a mid-run budget cut
+lands between the same two tasks no matter how execution interleaved.
+
+Crash tolerance mirrors :meth:`WorkerPool.map_in_order`: a pool failure
+reclaims every in-flight task (tasks are pure functions of their
+payloads), restarts the pool through its bounded allowance, and
+resubmits; past the allowance :class:`WorkerPoolBroken` propagates and
+the engine finishes the remaining sequence numbers serially.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable, Sequence
+from concurrent.futures import FIRST_COMPLETED, CancelledError, wait
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.parallel.pool import WorkerPool, WorkerPoolBroken
+
+__all__ = ["StealScheduler"]
+
+
+class StealScheduler:
+    """Run ``fn(*payload)`` per task, folding results in seq order.
+
+    Args:
+        pool: a parallel :class:`WorkerPool` (the caller handles serial
+            mode itself — there is nothing to steal from one worker).
+        fn: the task function; must be a pure function of its payload
+            (results are buffered, retried after crashes, and folded by
+            sequence number, none of which tolerates hidden state).
+        payloads: one argument tuple per task; the index into this
+            sequence *is* the task's sequence number.
+        tracer: optional tracer; emits one ``worker.steal`` event per
+            tail steal (sequence number stolen, tasks left pending).
+        steal_rng: optional ``random.Random``-like object.  When given,
+            steals pick ``randrange(len(pending))`` instead of the tail
+            — the determinism suite uses this to drive *adversarial*
+            steal schedules and assert results never depend on them.
+
+    :attr:`next_fold` is the lowest sequence number not yet folded —
+    after an exception it tells the engine exactly where its serial
+    completion (or its :class:`~repro.runtime.partial.PartialResult`
+    frontier) starts.
+    """
+
+    __slots__ = ("pool", "next_fold", "_fn", "_payloads", "_tracer", "_rng")
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        fn: Callable,
+        payloads: Sequence[tuple],
+        *,
+        tracer=None,
+        steal_rng=None,
+    ):
+        from repro.obs.tracer import as_tracer
+
+        self.pool = pool
+        self.next_fold = 0
+        self._fn = fn
+        self._payloads = list(payloads)
+        self._tracer = as_tracer(tracer)
+        self._rng = steal_rng
+
+    def _take(self, pending: deque) -> int:
+        """Pick the next task to hand an idle worker (steal side)."""
+        if self._rng is None:
+            return pending.pop()
+        index = self._rng.randrange(len(pending))
+        pending.rotate(-index)
+        seq = pending.popleft()
+        pending.rotate(index)
+        return seq
+
+    def run(self, fold: Callable[[int, object], None]) -> int:
+        """Execute every task; call ``fold(seq, result)`` in seq order.
+
+        Returns the number of folded tasks (== task count on success).
+        On any exception — :class:`WorkerPoolBroken`, a budget signal
+        raised *by* ``fold``, ``KeyboardInterrupt`` — in-flight futures
+        are cancelled first, then the exception propagates with
+        :attr:`next_fold` marking the first unfolded sequence number.
+        """
+        payloads = self._payloads
+        total = len(payloads)
+        if total == 0:
+            return 0
+        if not self.pool.parallel:
+            raise WorkerPoolBroken("pool is serial or permanently broken")
+        pending = deque(range(total))
+        buffered: dict[int, object] = {}
+        in_flight: dict = {}
+        tracer = self._tracer
+
+        def dispatch(seq: int) -> BaseException | None:
+            """Submit one task; on executor failure reclaim and report.
+
+            Submit-time failures are *returned*, not raised, so the
+            caller folds them into the same single-restart recovery as
+            dead futures — one pool death must never consume two
+            restarts.  :class:`WorkerPoolBroken` (allowance already
+            spent) still propagates.
+            """
+            try:
+                in_flight[self.pool.submit(self._fn, *payloads[seq])] = seq
+                return None
+            except WorkerPoolBroken:
+                pending.appendleft(seq)
+                raise
+            except (BrokenProcessPool, RuntimeError) as error:
+                pending.appendleft(seq)
+                return error
+
+        try:
+            for _ in range(min(self.pool.workers, total)):
+                error = dispatch(pending.popleft())
+                if error is not None:
+                    self.pool.restart(error)
+            while self.next_fold < total:
+                crashed: BaseException | None = None
+                if in_flight:
+                    done, _ = wait(
+                        list(in_flight), return_when=FIRST_COMPLETED
+                    )
+                    completed = 0
+                    for future in done:
+                        seq = in_flight.pop(future)
+                        try:
+                            buffered[seq] = future.result()
+                            completed += 1
+                        except (
+                            BrokenProcessPool,
+                            CancelledError,
+                            RuntimeError,
+                        ) as error:
+                            # the pool died under this task; reclaim it
+                            crashed = error
+                            pending.appendleft(seq)
+                    if crashed is None:
+                        # one steal per finished task: hand the freed
+                        # worker the tail of the deque immediately
+                        for _ in range(min(completed, len(pending))):
+                            steal = self._take(pending)
+                            if tracer.enabled:
+                                tracer.event(
+                                    "worker.steal",
+                                    seq=steal,
+                                    pending=len(pending),
+                                )
+                            error = dispatch(steal)
+                            if error is not None:
+                                crashed = error
+                                break
+                elif pending:
+                    # dispatch failures emptied the flight deck without
+                    # a restart (fresh pool died instantly): force one
+                    crashed = RuntimeError("no tasks in flight")
+                if crashed is not None:
+                    # one dead pool voids every in-flight future: pull
+                    # their tasks back, rebuild, resubmit from scratch
+                    for seq in in_flight.values():
+                        pending.appendleft(seq)
+                    in_flight.clear()
+                    self.pool.restart(crashed)
+                    pending = deque(sorted(set(pending)))
+                    for _ in range(min(self.pool.workers, len(pending))):
+                        if dispatch(pending.popleft()) is not None:
+                            break  # retried on the next loop pass
+                # fold the contiguous prefix that is now available —
+                # the ONLY place results leave the buffer, and strictly
+                # by sequence number
+                while self.next_fold in buffered:
+                    fold(self.next_fold, buffered.pop(self.next_fold))
+                    self.next_fold += 1
+            return self.next_fold
+        except BaseException:
+            for future in in_flight:
+                future.cancel()
+            raise

@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test perf perf-check lint bench faults trace-smoke par-smoke \
-	eclat-smoke steal-smoke coverage
+	eclat-smoke steal-smoke serve-smoke chaos coverage
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -92,6 +92,29 @@ steal-smoke:
 	$(PYTHON) -m benchmarks.trace_report $(STEAL_DIR)/smoke.jsonl --validate
 	$(PYTHON) -m benchmarks.shm_leak_check
 	rm -rf $(STEAL_DIR)
+
+# Mining-service smoke: boot `repro serve` on generated data, drive
+# /health, /mine, /append (plus an idempotent replay) and /threshold
+# over real HTTP, verify the incrementally maintained theory equals
+# from-scratch eclat after every mutation, then SIGTERM and assert a
+# clean exit (benchmarks/serve_smoke.py does the driving).
+serve-smoke:
+	$(eval SERVE_DIR := $(shell mktemp -d /tmp/serve_smoke.XXXXXX))
+	$(PYTHON) -m repro generate $(SERVE_DIR)/smoke.dat \
+		--items 12 --transactions 120 --seed 7
+	$(PYTHON) -m benchmarks.serve_smoke $(SERVE_DIR)/smoke.dat \
+		--state-dir $(SERVE_DIR)/state
+	rm -rf $(SERVE_DIR)
+
+# Crash-recovery gate: the chaos suite (in-process WAL-tail truncation
+# sweeps + real SIGKILL-at-random-instants over subprocess servers,
+# both asserting bit-identical digests after restart + idempotent
+# re-send), the WAL damage taxonomy, and the /dev/shm leak sweep to
+# prove the killed processes left nothing behind.
+chaos:
+	$(PYTHON) -m pytest -x -q tests/test_service_chaos.py \
+		tests/test_service_wal.py
+	$(PYTHON) -m benchmarks.shm_leak_check
 
 # Line-coverage floor over src/repro (requires pytest-cov, which CI
 # installs; not part of the baked-in local toolchain).

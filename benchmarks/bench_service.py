@@ -1,0 +1,114 @@
+"""Benchmark: incremental border repair vs from-scratch remining.
+
+Replays a stream of append batches through the service's maintained
+theory twice — once letting :func:`~repro.service.incremental.apply_append`
+repair the borders from the previous ``Bd+``/``Bd-`` (the Theorem 2 /
+Corollary 4 fast path), once forcing a full remine per batch
+(``repair_limit=0``) — and reports wall time and oracle-query
+accounting for both.  The queries column is the paper-faithful cost
+model; the speedup is what a long-lived server actually buys::
+
+    PYTHONPATH=src python -m benchmarks.bench_service [--output report.json]
+
+Not part of the perf-regression gate (no committed baseline): the
+incremental/remine ratio depends on batch geometry, so this is a
+reporting tool, not a pass/fail check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+
+from repro.datasets.transactions import TransactionDatabase
+from repro.service.incremental import apply_append, mine_initial
+from repro.util.bitset import Universe
+
+N_ITEMS = 16
+N_BASE_ROWS = 600
+N_BATCHES = 24
+BATCH_SIZE = 25
+THRESHOLD = 60
+SEED = 7
+
+
+def _stream(seed: int):
+    rng = random.Random(seed)
+    base = [rng.getrandbits(N_ITEMS) for _ in range(N_BASE_ROWS)]
+    batches = [
+        [rng.getrandbits(N_ITEMS) for _ in range(BATCH_SIZE)]
+        for _ in range(N_BATCHES)
+    ]
+    return base, batches
+
+
+def _replay(repair_limit):
+    base, batches = _stream(SEED)
+    database = TransactionDatabase(Universe(range(N_ITEMS)), base)
+    state = mine_initial(database, THRESHOLD)
+    start = time.perf_counter()
+    for batch in batches:
+        state, _ = apply_append(state, batch, repair_limit=repair_limit)
+    elapsed = time.perf_counter() - start
+    return state, elapsed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", help="write the report as JSON")
+    args = parser.parse_args(argv)
+
+    repaired, repair_time = _replay(repair_limit=None)
+    remined, remine_time = _replay(repair_limit=0)
+    assert repaired.supports == remined.supports, "paths diverged"
+    assert repaired.maximal == remined.maximal
+    assert repaired.negative == remined.negative
+
+    report = {
+        "suite": "service-incremental",
+        "batches": N_BATCHES,
+        "batch_size": BATCH_SIZE,
+        "threshold": THRESHOLD,
+        "theory_size": len(repaired.supports),
+        "incremental": {
+            "seconds": repair_time,
+            "queries": repaired.queries,
+            "repairs": repaired.repairs,
+            "remines": repaired.remines,
+        },
+        "remine": {
+            "seconds": remine_time,
+            "queries": remined.queries,
+            "remines": remined.remines,
+        },
+        "speedup": remine_time / repair_time if repair_time else None,
+        "query_ratio": (
+            remined.queries / repaired.queries
+            if repaired.queries
+            else None
+        ),
+    }
+    print(
+        f"incremental: {repair_time:.3f}s, {repaired.queries} queries "
+        f"({repaired.repairs} repairs, {repaired.remines} remines)"
+    )
+    print(
+        f"remine:      {remine_time:.3f}s, {remined.queries} queries "
+        f"({remined.remines} remines)"
+    )
+    print(
+        f"speedup {report['speedup']:.1f}x wall, "
+        f"{report['query_ratio']:.1f}x fewer queries"
+    )
+    if args.output:
+        with open(args.output, "w", encoding="ascii") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"report written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,10 +1,11 @@
 """Command-line interface.
 
-Four subcommands mirror the library's main entry points::
+The subcommands mirror the library's main entry points::
 
     python -m repro generate --items 50 --transactions 1000 out.dat
     python -m repro mine out.dat --min-support 0.1 --algorithm apriori
     python -m repro transversals --edges "0 1, 1 2, 2 0" --method berge
+    python -m repro serve out.dat --min-support 0.1 --state-dir state/
     python -m repro figure1
 
 ``figure1`` replays the paper's worked example, which doubles as a
@@ -200,6 +201,72 @@ def _build_parser() -> argparse.ArgumentParser:
         "(--method berge; results are bit-identical to serial)",
     )
     _add_observability_flags(transversals)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the crash-safe incremental mining service "
+        "(WAL-backed; SIGTERM shuts down gracefully)",
+    )
+    serve.add_argument("input", help="FIMI .dat file with the initial data")
+    serve.add_argument(
+        "--min-support",
+        type=float,
+        default=0.1,
+        help="relative (0,1] or absolute (>1) support threshold",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8177,
+        help="bind port; 0 picks a free one (printed at startup)",
+    )
+    serve.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for the write-ahead log and snapshots; a "
+        "restart with the same data replays it to the exact pre-crash "
+        "state (omit for an in-memory, non-durable server)",
+    )
+    serve.add_argument(
+        "--compact-every",
+        type=int,
+        default=64,
+        metavar="N",
+        help="fold the WAL into a snapshot after N logged operations",
+    )
+    serve.add_argument(
+        "--repair-limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="border-repair evaluations allowed per append before "
+        "falling back to a full remine",
+    )
+    serve.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=4,
+        metavar="N",
+        help="simultaneous expensive requests before queueing",
+    )
+    serve.add_argument(
+        "--max-queued",
+        type=int,
+        default=8,
+        metavar="N",
+        help="queued requests before shedding with 503 + Retry-After",
+    )
+    serve.add_argument(
+        "--default-deadline",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="per-request mining deadline when the client sends none "
+        "(deadline cuts return certified HTTP 206 partials)",
+    )
+    _add_observability_flags(serve)
 
     subparsers.add_parser(
         "figure1", help="replay the paper's Figure 1 worked example"
@@ -439,6 +506,68 @@ def _cmd_transversals(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.service import AdmissionController, MiningServer, ServiceCore
+
+    database = _read_database(args.input)
+    threshold: int | float = args.min_support
+    if threshold > 1:
+        threshold = int(threshold)
+    tracer, finalize = _build_tracer(args)
+    stop = threading.Event()
+
+    def _on_signal(signum, frame):
+        stop.set()
+
+    previous = {
+        sig: signal.signal(sig, _on_signal)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    try:
+        core = ServiceCore(
+            database,
+            threshold,
+            state_dir=args.state_dir,
+            compact_every=args.compact_every,
+            repair_limit=args.repair_limit,
+            tracer=tracer,
+        )
+        server = MiningServer(
+            core,
+            args.host,
+            args.port,
+            admission=AdmissionController(
+                args.max_concurrent,
+                max_queued=args.max_queued,
+                tracer=tracer,
+            ),
+            default_deadline=args.default_deadline,
+            tracer=tracer,
+        )
+        server.start_background()
+        state = core.state
+        print(
+            f"serving on http://{args.host}:{server.port} — "
+            f"{state.database.n_transactions} rows, "
+            f"{len(state.database.universe)} items, "
+            f"threshold {state.threshold}, seq {core.seq}"
+            + (f", state in {args.state_dir}" if args.state_dir else
+               " (in-memory)"),
+            flush=True,
+        )
+        stop.wait()
+        print("shutting down", file=sys.stderr)
+        server.stop()
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        finalize()
+    return EXIT_OK
+
+
 def _cmd_figure1(_: argparse.Namespace) -> int:
     from repro.datasets.planted import PlantedTheory
     from repro.learning.correspondence import (
@@ -473,6 +602,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "mine": _cmd_mine,
     "transversals": _cmd_transversals,
+    "serve": _cmd_serve,
     "figure1": _cmd_figure1,
 }
 

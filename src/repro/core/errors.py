@@ -72,3 +72,13 @@ class CheckpointError(ReproError):
     Raised on version/algorithm mismatches, universes that differ from
     the checkpointed one, and malformed checkpoint files.
     """
+
+
+class WALError(CheckpointError):
+    """A write-ahead log is corrupt beyond crash-artifact tolerance.
+
+    A torn *final* record is a normal ``SIGKILL`` artifact and is
+    silently truncated on recovery; a bad record with valid records
+    after it means the log was damaged at rest, which recovery refuses
+    to paper over.
+    """

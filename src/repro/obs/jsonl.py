@@ -47,6 +47,7 @@ class _JsonlSpan(Span):
         self._t0 = writer._now()
         parent = writer._stack[-1] if writer._stack else None
         writer._stack.append(self._id)
+        writer._open_spans[self._id] = (name, attrs)
         record = {"kind": "span_open", "name": name, "id": self._id}
         if parent is not None:
             record["parent"] = parent
@@ -58,6 +59,7 @@ class _JsonlSpan(Span):
             writer._stack.pop()
         elif self._id in writer._stack:  # closed out of order
             writer._stack.remove(self._id)
+        writer._open_spans.pop(self._id, None)
         record: dict[str, Any] = {
             "kind": "span_close",
             "name": self.name,
@@ -99,6 +101,7 @@ class JsonlTraceWriter(Tracer):
         self._closed = False
         self._span_counter = 0
         self._stack: list[int] = []
+        self._open_spans: dict[int, tuple[str, dict[str, Any]]] = {}
         self.records_written = 0
 
     def _now(self) -> float:
@@ -129,6 +132,59 @@ class JsonlTraceWriter(Tracer):
 
     def gauge(self, name: str, value: float, **attrs: Any) -> None:
         self._emit({"kind": "gauge", "name": name, "value": value}, attrs)
+
+    def rotate(self, sink: "str | os.PathLike") -> None:
+        """Roll the trace to a new file without dropping open spans.
+
+        Long-lived processes rotate traces to bound file growth; the
+        subtlety is spans open *across* the boundary.  Each file must
+        independently satisfy :func:`~repro.obs.schema.validate_trace`
+        (balanced spans), so rotation:
+
+        1. emits a synthetic ``span_close`` (``attrs.rotated=True``)
+           into the old file for every open span, innermost first;
+        2. switches to the new file;
+        3. re-emits each open span's ``span_open`` — same id, name,
+           attrs, and parent link — outermost first, tagged
+           ``rotated=True``.
+
+        The span objects themselves are untouched: their eventual real
+        close lands in the new file and matches the re-emitted open.
+        Timestamps keep the writer's original zero, so ``ts`` stays
+        monotone within each file.  Only path-owned writers can rotate.
+        """
+        if self._closed:
+            raise ValueError("cannot rotate a closed writer")
+        if not self._owns_file:
+            raise ValueError(
+                "rotate() requires a path-owned writer, not an external "
+                "file object"
+            )
+        for span_id in reversed(self._stack):
+            name, attrs = self._open_spans[span_id]
+            self._emit(
+                {
+                    "kind": "span_close",
+                    "name": name,
+                    "id": span_id,
+                    "dur": 0.0,
+                },
+                {**attrs, "rotated": True},
+            )
+        self._file.close()
+        self._file = open(sink, "w", encoding="utf-8")
+        parent: int | None = None
+        for span_id in self._stack:
+            name, attrs = self._open_spans[span_id]
+            record: dict[str, Any] = {
+                "kind": "span_open",
+                "name": name,
+                "id": span_id,
+            }
+            if parent is not None:
+                record["parent"] = parent
+            self._emit(record, {**attrs, "rotated": True})
+            parent = span_id
 
     def close(self) -> None:
         if self._closed:

@@ -32,6 +32,7 @@ run every emitted line through them.
 from __future__ import annotations
 
 import json
+import warnings
 from collections.abc import Iterable
 from typing import Any
 
@@ -124,6 +125,25 @@ KNOWN_EVENTS: dict[str, tuple[str, tuple[str, ...]]] = {
     # shared-memory vertical store (repro.parallel.shm)
     "shm.publish": ("event", ("segment", "bytes", "rows", "items")),
     "shm.attach": ("event", ("segment", "workers")),
+    # write-ahead log (repro.service.wal)
+    "wal.record": ("event", ("seq", "kind")),
+    "wal.recover": ("event", ("records", "last_seq", "torn")),
+    # mining service (repro.service)
+    "service.request": ("span_open", ("endpoint",)),
+    "service.append": ("event", ("seq", "evaluated", "remined")),
+    "service.threshold": ("event", ("seq", "evaluated", "remined")),
+    "service.repair": (
+        "event",
+        ("evaluated", "promoted", "dropped", "remined"),
+    ),
+    "service.remine": ("event", ("reason",)),
+    "service.recover": ("event", ("snapshot_seq", "replayed", "seq")),
+    "service.compact": ("event", ("seq",)),
+    "service.shed": ("event", ("waiting", "queued")),
+    "service.deadline": ("event", ("reason",)),
+    # pool supervision (repro.service.admission)
+    "supervisor.restart": ("event", ("attempt", "delay")),
+    "supervisor.degraded": ("event", ("crashes",)),
 }
 
 
@@ -238,20 +258,36 @@ def validate_trace(records: Iterable[Any]) -> list[str]:
 def parse_trace(path: str) -> list[dict]:
     """Read a JSONL trace file into a list of records.
 
+    A torn *final* line — the normal artifact of a process killed
+    mid-write (the writer flushes per line but a crash can still land
+    between bytes) — is tolerated with a :class:`UserWarning` so traces
+    from crashed long-lived processes stay analyzable.  A bad line with
+    valid lines after it is still an error: that is corruption, not a
+    crash.
+
     Raises:
-        ValueError: on a line that is not valid JSON (with the line
-            number in the message).
+        ValueError: on a non-final line that is not valid JSON (with
+            the line number in the message).
     """
     records: list[dict] = []
     with open(path, "r", encoding="utf-8") as handle:
-        for number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                records.append(json.loads(line))
-            except json.JSONDecodeError as error:
-                raise ValueError(
-                    f"{path}:{number}: not valid JSON: {error}"
-                ) from error
+        lines = handle.readlines()
+    last_number = len(lines)
+    for number, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            records.append(json.loads(stripped))
+        except json.JSONDecodeError as error:
+            if number == last_number:
+                warnings.warn(
+                    f"{path}:{number}: ignoring torn final line "
+                    f"({error})",
+                    stacklevel=2,
+                )
+                break
+            raise ValueError(
+                f"{path}:{number}: not valid JSON: {error}"
+            ) from error
     return records

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 from repro.core.errors import CheckpointError
 from repro.util.bitset import Universe
+from repro.util.fsio import atomic_write
 
 __all__ = ["Checkpoint", "CHECKPOINT_VERSION"]
 
@@ -110,13 +111,12 @@ class Checkpoint:
             raise CheckpointError(f"malformed checkpoint: {error}") from error
 
     def save(self, path: str | os.PathLike) -> None:
-        """Write atomically (tmp file + rename) so a crash mid-save
-        never corrupts an existing checkpoint."""
-        text = self.to_json()
-        tmp_path = f"{os.fspath(path)}.tmp"
-        with open(tmp_path, "w", encoding="ascii") as handle:
-            handle.write(text)
-        os.replace(tmp_path, path)
+        """Write atomically *and durably*: unique same-directory temp
+        file, fsync, ``os.replace``, directory fsync.  A crash (or
+        ``SIGKILL``) at any instant leaves either the previous
+        checkpoint or the new one, never a truncated mix — the WAL
+        compaction protocol depends on exactly this guarantee."""
+        atomic_write(path, self.to_json().encode("ascii"))
 
     @classmethod
     def load(cls, path: str | os.PathLike) -> "Checkpoint":

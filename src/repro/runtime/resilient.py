@@ -5,8 +5,12 @@ production predicate (a database under load, a remote scoring service)
 fails in three ways — transient exceptions, timeouts, and occasional
 wrong answers.  :class:`ResilientOracle` recovers all three:
 
-* *exceptions/timeouts* — bounded retries with a deterministic
-  exponential backoff schedule;
+* *exceptions/timeouts* — bounded retries with exponential backoff,
+  *full-jittered* by default (each delay is drawn uniformly from
+  ``[0, base · factor^attempt]``) so a fleet of clients retrying
+  against one shared oracle spreads out instead of thundering back in
+  lockstep; inject a seeded ``rng`` for a deterministic schedule, or
+  ``jitter=False`` for the bare exponential ladder;
 * *wrong answers* — ``k``-of-``n`` majority voting: each sentence is
   evaluated ``votes`` times (each vote independently retried) and the
   answer must reach ``quorum`` agreement.
@@ -29,6 +33,7 @@ to audit the majority-voted answers.
 
 from __future__ import annotations
 
+import random
 import time
 from collections.abc import Callable, Iterable
 
@@ -45,9 +50,16 @@ class ResilientOracle:
         predicate: the unreliable ``q``.
         retries: additional attempts allowed per vote after the first
             (``retries=3`` means up to 4 calls per vote).
-        backoff: seconds slept before the first retry of a vote.
-        backoff_factor: multiplier applied to the delay per retry — the
-            schedule ``backoff, backoff*factor, ...`` is deterministic.
+        backoff: base of the backoff ladder (seconds).
+        backoff_factor: multiplier applied to the ceiling per retry.
+        jitter: with jitter (the default) retry ``k`` sleeps a uniform
+            draw from ``[0, backoff * factor**k]`` — AWS-style *full
+            jitter*, which provably decorrelates competing retriers;
+            ``jitter=False`` sleeps the ceiling itself (the legacy
+            deterministic schedule ``backoff, backoff*factor, ...``).
+        rng: ``random.Random``-like source for the jitter draws; pass a
+            seeded instance for reproducible schedules (tests do).
+            Defaults to a private unseeded instance.
         votes: evaluations collected per sentence (odd values avoid
             ties).
         quorum: agreeing votes required; defaults to a strict majority
@@ -70,6 +82,8 @@ class ResilientOracle:
         "retries",
         "backoff",
         "backoff_factor",
+        "jitter",
+        "_rng",
         "votes",
         "quorum",
         "retry_on",
@@ -90,6 +104,8 @@ class ResilientOracle:
         retries: int = 3,
         backoff: float = 0.0,
         backoff_factor: float = 2.0,
+        jitter: bool = True,
+        rng: "random.Random | None" = None,
         votes: int = 1,
         quorum: int | None = None,
         retry_on: tuple[type[BaseException], ...] = (OracleFailure,),
@@ -110,6 +126,8 @@ class ResilientOracle:
         self.retries = retries
         self.backoff = backoff
         self.backoff_factor = backoff_factor
+        self.jitter = jitter
+        self._rng = rng if rng is not None else random.Random()
         self.votes = votes
         self.quorum = quorum
         self.retry_on = retry_on
@@ -125,7 +143,7 @@ class ResilientOracle:
     def _attempt(self, mask: int) -> bool:
         """One vote: evaluate with bounded retries and backoff."""
         tracer = self._tracer
-        delay = self.backoff
+        ceiling = self.backoff
         for attempt in range(self.retries + 1):
             self.total_attempts += 1
             try:
@@ -143,6 +161,10 @@ class ResilientOracle:
                         f"{self.retries + 1} attempts: {error}"
                     ) from error
                 self.total_retries += 1
+                if self.jitter and ceiling > 0:
+                    delay = self._rng.uniform(0.0, ceiling)
+                else:
+                    delay = ceiling
                 if tracer.enabled:
                     tracer.event(
                         "resilient.retry",
@@ -152,7 +174,7 @@ class ResilientOracle:
                     )
                 if delay > 0:
                     self._sleep(delay)
-                delay *= self.backoff_factor
+                ceiling *= self.backoff_factor
         raise AssertionError("unreachable")  # pragma: no cover
 
     def __call__(self, mask: int) -> bool:

@@ -1,0 +1,239 @@
+"""Graceful degradation: admission control, deadlines, supervision.
+
+A long-lived miner must stay *predictable* under overload — the
+degradation ladder, in order of preference:
+
+1. **Serve** — a slot is free; the request runs under a per-request
+   deadline (a :class:`~repro.runtime.budget.Budget`, the same
+   cooperative mechanism the engines already honor), so no request can
+   hang past its deadline: a cut mine returns a *certified*
+   :class:`~repro.runtime.partial.PartialResult` (HTTP 206), never an
+   uncertified answer.
+2. **Shed** — all slots are busy and the wait queue is full: the
+   request is refused immediately with :class:`Saturated` (HTTP 503 +
+   ``Retry-After``), which costs the server nothing and tells the
+   client exactly when to come back.
+3. **Degrade** — when parallel workers keep crashing, the
+   :class:`Supervisor` restarts them with capped exponential backoff
+   and, after the restart allowance is spent, pins execution to the
+   serial path: slower, but structurally incapable of worker crashes.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable
+from typing import Any
+
+from repro.core.errors import ReproError
+from repro.obs.tracer import as_tracer
+from repro.parallel.pool import WorkerPoolBroken
+
+__all__ = ["AdmissionController", "Saturated", "Supervisor"]
+
+
+class Saturated(ReproError):
+    """The admission queue is full; retry after ``retry_after`` seconds.
+
+    Attributes:
+        retry_after: the suggested client backoff (the ``Retry-After``
+            header value) — a conservative estimate of when a slot will
+            plausibly be free.
+    """
+
+    def __init__(self, retry_after: float):
+        super().__init__(
+            f"admission queue saturated; retry after {retry_after:.1f}s"
+        )
+        self.retry_after = retry_after
+
+
+class AdmissionController:
+    """A bounded concurrency gate with load-shedding.
+
+    ``max_concurrent`` requests run at once; up to ``max_queued`` more
+    wait (FIFO via the condition queue) at most ``queue_timeout``
+    seconds; everything beyond that is shed *immediately* with
+    :class:`Saturated` — under saturation the cheapest correct answer
+    is a fast 503, not a growing queue of doomed work.
+
+    Args:
+        max_concurrent: simultaneous slots (≥ 1).
+        max_queued: waiters allowed beyond the slots (0 = shed the
+            moment all slots are busy).
+        queue_timeout: seconds a waiter may block before being shed.
+        retry_after: the backoff hint attached to :class:`Saturated`.
+        tracer: optional tracer (``service.shed`` events).
+    """
+
+    def __init__(
+        self,
+        max_concurrent: int = 4,
+        *,
+        max_queued: int = 8,
+        queue_timeout: float = 1.0,
+        retry_after: float = 1.0,
+        tracer=None,
+    ):
+        if max_concurrent < 1:
+            raise ValueError("max_concurrent must be positive")
+        if max_queued < 0:
+            raise ValueError("max_queued must be non-negative")
+        self._cond = threading.Condition()
+        self._max_concurrent = max_concurrent
+        self._max_queued = max_queued
+        self._queue_timeout = queue_timeout
+        self._retry_after = retry_after
+        self._active = 0
+        self._waiting = 0
+        self.admitted = 0
+        self.shed = 0
+        self._tracer = as_tracer(tracer)
+
+    def acquire(self) -> None:
+        """Take a slot or raise :class:`Saturated` (never hangs:
+        bounded queue, bounded wait)."""
+        with self._cond:
+            if self._active < self._max_concurrent:
+                self._active += 1
+                self.admitted += 1
+                return
+            if self._waiting >= self._max_queued:
+                self.shed += 1
+                if self._tracer.enabled:
+                    self._tracer.event(
+                        "service.shed", waiting=self._waiting, queued=False
+                    )
+                raise Saturated(self._retry_after)
+            self._waiting += 1
+            try:
+                admitted = self._cond.wait_for(
+                    lambda: self._active < self._max_concurrent,
+                    timeout=self._queue_timeout,
+                )
+            finally:
+                self._waiting -= 1
+            if not admitted:
+                self.shed += 1
+                if self._tracer.enabled:
+                    self._tracer.event(
+                        "service.shed", waiting=self._waiting, queued=True
+                    )
+                raise Saturated(self._retry_after)
+            self._active += 1
+            self.admitted += 1
+
+    def release(self) -> None:
+        """Free a slot and wake one waiter."""
+        with self._cond:
+            self._active -= 1
+            self._cond.notify()
+
+    def __enter__(self) -> "AdmissionController":
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+    def snapshot(self) -> dict:
+        """Occupancy counters for ``/metrics``."""
+        with self._cond:
+            return {
+                "active": self._active,
+                "waiting": self._waiting,
+                "admitted": self.admitted,
+                "shed": self.shed,
+                "max_concurrent": self._max_concurrent,
+                "max_queued": self._max_queued,
+            }
+
+
+class Supervisor:
+    """Retry crashed parallel work with capped backoff, then go serial.
+
+    The parallel engines already rebuild their worker pools per call
+    and tolerate ``max_restarts`` crashes *within* a call; the
+    supervisor sits one level up and handles the calls that still die
+    (:class:`~repro.parallel.pool.WorkerPoolBroken`): each crash is
+    retried after a capped exponential backoff, and once ``attempts``
+    are exhausted the supervisor *degrades* — it runs the caller's
+    serial fallback and stays serial (``degraded=True``) until
+    :meth:`reset`, because a machine that keeps killing workers (OOM,
+    cgroup pressure) will keep doing so and serial progress beats a
+    crash loop.
+
+    Args:
+        attempts: parallel tries per task before degrading.
+        base_delay: first backoff delay (seconds).
+        factor: backoff multiplier per retry.
+        max_delay: backoff cap.
+        sleep: injectable sleep (tests pass a recorder).
+        tracer: optional tracer (``supervisor.restart`` /
+            ``supervisor.degraded`` events).
+    """
+
+    def __init__(
+        self,
+        *,
+        attempts: int = 3,
+        base_delay: float = 0.05,
+        factor: float = 2.0,
+        max_delay: float = 2.0,
+        sleep: Callable[[float], None] | None = None,
+        tracer=None,
+    ):
+        if attempts < 1:
+            raise ValueError("attempts must be positive")
+        self._attempts = attempts
+        self._base_delay = base_delay
+        self._factor = factor
+        self._max_delay = max_delay
+        self._sleep = sleep if sleep is not None else __import__("time").sleep
+        self._tracer = as_tracer(tracer)
+        self._lock = threading.Lock()
+        self.degraded = False
+        self.crashes = 0
+
+    def run(
+        self,
+        parallel_task: Callable[[], Any],
+        serial_fallback: Callable[[], Any],
+    ) -> Any:
+        """Run ``parallel_task``, surviving worker-pool crashes.
+
+        Returns its result, or — after the restart allowance is spent,
+        or when already degraded — ``serial_fallback()``'s.  Exceptions
+        other than :class:`~repro.parallel.pool.WorkerPoolBroken`
+        propagate: only infrastructure failures trigger the ladder,
+        never application errors.
+        """
+        if self.degraded:
+            return serial_fallback()
+        delay = self._base_delay
+        for attempt in range(self._attempts):
+            try:
+                return parallel_task()
+            except WorkerPoolBroken:
+                with self._lock:
+                    self.crashes += 1
+                if attempt + 1 >= self._attempts:
+                    break
+                if self._tracer.enabled:
+                    self._tracer.event(
+                        "supervisor.restart",
+                        attempt=attempt + 1,
+                        delay=delay,
+                    )
+                self._sleep(delay)
+                delay = min(delay * self._factor, self._max_delay)
+        with self._lock:
+            self.degraded = True
+        if self._tracer.enabled:
+            self._tracer.event("supervisor.degraded", crashes=self.crashes)
+        return serial_fallback()
+
+    def reset(self) -> None:
+        """Forgive past crashes and re-enable the parallel path."""
+        with self._lock:
+            self.degraded = False

@@ -1,0 +1,322 @@
+"""The zero-dependency HTTP front end of the mining service.
+
+Stdlib only — :class:`http.server.ThreadingHTTPServer` with one thread
+per connection — because the service layer's value is the protocol
+(WAL-first durability, certified answers, bounded admission), not the
+web framework.  Endpoints, all JSON:
+
+=====================  ====  ==============================================
+path                   verb  behavior
+=====================  ====  ==============================================
+``/health``            GET   liveness + current sequence number
+``/metrics``           GET   maintained-theory and admission counters
+``/borders``           GET   ``Bd+`` / ``Bd-`` of the maintained theory
+``/member?mask=M``     GET   certified membership via the border bracket
+``/mine``              GET   frequent itemsets at ``min_support`` (query
+                             param; defaults to the maintained threshold).
+                             Hot thresholds are served with zero database
+                             work; looser ones run under the request
+                             deadline and may return **206** with a
+                             certified partial result
+``/append``            POST  ``{"rows": [...], "op": "..."}`` — durably
+                             append transactions, repair the borders
+``/threshold``         POST  ``{"min_support": x, "op": "..."}`` — move
+                             the maintained threshold
+=====================  ====  ==============================================
+
+Degradation contract (the acceptance criteria of the service):
+
+* expensive endpoints (``/mine``, ``/append``, ``/threshold``) pass
+  through the :class:`~repro.service.admission.AdmissionController`;
+  saturation answers **503** with a ``Retry-After`` header immediately
+  instead of queueing unboundedly;
+* every mine runs under a :class:`~repro.runtime.budget.Budget`
+  deadline (``deadline`` query param, capped by the server maximum); a
+  cut returns **206** with the certified bracket — ``Bd+`` so far, the
+  verified ``Bd-`` prefix, the open frontier — never a silently
+  truncated answer;
+* ``/health`` and ``/metrics`` bypass admission, so the server stays
+  observable while shedding.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.core.errors import ReproError
+from repro.obs.tracer import as_tracer
+from repro.runtime.budget import Budget
+from repro.runtime.partial import PartialResult
+from repro.service.admission import AdmissionController, Saturated
+from repro.service.state import ServiceCore
+
+__all__ = ["MiningServer"]
+
+
+def _partial_payload(partial: PartialResult) -> dict:
+    """JSON shape of a certified partial answer (HTTP 206 body)."""
+    certificate = partial.certificate()
+    return {
+        "partial": True,
+        "algorithm": partial.algorithm,
+        "reason": partial.reason,
+        "interesting": list(partial.interesting),
+        "positive_border": list(partial.positive_border),
+        "negative": list(partial.negative),
+        "frontier": list(partial.frontier),
+        "frontier_kind": partial.frontier_kind,
+        "frontier_complete": partial.frontier_complete,
+        "queries": partial.queries,
+        "certified": bool(certificate.ok),
+    }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-miner/1.0"
+
+    # -- plumbing -----------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib name
+        pass  # request logging goes through the tracer, not stderr
+
+    @property
+    def core(self) -> ServiceCore:
+        return self.server.core
+
+    def _send_json(self, status: int, payload: dict, headers=()) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in headers:
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            return {}
+        raw = self.rfile.read(length)
+        payload = json.loads(raw.decode("utf-8"))
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    def _dispatch(self, handler) -> None:
+        tracer = self.server.tracer
+        endpoint = urlparse(self.path).path
+        try:
+            if tracer.enabled:
+                with tracer.span("service.request", endpoint=endpoint):
+                    handler()
+            else:
+                handler()
+        except Saturated as error:
+            self._send_json(
+                503,
+                {"error": str(error)},
+                headers=(("Retry-After", f"{error.retry_after:.0f}"),),
+            )
+        except (ValueError, KeyError, json.JSONDecodeError) as error:
+            self._send_json(400, {"error": str(error)})
+        except ReproError as error:
+            self._send_json(500, {"error": str(error)})
+
+    # -- GET ----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        parsed = urlparse(self.path)
+        query = parse_qs(parsed.query)
+        routes = {
+            "/health": lambda: self._health(),
+            "/metrics": lambda: self._metrics(),
+            "/borders": lambda: self._borders(),
+            "/member": lambda: self._member(query),
+            "/mine": lambda: self._mine(query),
+        }
+        handler = routes.get(parsed.path)
+        if handler is None:
+            self._send_json(404, {"error": f"unknown path {parsed.path}"})
+            return
+        self._dispatch(handler)
+
+    def _health(self) -> None:
+        self._send_json(
+            200, {"status": "ok", "seq": self.core.seq}
+        )
+
+    def _metrics(self) -> None:
+        payload = self.core.metrics()
+        payload["admission"] = self.server.admission.snapshot()
+        self._send_json(200, payload)
+
+    def _borders(self) -> None:
+        state = self.core.state
+        self._send_json(
+            200,
+            {
+                "seq": self.core.seq,
+                "threshold": state.threshold,
+                "maximal": list(state.maximal),
+                "negative": list(state.negative),
+            },
+        )
+
+    def _member(self, query: dict) -> None:
+        mask = int(query["mask"][0], 0)
+        self._send_json(200, self.core.member(mask))
+
+    def _mine(self, query: dict) -> None:
+        min_support = None
+        if "min_support" in query:
+            raw = query["min_support"][0]
+            min_support = float(raw) if "." in raw else int(raw)
+        deadline = min(
+            float(query.get("deadline", [self.server.default_deadline])[0]),
+            self.server.max_deadline,
+        )
+        with self.server.admission:
+            budget = Budget(timeout=deadline)
+            kind, result = self.core.mine(min_support, budget=budget)
+        if kind == "partial":
+            if self.server.tracer.enabled:
+                self.server.tracer.event(
+                    "service.deadline", reason=result.reason
+                )
+            self._send_json(206, _partial_payload(result))
+            return
+        self._send_json(
+            200,
+            {
+                "partial": False,
+                "source": kind,
+                "threshold": result["threshold"],
+                "supports": [
+                    [mask, supp]
+                    for mask, supp in result["supports"].items()
+                ],
+                "maximal": list(result["maximal"]),
+                "negative": list(result["negative"]),
+                "queries": result["queries"],
+            },
+        )
+
+    # -- POST ---------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        parsed = urlparse(self.path)
+        routes = {
+            "/append": lambda: self._append(),
+            "/threshold": lambda: self._threshold(),
+        }
+        handler = routes.get(parsed.path)
+        if handler is None:
+            self._send_json(404, {"error": f"unknown path {parsed.path}"})
+            return
+        self._dispatch(handler)
+
+    def _append(self) -> None:
+        body = self._read_body()
+        rows = [int(r) for r in body["rows"]]
+        op_id = body.get("op")
+        with self.server.admission:
+            seq, stats = self.core.append(rows, op_id=op_id)
+        self._send_json(
+            200,
+            {
+                "seq": seq,
+                "duplicate": stats is None,
+                "evaluated": stats.evaluated if stats else 0,
+                "remined": stats.remined if stats else False,
+                "digest": self.core.digest(),
+            },
+        )
+
+    def _threshold(self) -> None:
+        body = self._read_body()
+        value = body["min_support"]
+        if not isinstance(value, (int, float)):
+            raise ValueError("min_support must be a number")
+        op_id = body.get("op")
+        with self.server.admission:
+            seq, stats = self.core.set_threshold(value, op_id=op_id)
+        self._send_json(
+            200,
+            {
+                "seq": seq,
+                "duplicate": stats is None,
+                "evaluated": stats.evaluated if stats else 0,
+                "remined": stats.remined if stats else False,
+                "digest": self.core.digest(),
+            },
+        )
+
+
+class MiningServer(ThreadingHTTPServer):
+    """A long-lived mining server bound to one :class:`ServiceCore`.
+
+    Args:
+        core: the durable state machine (owns the WAL and snapshots).
+        host, port: bind address; ``port=0`` picks a free port (read
+            the result from :attr:`server_address`).
+        admission: optional pre-configured admission controller.
+        default_deadline: per-request deadline (seconds) when the
+            client does not pass one.
+        max_deadline: hard cap on client-requested deadlines.
+        tracer: optional tracer (``service.request`` spans,
+            ``service.deadline`` events).
+
+    ``daemon_threads`` is on: a shedding server must never be kept
+    alive by a stuck handler thread.
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        core: ServiceCore,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        admission: AdmissionController | None = None,
+        default_deadline: float = 5.0,
+        max_deadline: float = 30.0,
+        tracer=None,
+    ):
+        super().__init__((host, port), _Handler)
+        self.core = core
+        self.tracer = as_tracer(tracer)
+        self.admission = (
+            admission
+            if admission is not None
+            else AdmissionController(tracer=self.tracer)
+        )
+        self.default_deadline = default_deadline
+        self.max_deadline = max_deadline
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def start_background(self) -> "MiningServer":
+        """Serve from a daemon thread (tests and the smoke target)."""
+        self._thread = threading.Thread(
+            target=self.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Graceful shutdown: stop accepting, close the WAL."""
+        self.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        self.server_close()
+        self.core.close()

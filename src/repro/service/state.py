@@ -1,0 +1,415 @@
+"""The durable, transport-agnostic core of the mining service.
+
+:class:`ServiceCore` owns the maintained theory and the crash-safety
+protocol; the HTTP layer (:mod:`repro.service.server`) is a thin
+translation on top.  The protocol, in order, for every mutation:
+
+1. **Dedupe** — mutations carry an operation id; an id that was already
+   applied (in the snapshot's ledger or the replayed WAL) is answered
+   from the ledger without logging or applying anything.  Clients (and
+   the chaos harness) may therefore re-send every batch after a crash
+   and converge on the exact state of an uninterrupted run.
+2. **Log** — the operation is fsync'd to the
+   :class:`~repro.service.wal.WriteAheadLog` *before* any state change.
+3. **Apply** — the pure functions of :mod:`repro.service.incremental`
+   produce a new immutable :class:`~repro.service.incremental.MaintainedTheory`
+   and the reference is swapped under the core's lock (readers never
+   lock; they grab the current reference and get a consistent state).
+4. **Compact** — every ``compact_every`` records the state is folded
+   into a :class:`~repro.runtime.checkpoint.Checkpoint`
+   (``algorithm="service"``, written atomically + durably) and the WAL
+   restarts empty.
+
+Recovery inverts the protocol: load the snapshot (if any), rebuild the
+theory *bit-for-bit from the stored closure* (no remining — the stored
+``queries`` accounting stays honest), then replay WAL records newer
+than the snapshot through the same pure apply functions.  Because every
+apply is deterministic, the recovered state — theory, borders, supports
+*and* accounting — is identical to a run that never crashed; the chaos
+suite asserts this via :meth:`ServiceCore.digest` at randomized kill
+points.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from typing import Any
+
+from repro.core.errors import CheckpointError, WALError
+from repro.datasets.transactions import TransactionDatabase
+from repro.mining.eclat import eclat
+from repro.obs.tracer import as_tracer
+from repro.runtime.checkpoint import Checkpoint
+from repro.runtime.partial import PartialResult
+from repro.service.incremental import (
+    MaintainedTheory,
+    RepairStats,
+    apply_append,
+    apply_threshold,
+    mine_initial,
+)
+from repro.service.wal import WriteAheadLog
+from repro.util.bitset import Universe, popcount
+
+__all__ = ["ServiceCore"]
+
+SNAPSHOT_NAME = "snapshot.json"
+WAL_NAME = "wal.jsonl"
+
+
+def _state_payload(state: MaintainedTheory, seq: int, ledger: dict) -> dict:
+    """The canonical JSON-ready description of the full service state."""
+    return {
+        "seq": seq,
+        "rows": list(state.database.transaction_masks),
+        "threshold": state.threshold,
+        "supports": [[mask, supp] for mask, supp in state.supports.items()],
+        "maximal": list(state.maximal),
+        "negative": list(state.negative),
+        "queries": state.queries,
+        "support_updates": state.support_updates,
+        "repairs": state.repairs,
+        "remines": state.remines,
+        "ledger": sorted(ledger.items()),
+    }
+
+
+class ServiceCore:
+    """Durable maintained-theory state machine (see module docs).
+
+    Args:
+        database: the initial transaction database — the state of
+            *sequence zero*.  When a snapshot or WAL exists in
+            ``state_dir``, recovery replays on top of this same seed, so
+            restarts must pass the same initial data (the universe is
+            validated; a mismatch raises
+            :class:`~repro.core.errors.CheckpointError`).
+        min_support: the initial absolute (int) or relative (float)
+            threshold.
+        state_dir: directory for the WAL + snapshot; ``None`` runs
+            purely in memory (no durability — tests and benchmarks).
+        durable: ``False`` skips per-record fsync (tests only).
+        compact_every: fold the WAL into a snapshot after this many
+            logged records.
+        repair_limit: per-update border-repair budget before falling
+            back to a full remine (``None`` = never fall back).
+        tracer: optional tracer (``service.*`` and ``wal.*`` events).
+    """
+
+    def __init__(
+        self,
+        database: TransactionDatabase,
+        min_support: int | float,
+        *,
+        state_dir: str | os.PathLike | None = None,
+        durable: bool = True,
+        compact_every: int = 64,
+        repair_limit: int | None = None,
+        tracer=None,
+    ):
+        self._tracer = as_tracer(tracer)
+        self._lock = threading.RLock()
+        self._compact_every = compact_every
+        self._repair_limit = repair_limit
+        self._ledger: dict[str, int] = {}
+        self._dir = os.fspath(state_dir) if state_dir is not None else None
+        self._wal: WriteAheadLog | None = None
+
+        snapshot_seq = 0
+        state: MaintainedTheory | None = None
+        if self._dir is not None:
+            os.makedirs(self._dir, exist_ok=True)
+            snapshot_path = os.path.join(self._dir, SNAPSHOT_NAME)
+            if os.path.exists(snapshot_path):
+                state, snapshot_seq, self._ledger = self._load_snapshot(
+                    snapshot_path, database.universe
+                )
+        if state is None:
+            state = mine_initial(database, min_support)
+        self._state = state
+        self._seq = snapshot_seq
+
+        if self._dir is not None:
+            self._wal = WriteAheadLog(
+                os.path.join(self._dir, WAL_NAME),
+                start_seq=snapshot_seq,
+                durable=durable,
+                tracer=self._tracer,
+            )
+            replayed = len(self._wal.records)
+            for record in self._wal.records:
+                self._apply_record(record)
+            if self._tracer.enabled:
+                self._tracer.event(
+                    "service.recover",
+                    snapshot_seq=snapshot_seq,
+                    replayed=replayed,
+                    seq=self._seq,
+                )
+
+    # -- recovery -----------------------------------------------------
+
+    @staticmethod
+    def _load_snapshot(
+        path: str, universe: Universe
+    ) -> tuple[MaintainedTheory, int, dict[str, int]]:
+        checkpoint = Checkpoint.load(path)
+        checkpoint.validate_for("service", universe)
+        try:
+            payload = checkpoint.state
+            database = TransactionDatabase(
+                universe, [int(r) for r in payload["rows"]]
+            )
+            state = MaintainedTheory(
+                database=database,
+                threshold=int(payload["threshold"]),
+                supports={
+                    int(mask): int(supp)
+                    for mask, supp in payload["supports"]
+                },
+                maximal=tuple(int(m) for m in payload["maximal"]),
+                negative=tuple(int(m) for m in payload["negative"]),
+                queries=int(payload["queries"]),
+                support_updates=int(payload["support_updates"]),
+                repairs=int(payload["repairs"]),
+                remines=int(payload["remines"]),
+            )
+            seq = int(payload["seq"])
+            ledger = {str(op): int(s) for op, s in payload["ledger"]}
+        except (KeyError, TypeError, ValueError) as error:
+            raise CheckpointError(
+                f"malformed service snapshot {path!r}: {error}"
+            ) from error
+        return state, seq, ledger
+
+    def _apply_record(self, record: dict) -> None:
+        """Replay one WAL record through the pure apply functions."""
+        kind = record.get("kind")
+        if kind == "append":
+            rows = [int(r) for r in record["rows"]]
+            new_state, _ = apply_append(
+                self._state, rows, repair_limit=self._repair_limit
+            )
+        elif kind == "threshold":
+            value = record["value"]
+            new_state, _ = apply_threshold(
+                self._state,
+                float(value) if isinstance(value, float) else int(value),
+                repair_limit=self._repair_limit,
+            )
+        else:
+            raise WALError(f"unknown WAL record kind {kind!r}")
+        self._state = new_state
+        self._seq = record["seq"]
+        op = record.get("op")
+        if op is not None:
+            self._ledger[op] = record["seq"]
+
+    # -- reads (lock-free: one reference grab) ------------------------
+
+    @property
+    def state(self) -> MaintainedTheory:
+        """The current immutable maintained theory."""
+        return self._state
+
+    @property
+    def seq(self) -> int:
+        """Sequence number of the last applied operation."""
+        return self._seq
+
+    def mine(self, min_support: int | float | None = None, *, budget=None):
+        """Frequent itemsets at ``min_support`` (default: maintained).
+
+        Thresholds at or above the maintained one are served from the
+        hot closure with **zero** database work — Theorem 2 certifies
+        the filtered table.  A looser threshold falls through to a real
+        :func:`~repro.mining.eclat.eclat` run on the hot database under
+        the caller's budget, which may return a certified
+        :class:`~repro.runtime.partial.PartialResult`.
+
+        Returns:
+            ``("hot" | "mined", EclatResult-like dict)`` on completion,
+            or ``("partial", PartialResult)`` on a deadline cut.
+        """
+        state = self._state
+        if min_support is None:
+            threshold = state.threshold
+        elif isinstance(min_support, float):
+            threshold = state.database.absolute_support(min_support)
+        else:
+            threshold = int(min_support)
+        if threshold < 0:
+            raise ValueError("min_support must be non-negative")
+        if threshold >= state.threshold:
+            maximal, negative = state.theory_at(threshold)
+            supports = {
+                mask: supp
+                for mask, supp in state.supports.items()
+                if supp >= threshold
+            }
+            return "hot", {
+                "threshold": threshold,
+                "supports": supports,
+                "maximal": maximal,
+                "negative": negative,
+                "queries": 0,
+            }
+        result = eclat(state.database, threshold, budget=budget)
+        if isinstance(result, PartialResult):
+            return "partial", result
+        return "mined", {
+            "threshold": threshold,
+            "supports": result.supports,
+            "maximal": result.maximal,
+            "negative": result.negative_border,
+            "queries": result.queries,
+        }
+
+    def member(self, mask: int) -> dict:
+        """Certified membership of ``mask`` via the border bracket."""
+        state = self._state
+        if mask & ~state.database.universe.full_mask:
+            raise ValueError("mask uses items outside the universe")
+        frequent, witness = state.member_witness(mask)
+        return {
+            "mask": mask,
+            "frequent": frequent,
+            "witness": witness,
+            "witness_kind": "Bd+" if frequent else "Bd-",
+            "threshold": state.threshold,
+        }
+
+    # -- mutations (WAL-first, deduped, compacting) -------------------
+
+    def append(
+        self, rows: list[int], *, op_id: str | None = None
+    ) -> tuple[int, RepairStats | None]:
+        """Durably append transactions and repair the borders.
+
+        Returns ``(seq, stats)``; ``stats`` is ``None`` when ``op_id``
+        was already applied (idempotent replay — state untouched).
+        """
+        return self._mutate(
+            "append", {"rows": [int(r) for r in rows]}, op_id
+        )
+
+    def set_threshold(
+        self, min_support: int | float, *, op_id: str | None = None
+    ) -> tuple[int, RepairStats | None]:
+        """Durably move the maintained threshold."""
+        return self._mutate("threshold", {"value": min_support}, op_id)
+
+    def _mutate(
+        self, kind: str, payload: dict[str, Any], op_id: str | None
+    ) -> tuple[int, RepairStats | None]:
+        with self._lock:
+            if op_id is not None and op_id in self._ledger:
+                return self._ledger[op_id], None
+            if self._wal is not None:
+                seq = self._wal.append(
+                    kind, **payload, **({"op": op_id} if op_id else {})
+                )
+            else:
+                seq = self._seq + 1
+            if kind == "append":
+                new_state, stats = apply_append(
+                    self._state,
+                    payload["rows"],
+                    repair_limit=self._repair_limit,
+                    tracer=self._tracer,
+                )
+            else:
+                new_state, stats = apply_threshold(
+                    self._state,
+                    payload["value"],
+                    repair_limit=self._repair_limit,
+                    tracer=self._tracer,
+                )
+            self._state = new_state
+            self._seq = seq
+            if op_id is not None:
+                self._ledger[op_id] = seq
+            if self._tracer.enabled:
+                self._tracer.event(
+                    "service.append" if kind == "append" else
+                    "service.threshold",
+                    seq=seq,
+                    evaluated=stats.evaluated,
+                    remined=stats.remined,
+                )
+            if (
+                self._wal is not None
+                and self._wal.pending() >= self._compact_every
+            ):
+                self.compact()
+            return seq, stats
+
+    def compact(self) -> None:
+        """Fold the WAL into a durable snapshot and restart it empty.
+
+        Ordering is the crash-safety crux: the snapshot is written
+        first (atomic + durable), the WAL reset second.  A kill between
+        the two leaves a snapshot plus a log of already-folded records,
+        which recovery skips via the snapshot's sequence number.
+        """
+        if self._dir is None or self._wal is None:
+            return
+        with self._lock:
+            checkpoint = Checkpoint(
+                algorithm="service",
+                universe_items=tuple(
+                    self._state.database.universe.items
+                ),
+                state=_state_payload(self._state, self._seq, self._ledger),
+                accounting={"queries": self._state.queries},
+            )
+            checkpoint.save(os.path.join(self._dir, SNAPSHOT_NAME))
+            self._wal.reset(self._seq)
+            if self._tracer.enabled:
+                self._tracer.event("service.compact", seq=self._seq)
+
+    # -- identity -----------------------------------------------------
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical full state (data, theory,
+        borders, accounting, ledger) — two cores with equal digests are
+        bit-identical, which is the chaos suite's acceptance check."""
+        with self._lock:
+            payload = _state_payload(self._state, self._seq, self._ledger)
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def metrics(self) -> dict:
+        """Counters for ``/metrics`` (monotone within a process life)."""
+        state = self._state
+        return {
+            "seq": self._seq,
+            "n_transactions": state.database.n_transactions,
+            "n_items": len(state.database.universe),
+            "threshold": state.threshold,
+            "theory_size": len(state.supports),
+            "positive_border": len(state.maximal),
+            "negative_border": len(state.negative),
+            "rank": max(
+                (popcount(m) for m in state.maximal), default=0
+            ),
+            "queries": state.queries,
+            "support_updates": state.support_updates,
+            "repairs": state.repairs,
+            "remines": state.remines,
+            "wal_pending": self._wal.pending() if self._wal else 0,
+        }
+
+    def close(self) -> None:
+        """Release the WAL file handle (idempotent)."""
+        if self._wal is not None:
+            self._wal.close()
+
+    def __enter__(self) -> "ServiceCore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

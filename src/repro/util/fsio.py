@@ -1,0 +1,63 @@
+"""Durable filesystem primitives shared by checkpointing and the WAL.
+
+POSIX durability needs three steps, not one: write the bytes, fsync the
+file, and fsync the *directory* so the name → inode link survives a
+power cut.  ``atomic_write`` adds the classic same-directory temp file +
+``os.replace`` dance so readers never observe a half-written file — they
+see the old content or the new content, nothing in between.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+__all__ = ["atomic_write", "fsync_directory"]
+
+
+def fsync_directory(path: str | os.PathLike) -> None:
+    """fsync a directory so a rename/create inside it is durable.
+
+    Best-effort: platforms that cannot open directories (or non-POSIX
+    filesystems) skip silently — the file-level fsync still holds.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write(path: str | os.PathLike, data: bytes) -> None:
+    """Atomically and durably replace ``path`` with ``data``.
+
+    Writes to a uniquely named temp file in the *same directory* (rename
+    is only atomic within a filesystem), fsyncs it, ``os.replace``s it
+    over the target, then fsyncs the directory.  A crash at any point
+    leaves either the old file or the new one, never a truncated mix;
+    the unique temp name keeps concurrent writers from trampling each
+    other's scratch space.
+    """
+    target = os.fspath(path)
+    directory = os.path.dirname(target) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(target) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:  # pragma: no cover - already renamed/removed
+            pass
+        raise
+    fsync_directory(directory)

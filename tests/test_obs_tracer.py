@@ -307,3 +307,99 @@ class TestSchema:
         ]
         problems = validate_trace(records)
         assert any("does not match" in p for p in problems)
+
+
+class TestCrashArtifactsAndRotation:
+    """parse_trace damage tolerance and writer rotation (long-lived
+    service support): a torn final line is a crash artifact, interior
+    damage is corruption, and rotate() must leave *both* files
+    independently balanced."""
+
+    def _write_trace(self, path, lines):
+        with open(path, "w", encoding="utf-8") as handle:
+            for line in lines:
+                handle.write(line + "\n")
+
+    def test_torn_final_line_warns_and_parses_prefix(self, tmp_path):
+        from repro.obs import parse_trace
+
+        path = tmp_path / "trace.jsonl"
+        good = json.dumps(
+            {"kind": "event", "name": "x", "ts": 0.0, "attrs": {}}
+        )
+        self._write_trace(path, [good, good])
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "ev')  # killed mid-write
+        with pytest.warns(UserWarning, match="torn final line"):
+            records = parse_trace(str(path))
+        assert len(records) == 2
+
+    def test_interior_damage_still_raises(self, tmp_path):
+        from repro.obs import parse_trace
+
+        path = tmp_path / "trace.jsonl"
+        good = json.dumps(
+            {"kind": "event", "name": "x", "ts": 0.0, "attrs": {}}
+        )
+        self._write_trace(path, [good, "not json", good])
+        with pytest.raises(ValueError, match=":2:"):
+            parse_trace(str(path))
+
+    def test_rotate_keeps_both_files_balanced(self, tmp_path):
+        from repro.obs import parse_trace
+
+        clock_value = [0.0]
+
+        def clock():
+            clock_value[0] += 1.0
+            return clock_value[0]
+
+        first = tmp_path / "trace.1.jsonl"
+        second = tmp_path / "trace.2.jsonl"
+        writer = JsonlTraceWriter(str(first), clock=clock)
+        with writer.span("service.request", endpoint="/mine"):
+            with writer.span("request.work", n=4) as inner:
+                writer.event("oracle.query", mask=1, answer=True,
+                             charged=True)
+                writer.rotate(str(second))
+                inner.note(queries=1)
+        writer.close()
+
+        old = parse_trace(str(first))
+        new = parse_trace(str(second))
+        assert validate_trace(old) == []
+        assert validate_trace(new) == []
+        # The old file ends with synthetic closes, innermost first.
+        closes = [r for r in old if r["kind"] == "span_close"]
+        assert [c["name"] for c in closes] == [
+            "request.work", "service.request"
+        ]
+        assert all(c["attrs"]["rotated"] for c in closes)
+        # The new file re-opens the same spans, outermost first, with
+        # the parent chain intact, then records the real closes.
+        opens = [r for r in new if r["kind"] == "span_open"]
+        assert [o["name"] for o in opens] == [
+            "service.request", "request.work"
+        ]
+        assert opens[1]["parent"] == opens[0]["id"]
+        real_closes = [r for r in new if r["kind"] == "span_close"]
+        assert [c["name"] for c in real_closes] == [
+            "request.work", "service.request"
+        ]
+        assert real_closes[0]["attrs"].get("queries") == 1
+        # ts stays monotone within each file.
+        for trace in (old, new):
+            stamps = [r["ts"] for r in trace]
+            assert stamps == sorted(stamps)
+
+    def test_rotate_refuses_external_sinks_and_closed_writers(
+        self, tmp_path
+    ):
+        buffer = io.StringIO()
+        writer = JsonlTraceWriter(buffer)
+        with pytest.raises(ValueError, match="path-owned"):
+            writer.rotate(str(tmp_path / "x.jsonl"))
+        owned = JsonlTraceWriter(str(tmp_path / "y.jsonl"))
+        owned.close()
+        with pytest.raises(ValueError, match="closed"):
+            owned.rotate(str(tmp_path / "z.jsonl"))

@@ -9,6 +9,8 @@ quorum edge cases that make the wrapper auditable.
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
 from repro.core.errors import OracleFailure, OracleTimeout
@@ -160,11 +162,65 @@ class TestRetriesAndBackoff:
             retries=3,
             backoff=0.1,
             backoff_factor=2.0,
+            jitter=False,
             sleep=slept.append,
         )
         with pytest.raises(OracleFailure):
             resilient(0)
         assert slept == pytest.approx([0.1, 0.2, 0.4])
+
+    def test_full_jitter_is_deterministic_under_seeded_rng(self):
+        def schedule(seed: int) -> list[float]:
+            always_down = FailingOracle(
+                lambda mask: True,
+                failure_probability=1.0,
+                modes=("exception",),
+                seed=0,
+            )
+            slept: list[float] = []
+            resilient = ResilientOracle(
+                always_down,
+                retries=3,
+                backoff=0.1,
+                backoff_factor=2.0,
+                rng=random.Random(seed),
+                sleep=slept.append,
+            )
+            with pytest.raises(OracleFailure):
+                resilient(0)
+            return slept
+
+        first = schedule(42)
+        assert first == pytest.approx(schedule(42))  # reproducible
+        assert first != pytest.approx(schedule(7))  # but seed-dependent
+        # Full jitter: every delay is a uniform draw below the
+        # exponential ceiling, never above it.
+        for delay, ceiling in zip(first, [0.1, 0.2, 0.4]):
+            assert 0.0 <= delay <= ceiling
+
+    def test_jittered_retriers_decorrelate(self):
+        # Two clients with different seeds must not share a schedule —
+        # the thundering-herd property the jitter exists to break.
+        schedules = []
+        for seed in range(4):
+            always_down = FailingOracle(
+                lambda mask: True,
+                failure_probability=1.0,
+                modes=("exception",),
+                seed=0,
+            )
+            slept: list[float] = []
+            resilient = ResilientOracle(
+                always_down,
+                retries=4,
+                backoff=0.5,
+                rng=random.Random(seed),
+                sleep=slept.append,
+            )
+            with pytest.raises(OracleFailure):
+                resilient(0)
+            schedules.append(tuple(slept))
+        assert len(set(schedules)) == len(schedules)
 
     def test_non_retryable_exceptions_propagate(self):
         def broken(mask):

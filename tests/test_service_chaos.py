@@ -1,0 +1,224 @@
+"""Chaos suite: kill the service at random instants, demand bit-identical recovery.
+
+The acceptance criterion is brutal and simple: after a ``SIGKILL`` at
+*any* instant, restarting the service and idempotently re-sending every
+batch must land on a state whose SHA-256 digest equals the digest of a
+run that was never interrupted.  Two layers:
+
+* **in-process crash simulation** — fast and fully deterministic:
+  random crash points are simulated by abandoning the core and
+  truncating the WAL tail by a random number of bytes (exactly the
+  artifact a torn write leaves), across both the no-compaction and
+  aggressive-compaction regimes;
+* **subprocess SIGKILL harness** — the real thing: ``python -m repro
+  serve`` gets ``SIGKILL`` at a random moment during an ``/append``
+  burst, is restarted on the same state directory, and must converge
+  to the reference digest once all batches are re-sent.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+from repro.datasets.transactions import TransactionDatabase
+from repro.service import ServiceCore
+from repro.service.state import WAL_NAME
+from repro.util.bitset import Universe
+
+N_ITEMS = 5
+
+
+def _database():
+    return TransactionDatabase(
+        Universe([f"i{k}" for k in range(N_ITEMS)]),
+        [7, 21, 3, 28, 7, 19],
+    )
+
+
+def _batches(rng: random.Random, count: int):
+    return [
+        (
+            f"op-{index}",
+            [
+                rng.getrandbits(N_ITEMS)
+                for _ in range(rng.randint(1, 3))
+            ],
+        )
+        for index in range(count)
+    ]
+
+
+def _reference_digest(state_dir, batches, **core_kwargs) -> str:
+    with ServiceCore(
+        _database(), 2, state_dir=str(state_dir), **core_kwargs
+    ) as core:
+        for op_id, rows in batches:
+            core.append(rows, op_id=op_id)
+        return core.digest()
+
+
+class TestInProcessCrashSimulation:
+    def _run_chaos(self, tmp_path, seed: int, **core_kwargs) -> None:
+        rng = random.Random(seed)
+        batches = _batches(rng, 8)
+        reference = _reference_digest(
+            tmp_path / "reference", batches, **core_kwargs
+        )
+
+        chaos_dir = tmp_path / "chaos"
+        core = ServiceCore(
+            _database(), 2, state_dir=str(chaos_dir), **core_kwargs
+        )
+        sent = 0
+        while sent < len(batches):
+            crash_after = rng.randint(sent, len(batches))
+            for op_id, rows in batches[sent:crash_after]:
+                core.append(rows, op_id=op_id)
+            sent = crash_after
+            # -- simulated SIGKILL: abandon the core, tear the WAL tail
+            core.close()
+            wal_path = chaos_dir / WAL_NAME
+            if wal_path.exists() and wal_path.stat().st_size > 0:
+                torn = rng.randint(0, 25)
+                with open(wal_path, "ab") as handle:
+                    handle.truncate(
+                        max(0, wal_path.stat().st_size - torn)
+                    )
+            # -- restart + idempotent re-send of everything so far
+            core = ServiceCore(
+                _database(), 2, state_dir=str(chaos_dir), **core_kwargs
+            )
+            for op_id, rows in batches[:sent]:
+                core.append(rows, op_id=op_id)
+        digest = core.digest()
+        core.close()
+        assert digest == reference
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_truncation_chaos_recovers_bit_identical(
+        self, tmp_path, seed
+    ):
+        self._run_chaos(tmp_path, seed)
+
+    @pytest.mark.parametrize("seed", [11, 12, 13])
+    def test_chaos_survives_aggressive_compaction(self, tmp_path, seed):
+        """Crashes interleaved with snapshot+reset every 2 records."""
+        self._run_chaos(tmp_path, seed, compact_every=2)
+
+    def test_clean_runs_are_digest_deterministic(self, tmp_path):
+        batches = _batches(random.Random(0), 6)
+        first = _reference_digest(tmp_path / "a", batches)
+        second = _reference_digest(tmp_path / "b", batches)
+        assert first == second
+
+
+# -- subprocess SIGKILL harness -----------------------------------------
+
+
+def _spawn_server(data_path, state_dir):
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            str(data_path),
+            "--min-support",
+            "2",
+            "--port",
+            "0",
+            "--state-dir",
+            str(state_dir),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        env={**os.environ, "PYTHONPATH": "src"},
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    )
+    banner = process.stdout.readline()
+    assert "serving on http://" in banner, banner
+    port = int(banner.split("http://", 1)[1].split("—")[0].strip().rsplit(":", 1)[1])
+    return process, port
+
+
+def _post_append(port, op_id, rows, timeout=10):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}/append",
+        data=json.dumps({"rows": rows, "op": op_id}).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+def _send_all(port, batches) -> str:
+    digest = None
+    for op_id, rows in batches:
+        digest = _post_append(port, op_id, rows)["digest"]
+    return digest
+
+
+@pytest.mark.skipif(os.name != "posix", reason="needs SIGKILL")
+class TestSubprocessSIGKILL:
+    @pytest.mark.parametrize("seed", [101, 202])
+    def test_sigkill_midburst_recovers_bit_identical(
+        self, tmp_path, seed
+    ):
+        rng = random.Random(seed)
+        data = tmp_path / "data.dat"
+        assert main(
+            ["generate", str(data), "--items", str(N_ITEMS),
+             "--transactions", "10", "--seed", "5"]
+        ) == 0
+        batches = _batches(rng, 10)
+
+        reference_proc, reference_port = _spawn_server(
+            data, tmp_path / "reference"
+        )
+        try:
+            reference = _send_all(reference_port, batches)
+        finally:
+            reference_proc.terminate()
+            reference_proc.wait(timeout=15)
+
+        state_dir = tmp_path / "chaos"
+        process, port = _spawn_server(data, state_dir)
+        # Fire the burst; murder the server at a random instant inside
+        # it.  Requests racing the kill may fail — that is the point.
+        kill_after = rng.uniform(0.0, 0.2)
+        killer = time.monotonic() + kill_after
+        killed = False
+        for op_id, rows in batches:
+            if not killed and time.monotonic() >= killer:
+                process.send_signal(signal.SIGKILL)
+                process.wait(timeout=15)
+                killed = True
+            try:
+                _post_append(port, op_id, rows, timeout=2)
+            except (urllib.error.URLError, ConnectionError, OSError):
+                pass
+        if not killed:
+            process.send_signal(signal.SIGKILL)
+            process.wait(timeout=15)
+
+        # Restart on the same state directory, re-send everything.
+        process, port = _spawn_server(data, state_dir)
+        try:
+            digest = _send_all(port, batches)
+        finally:
+            process.terminate()
+            process.wait(timeout=15)
+        assert digest == reference

@@ -1,0 +1,247 @@
+"""Incremental border maintenance ≡ from-scratch mining, bit for bit.
+
+Theorem 2 / Corollary 4 say the old border is *sufficient information*
+to certify and repair the theory after an update — so the repaired
+state must be indistinguishable from remining: same support table (in
+canonical order), same ``Bd+``, same ``Bd-``.  The hypothesis sweep
+drives random databases through random append/threshold histories with
+random batch splits and random repair budgets, comparing against
+:func:`~repro.mining.eclat.eclat` at every step.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.transactions import TransactionDatabase
+from repro.mining.eclat import eclat
+from repro.service.incremental import (
+    append_database,
+    apply_append,
+    apply_threshold,
+    mine_initial,
+)
+from repro.util.bitset import Universe, popcount
+
+
+def _universe(n_items: int) -> Universe:
+    return Universe([f"i{k}" for k in range(n_items)])
+
+
+def _assert_matches_scratch(state):
+    scratch = eclat(state.database, state.threshold)
+    assert state.maximal == scratch.maximal
+    assert state.negative == scratch.negative_border
+    assert state.supports == scratch.supports
+    # Canonical iteration order regardless of the path that built it.
+    assert list(state.supports) == sorted(
+        state.supports, key=lambda m: (popcount(m), m)
+    )
+
+
+@st.composite
+def _scenario(draw):
+    n_items = draw(st.integers(2, 6))
+    n_rows = draw(st.integers(1, 12))
+    rows = [
+        draw(st.integers(0, (1 << n_items) - 1)) for _ in range(n_rows)
+    ]
+    threshold = draw(st.integers(1, max(1, n_rows)))
+    steps = []
+    for _ in range(draw(st.integers(1, 4))):
+        if draw(st.booleans()):
+            batch = [
+                draw(st.integers(0, (1 << n_items) - 1))
+                for _ in range(draw(st.integers(1, 4)))
+            ]
+            steps.append(("append", batch))
+        else:
+            steps.append(("threshold", draw(st.integers(1, n_rows + 6))))
+    limit = draw(st.one_of(st.none(), st.integers(0, 8)))
+    return n_items, rows, threshold, steps, limit
+
+
+class TestEquivalenceWithScratchMining:
+    @given(_scenario())
+    @settings(max_examples=120, deadline=None)
+    def test_update_history_matches_remining(self, scenario):
+        n_items, rows, threshold, steps, limit = scenario
+        database = TransactionDatabase(_universe(n_items), rows)
+        state = mine_initial(database, threshold)
+        _assert_matches_scratch(state)
+        for kind, payload in steps:
+            if kind == "append":
+                state, stats = apply_append(
+                    state, payload, repair_limit=limit
+                )
+            else:
+                state, stats = apply_threshold(
+                    state, payload, repair_limit=limit
+                )
+            _assert_matches_scratch(state)
+
+    @given(
+        st.integers(2, 5),
+        st.lists(st.integers(0, 31), min_size=1, max_size=10),
+        st.lists(st.integers(0, 31), min_size=1, max_size=8),
+        st.integers(1, 6),
+        st.integers(0, 6),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_batch_split_is_irrelevant(
+        self, n_items, rows, delta, threshold, split
+    ):
+        """Appending [delta] in one batch or any two-way split lands on
+        the identical state (digest-level, minus accounting which
+        legitimately differs per batch boundary)."""
+        mask_limit = (1 << n_items) - 1
+        rows = [r & mask_limit for r in rows]
+        delta = [d & mask_limit for d in delta]
+        database = TransactionDatabase(_universe(n_items), rows)
+        base = mine_initial(database, threshold)
+        whole, _ = apply_append(base, delta)
+        cut = min(split, len(delta))
+        first, _ = apply_append(base, delta[:cut])
+        second, _ = apply_append(first, delta[cut:])
+        assert whole.supports == second.supports
+        assert whole.maximal == second.maximal
+        assert whole.negative == second.negative
+        assert (
+            whole.database.transaction_masks
+            == second.database.transaction_masks
+        )
+
+    def test_accounting_is_deterministic(self):
+        def run():
+            database = TransactionDatabase(
+                _universe(5), [21, 7, 28, 19, 21, 3, 12]
+            )
+            state = mine_initial(database, 3)
+            state, _ = apply_append(state, [31, 5, 17])
+            state, _ = apply_threshold(state, 4)
+            state, _ = apply_append(state, [9])
+            return state
+        first, second = run(), run()
+        assert first.queries == second.queries
+        assert first.support_updates == second.support_updates
+        assert (first.repairs, first.remines) == (
+            second.repairs,
+            second.remines,
+        )
+
+
+class TestRepairMechanics:
+    def test_zero_budget_forces_remine_with_equal_result(self):
+        database = TransactionDatabase(_universe(4), [3, 5, 9, 15, 7])
+        state = mine_initial(database, 2)
+        repaired, stats_r = apply_append(state, [11, 13])
+        remined, stats_m = apply_append(state, [11, 13], repair_limit=0)
+        assert stats_r.remined is False
+        assert stats_m.remined is True
+        assert repaired.supports == remined.supports
+        assert repaired.maximal == remined.maximal
+        assert repaired.negative == remined.negative
+        assert remined.remines == 1 and remined.repairs == 0
+
+    def test_append_monotonicity_never_drops_members(self):
+        database = TransactionDatabase(_universe(4), [3, 5, 9])
+        state = mine_initial(database, 2)
+        before = set(state.supports)
+        after, stats = apply_append(state, [15, 7])
+        assert before <= set(after.supports)
+        assert stats.dropped == 0
+
+    def test_threshold_raise_uses_zero_fresh_evaluations_beyond_border(
+        self,
+    ):
+        database = TransactionDatabase(
+            _universe(5), [7, 7, 7, 25, 25, 14, 3]
+        )
+        state = mine_initial(database, 2)
+        raised, stats = apply_threshold(state, 4)
+        # Only the old Bd- is re-evaluated; the closure adds nothing
+        # because supports cannot grow on the same database.
+        assert stats.evaluated == len(state.negative)
+        assert stats.support_updates == 0
+        _assert_matches_scratch(raised)
+
+    def test_repair_charges_accumulate_into_queries(self):
+        database = TransactionDatabase(_universe(4), [3, 5, 9, 15])
+        state = mine_initial(database, 2)
+        q0 = state.queries
+        after, stats = apply_append(state, [7, 11])
+        assert stats.remined is False
+        assert after.queries == q0 + stats.evaluated
+
+    def test_states_are_immutable_values(self):
+        database = TransactionDatabase(_universe(3), [3, 5, 7])
+        state = mine_initial(database, 2)
+        snapshot = (
+            dict(state.supports),
+            state.maximal,
+            state.negative,
+            state.queries,
+        )
+        apply_append(state, [1, 2, 4])
+        apply_threshold(state, 3)
+        assert snapshot == (
+            dict(state.supports),
+            state.maximal,
+            state.negative,
+            state.queries,
+        )
+
+
+class TestHotTableQueries:
+    def test_theory_at_stricter_threshold_matches_scratch(self):
+        database = TransactionDatabase(
+            _universe(5), [7, 7, 21, 21, 28, 3, 31]
+        )
+        state = mine_initial(database, 2)
+        for threshold in (2, 3, 4, 5, 9):
+            maximal, negative = state.theory_at(threshold)
+            scratch = eclat(database, threshold)
+            assert maximal == scratch.maximal
+            assert negative == scratch.negative_border
+
+    def test_theory_at_looser_threshold_is_refused(self):
+        database = TransactionDatabase(_universe(3), [3, 5, 7])
+        state = mine_initial(database, 3)
+        with pytest.raises(ValueError, match="below the maintained"):
+            state.theory_at(1)
+
+    def test_member_witness_certifies_both_answers(self):
+        database = TransactionDatabase(_universe(4), [3, 3, 5, 9, 15])
+        state = mine_initial(database, 2)
+        for mask in range(16):
+            frequent, witness = state.member_witness(mask)
+            assert frequent == (
+                database.support_count(mask) >= state.threshold
+            )
+            if frequent:
+                assert mask & witness == mask  # witness dominates
+                assert witness in state.maximal
+            else:
+                assert mask & witness == witness  # witness is contained
+                assert witness in state.negative
+
+
+class TestAppendDatabase:
+    def test_vertical_append_equals_horizontal_rebuild(self):
+        universe = _universe(5)
+        old = [7, 21, 3]
+        delta = [31, 8, 0]
+        appended = append_database(
+            TransactionDatabase(universe, old), delta
+        )
+        rebuilt = TransactionDatabase(universe, old + delta)
+        assert appended.transaction_masks == rebuilt.transaction_masks
+        assert appended.tidsets_view() == rebuilt.tidsets_view()
+        assert appended.n_transactions == 6
+
+    def test_foreign_items_are_rejected(self):
+        database = TransactionDatabase(_universe(3), [3])
+        with pytest.raises(ValueError, match="unknown items"):
+            append_database(database, [8])

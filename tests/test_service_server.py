@@ -1,0 +1,438 @@
+"""Graceful degradation and the HTTP surface of the mining service.
+
+Three layers, bottom up: the :class:`AdmissionController` (bounded
+queue, immediate shedding), the :class:`Supervisor` (capped-backoff
+restarts of crashed worker pools, sticky degradation to serial, and the
+:class:`~repro.parallel.pool.WorkerPool` ``on_crash`` hook it hangs
+off), and the stdlib HTTP server end to end — including the 503 +
+``Retry-After`` and certified-206 contracts from the issue's
+acceptance criteria.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.datasets.transactions import TransactionDatabase
+from repro.obs.tracer import Tracer
+from repro.parallel import WorkerPool, WorkerPoolBroken
+from repro.service import (
+    AdmissionController,
+    MiningServer,
+    Saturated,
+    ServiceCore,
+    Supervisor,
+)
+from repro.util.bitset import Universe
+
+
+class RecordingTracer(Tracer):
+    def __init__(self):
+        self.events: list[tuple[str, dict]] = []
+
+    def event(self, name, **attrs):
+        self.events.append((name, attrs))
+
+    def names(self) -> set[str]:
+        return {name for name, _ in self.events}
+
+
+# -- AdmissionController ------------------------------------------------
+
+
+class TestAdmissionController:
+    def test_admits_within_capacity(self):
+        gate = AdmissionController(2, max_queued=0)
+        with gate:
+            with gate:
+                snap = gate.snapshot()
+                assert snap["active"] == 2
+        snap = gate.snapshot()
+        assert snap["active"] == 0
+        assert snap["admitted"] == 2
+        assert snap["shed"] == 0
+
+    def test_sheds_immediately_when_queue_full(self):
+        gate = AdmissionController(
+            1, max_queued=0, retry_after=7.0
+        )
+        gate.acquire()
+        try:
+            with pytest.raises(Saturated) as excinfo:
+                gate.acquire()
+            assert excinfo.value.retry_after == 7.0
+            assert gate.snapshot()["shed"] == 1
+        finally:
+            gate.release()
+
+    def test_queued_waiter_sheds_after_timeout(self):
+        gate = AdmissionController(
+            1, max_queued=1, queue_timeout=0.05
+        )
+        gate.acquire()
+        try:
+            with pytest.raises(Saturated):
+                gate.acquire()  # waits 0.05s, then shed
+            snap = gate.snapshot()
+            assert snap["shed"] == 1
+            assert snap["waiting"] == 0
+        finally:
+            gate.release()
+
+    def test_queued_waiter_admitted_on_release(self):
+        gate = AdmissionController(1, max_queued=1, queue_timeout=5.0)
+        gate.acquire()
+        admitted = threading.Event()
+
+        def waiter():
+            gate.acquire()
+            admitted.set()
+            gate.release()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        try:
+            # The waiter is parked, not shed.
+            assert not admitted.wait(0.05)
+            gate.release()
+            assert admitted.wait(2.0)
+        finally:
+            thread.join(timeout=2.0)
+        snap = gate.snapshot()
+        assert snap["admitted"] == 2
+        assert snap["shed"] == 0
+
+    def test_shed_emits_trace_event(self):
+        tracer = RecordingTracer()
+        gate = AdmissionController(1, max_queued=0, tracer=tracer)
+        gate.acquire()
+        with pytest.raises(Saturated):
+            gate.acquire()
+        gate.release()
+        assert "service.shed" in tracer.names()
+
+    def test_rejects_nonsensical_bounds(self):
+        with pytest.raises(ValueError):
+            AdmissionController(0)
+        with pytest.raises(ValueError):
+            AdmissionController(1, max_queued=-1)
+
+
+# -- Supervisor ---------------------------------------------------------
+
+
+class _Flaky:
+    """Raises WorkerPoolBroken ``failures`` times, then succeeds."""
+
+    def __init__(self, failures: int):
+        self.failures = failures
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise WorkerPoolBroken("pool died")
+        return "parallel"
+
+
+class TestSupervisor:
+    def test_success_needs_no_backoff(self):
+        sleeps = []
+        supervisor = Supervisor(attempts=3, sleep=sleeps.append)
+        assert supervisor.run(_Flaky(0), lambda: "serial") == "parallel"
+        assert sleeps == []
+        assert not supervisor.degraded
+
+    def test_retries_with_capped_exponential_backoff(self):
+        sleeps = []
+        supervisor = Supervisor(
+            attempts=4,
+            base_delay=0.1,
+            factor=2.0,
+            max_delay=0.25,
+            sleep=sleeps.append,
+        )
+        flaky = _Flaky(3)
+        assert supervisor.run(flaky, lambda: "serial") == "parallel"
+        assert sleeps == [0.1, 0.2, 0.25]
+        assert flaky.calls == 4
+        assert supervisor.crashes == 3
+        assert not supervisor.degraded
+
+    def test_degrades_to_serial_when_attempts_exhausted(self):
+        tracer = RecordingTracer()
+        supervisor = Supervisor(
+            attempts=2, sleep=lambda _: None, tracer=tracer
+        )
+        always_broken = _Flaky(99)
+        assert supervisor.run(always_broken, lambda: "serial") == "serial"
+        assert supervisor.degraded
+        assert always_broken.calls == 2
+        assert "supervisor.degraded" in tracer.names()
+        # Sticky: the parallel path is not even attempted any more.
+        assert supervisor.run(always_broken, lambda: "serial") == "serial"
+        assert always_broken.calls == 2
+
+    def test_reset_reenables_parallel_path(self):
+        supervisor = Supervisor(attempts=1, sleep=lambda _: None)
+        supervisor.run(_Flaky(99), lambda: "serial")
+        assert supervisor.degraded
+        supervisor.reset()
+        assert supervisor.run(_Flaky(0), lambda: "serial") == "parallel"
+
+    def test_application_errors_propagate_undegraded(self):
+        supervisor = Supervisor(attempts=3, sleep=lambda _: None)
+
+        def buggy():
+            raise ValueError("application bug")
+
+        with pytest.raises(ValueError, match="application bug"):
+            supervisor.run(buggy, lambda: "serial")
+        assert not supervisor.degraded
+        assert supervisor.crashes == 0
+
+
+# -- WorkerPool on_crash hook -------------------------------------------
+
+
+def _crash_once(sentinel, value):
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w"):
+            pass
+        os._exit(3)
+    return value
+
+
+def _always_crash(value):
+    os._exit(3)
+
+
+class TestPoolCrashHook:
+    def test_hook_sees_nonfatal_then_recovery(self, tmp_path):
+        crashes = []
+        with WorkerPool(
+            2,
+            max_restarts=1,
+            on_crash=lambda err, fatal: crashes.append(fatal),
+        ) as pool:
+            sentinel = str(tmp_path / "once")
+            results = pool.map_in_order(
+                _crash_once, [(sentinel, i) for i in range(4)]
+            )
+        assert results == list(range(4))
+        assert crashes == [False]
+
+    def test_hook_sees_fatal_crash(self, tmp_path):
+        crashes = []
+        with WorkerPool(
+            2,
+            max_restarts=0,
+            on_crash=lambda err, fatal: crashes.append(fatal),
+        ) as pool:
+            with pytest.raises(WorkerPoolBroken):
+                pool.map_in_order(
+                    _crash_once, [(str(tmp_path / "fatal"), 0)]
+                )
+        assert crashes == [True]
+
+    def test_hook_exception_never_masks_recovery(self, tmp_path):
+        tracer = RecordingTracer()
+
+        def bad_hook(err, fatal):
+            raise RuntimeError("hook bug")
+
+        with WorkerPool(
+            2, max_restarts=0, on_crash=bad_hook, tracer=tracer
+        ) as pool:
+            with pytest.raises(WorkerPoolBroken):
+                pool.map_in_order(
+                    _crash_once, [(str(tmp_path / "mask"), 0)]
+                )
+        errors = [
+            attrs
+            for name, attrs in tracer.events
+            if name == "worker.crash" and "error" in attrs
+        ]
+        assert any(
+            a["error"] == "on_crash_hook_failed" for a in errors
+        )
+
+    def test_supervisor_counts_crashes_via_hook(self):
+        supervisor = Supervisor(attempts=2, sleep=lambda _: None)
+        hook_fatals = []
+
+        def parallel_task():
+            with WorkerPool(
+                2,
+                max_restarts=0,
+                on_crash=lambda err, fatal: hook_fatals.append(fatal),
+            ) as pool:
+                return pool.map_in_order(_always_crash, [(0,)])
+
+        assert supervisor.run(parallel_task, lambda: "serial") == "serial"
+        assert supervisor.degraded
+        assert hook_fatals == [True, True]
+
+
+# -- HTTP end to end ----------------------------------------------------
+
+
+def _request(port, path, body=None):
+    url = f"http://127.0.0.1:{port}{path}"
+    if body is not None:
+        request = urllib.request.Request(
+            url,
+            data=json.dumps(body).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+    else:
+        request = url
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return (
+                response.status,
+                json.loads(response.read()),
+                dict(response.headers),
+            )
+    except urllib.error.HTTPError as error:
+        return (
+            error.code,
+            json.loads(error.read()),
+            dict(error.headers),
+        )
+
+
+@pytest.fixture()
+def server(tmp_path):
+    database = TransactionDatabase(
+        Universe(["a", "b", "c", "d"]), [3, 3, 5, 9, 15, 7]
+    )
+    core = ServiceCore(database, 2, state_dir=str(tmp_path / "state"))
+    srv = MiningServer(
+        core,
+        port=0,
+        admission=AdmissionController(
+            2, max_queued=0, retry_after=9.0
+        ),
+    ).start_background()
+    yield srv
+    srv.stop()
+
+
+class TestHTTPEndpoints:
+    def test_health(self, server):
+        status, payload, _ = _request(server.port, "/health")
+        assert status == 200
+        assert payload == {"status": "ok", "seq": 0}
+
+    def test_unknown_path_is_404(self, server):
+        status, payload, _ = _request(server.port, "/nope")
+        assert status == 404
+        assert "unknown path" in payload["error"]
+
+    def test_borders_match_core_state(self, server):
+        status, payload, _ = _request(server.port, "/borders")
+        assert status == 200
+        state = server.core.state
+        assert payload["maximal"] == list(state.maximal)
+        assert payload["negative"] == list(state.negative)
+        assert payload["threshold"] == 2
+
+    def test_member_is_certified(self, server):
+        status, payload, _ = _request(server.port, "/member?mask=3")
+        assert status == 200
+        assert payload["frequent"] is True
+        assert payload["witness_kind"] == "Bd+"
+        assert payload["witness"] & 3 == 3
+
+    def test_member_rejects_bad_mask(self, server):
+        status, payload, _ = _request(server.port, "/member?mask=zebra")
+        assert status == 400
+        status, _, _ = _request(server.port, "/member?mask=255")
+        assert status == 400  # outside the universe
+
+    def test_mine_hot_path(self, server):
+        status, payload, _ = _request(server.port, "/mine")
+        assert status == 200
+        assert payload["partial"] is False
+        assert payload["source"] == "hot"
+        supports = dict(
+            (mask, supp) for mask, supp in payload["supports"]
+        )
+        assert all(supp >= 2 for supp in supports.values())
+
+    def test_mine_looser_threshold_runs_eclat(self, server):
+        status, payload, _ = _request(server.port, "/mine?min_support=1")
+        assert status == 200
+        assert payload["source"] == "mined"
+        assert payload["threshold"] == 1
+
+    def test_mine_zero_deadline_returns_certified_206(self, server):
+        status, payload, _ = _request(
+            server.port, "/mine?min_support=1&deadline=0"
+        )
+        assert status == 206
+        assert payload["partial"] is True
+        assert payload["certified"] is True
+        assert payload["reason"] == "timeout"
+
+    def test_append_then_duplicate_is_idempotent(self, server):
+        status, first, _ = _request(
+            server.port, "/append", {"rows": [15, 11], "op": "batch-1"}
+        )
+        assert status == 200
+        assert first["seq"] == 1
+        assert first["duplicate"] is False
+        status, second, _ = _request(
+            server.port, "/append", {"rows": [15, 11], "op": "batch-1"}
+        )
+        assert status == 200
+        assert second["seq"] == 1
+        assert second["duplicate"] is True
+        assert second["digest"] == first["digest"]
+
+    def test_threshold_move(self, server):
+        status, payload, _ = _request(
+            server.port, "/threshold", {"min_support": 3}
+        )
+        assert status == 200
+        assert payload["seq"] == 1
+        status, borders, _ = _request(server.port, "/borders")
+        assert borders["threshold"] == 3
+
+    def test_append_without_rows_is_400(self, server):
+        status, payload, _ = _request(server.port, "/append", {})
+        assert status == 400
+
+    def test_metrics_include_admission_snapshot(self, server):
+        status, payload, _ = _request(server.port, "/metrics")
+        assert status == 200
+        assert payload["n_transactions"] == 6
+        assert payload["admission"]["max_concurrent"] == 2
+
+    def test_saturation_is_503_with_retry_after(self, server):
+        gate = server.admission
+        gate.acquire()
+        gate.acquire()  # both slots busy, queue length 0
+        try:
+            status, payload, headers = _request(server.port, "/mine")
+            assert status == 503
+            assert "saturated" in payload["error"]
+            assert headers["Retry-After"] == "9"
+            # Observability endpoints bypass admission.
+            status, _, _ = _request(server.port, "/health")
+            assert status == 200
+            status, _, _ = _request(server.port, "/metrics")
+            assert status == 200
+        finally:
+            gate.release()
+            gate.release()
+        status, _, _ = _request(server.port, "/mine")
+        assert status == 200

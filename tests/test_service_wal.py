@@ -1,0 +1,250 @@
+"""Write-ahead log: durability, CRC guarding, crash-artifact tolerance.
+
+The WAL's contract is binary: a record is either fully durable or it
+never happened.  These tests cover the full damage taxonomy — torn
+final lines (tolerated, truncated), corrupt interior records (refused),
+sequence gaps (refused) — plus the snapshot handshake (``start_seq``
+filtering, ``reset``) that compaction and crash recovery rely on, and
+the atomic+durable ``Checkpoint.save`` the snapshot side depends on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+
+import pytest
+
+from repro.cli import main
+from repro.core.errors import CheckpointError, WALError
+from repro.runtime.checkpoint import Checkpoint
+from repro.service.wal import WriteAheadLog
+
+
+def _wal_path(tmp_path):
+    return str(tmp_path / "wal.jsonl")
+
+
+class TestAppendAndRecover:
+    def test_round_trip(self, tmp_path):
+        path = _wal_path(tmp_path)
+        with WriteAheadLog(path) as wal:
+            assert wal.append("append", rows=[1, 2], op="a") == 1
+            assert wal.append("threshold", value=3) == 2
+            assert wal.pending() == 2
+        recovered = WriteAheadLog(path)
+        assert [r["seq"] for r in recovered.records] == [1, 2]
+        assert recovered.records[0]["rows"] == [1, 2]
+        assert recovered.records[1]["value"] == 3
+        assert recovered.torn is None
+        recovered.close()
+
+    def test_appends_continue_after_recovery(self, tmp_path):
+        path = _wal_path(tmp_path)
+        with WriteAheadLog(path) as wal:
+            wal.append("append", rows=[1])
+        with WriteAheadLog(path) as wal:
+            assert wal.append("append", rows=[2]) == 2
+        with WriteAheadLog(path) as wal:
+            assert [r["seq"] for r in wal.records] == [1, 2]
+
+    def test_missing_file_is_empty_log(self, tmp_path):
+        with WriteAheadLog(_wal_path(tmp_path)) as wal:
+            assert wal.records == []
+            assert wal.last_seq == 0
+
+    def test_durable_false_skips_fsync_but_not_bytes(self, tmp_path):
+        path = _wal_path(tmp_path)
+        with WriteAheadLog(path, durable=False) as wal:
+            wal.append("append", rows=[9])
+        with WriteAheadLog(path) as wal:
+            assert len(wal.records) == 1
+
+    def test_closed_log_refuses_appends(self, tmp_path):
+        wal = WriteAheadLog(_wal_path(tmp_path))
+        wal.close()
+        with pytest.raises(WALError):
+            wal.append("append", rows=[])
+
+
+class TestDamageTaxonomy:
+    def _write_valid(self, path, n):
+        with WriteAheadLog(path) as wal:
+            for index in range(n):
+                wal.append("append", rows=[index])
+
+    def test_torn_tail_is_tolerated_and_truncated(self, tmp_path):
+        path = _wal_path(tmp_path)
+        self._write_valid(path, 3)
+        with open(path, "ab") as handle:
+            handle.write(b'{"crc":1,"rec":{"se')  # no newline: torn
+        wal = WriteAheadLog(path)
+        assert [r["seq"] for r in wal.records] == [1, 2, 3]
+        assert wal.torn is not None
+        wal.append("append", rows=[99])
+        wal.close()
+        # The torn bytes were physically removed before the new append.
+        reread = WriteAheadLog(path)
+        assert [r["seq"] for r in reread.records] == [1, 2, 3, 4]
+        assert reread.torn is None
+        reread.close()
+
+    def test_bad_final_line_with_newline_is_torn(self, tmp_path):
+        path = _wal_path(tmp_path)
+        self._write_valid(path, 2)
+        with open(path, "ab") as handle:
+            handle.write(b"not json at all\n")
+        wal = WriteAheadLog(path)
+        assert [r["seq"] for r in wal.records] == [1, 2]
+        assert wal.torn is not None
+        wal.close()
+
+    def test_crc_mismatch_final_line_is_torn(self, tmp_path):
+        path = _wal_path(tmp_path)
+        self._write_valid(path, 2)
+        rec = {"seq": 3, "kind": "append", "rows": [5]}
+        with open(path, "ab") as handle:
+            handle.write(
+                (json.dumps({"crc": 123, "rec": rec}) + "\n").encode()
+            )
+        wal = WriteAheadLog(path)
+        assert [r["seq"] for r in wal.records] == [1, 2]
+        assert "CRC" in wal.torn
+        wal.close()
+
+    def test_interior_corruption_is_refused(self, tmp_path):
+        path = _wal_path(tmp_path)
+        self._write_valid(path, 3)
+        lines = open(path, "rb").read().splitlines(keepends=True)
+        lines[1] = b"garbage\n"
+        with open(path, "wb") as handle:
+            handle.writelines(lines)
+        with pytest.raises(WALError, match="valid records after it"):
+            WriteAheadLog(path)
+
+    def test_flipped_payload_bit_fails_crc(self, tmp_path):
+        path = _wal_path(tmp_path)
+        self._write_valid(path, 1)
+        data = open(path, "rb").read().replace(b'"rows":[0]', b'"rows":[1]')
+        with open(path, "wb") as handle:
+            handle.write(data)
+        wal = WriteAheadLog(path)  # single record -> torn, not refused
+        assert wal.records == []
+        assert "CRC" in wal.torn
+        wal.close()
+
+    def test_sequence_gap_is_refused(self, tmp_path):
+        path = _wal_path(tmp_path)
+        lines = []
+        for seq in (1, 3):  # 2 is missing: damage, not a crash artifact
+            rec = {"kind": "append", "rows": [], "seq": seq}
+            body = json.dumps(rec, sort_keys=True, separators=(",", ":"))
+            lines.append(
+                json.dumps({"crc": zlib.crc32(body.encode()), "rec": rec},
+                           sort_keys=True, separators=(",", ":"))
+            )
+        # Re-serialize with canonical bodies so the CRCs hold.
+        with open(path, "w") as handle:
+            for line in lines:
+                handle.write(line + "\n")
+        with pytest.raises(WALError, match="sequence gap"):
+            WriteAheadLog(path)
+
+
+class TestSnapshotHandshake:
+    def test_reset_restarts_numbering(self, tmp_path):
+        path = _wal_path(tmp_path)
+        wal = WriteAheadLog(path)
+        wal.append("append", rows=[1])
+        wal.append("append", rows=[2])
+        wal.reset(2)
+        assert wal.pending() == 0
+        assert wal.append("append", rows=[3]) == 3
+        wal.close()
+        recovered = WriteAheadLog(path, start_seq=2)
+        assert [r["seq"] for r in recovered.records] == [3]
+        recovered.close()
+
+    def test_reset_below_last_seq_is_refused(self, tmp_path):
+        with WriteAheadLog(_wal_path(tmp_path)) as wal:
+            wal.append("append", rows=[1])
+            wal.append("append", rows=[2])
+            with pytest.raises(WALError, match="cannot reset"):
+                wal.reset(1)
+
+    def test_stale_records_below_start_seq_are_skipped(self, tmp_path):
+        # The crash-between-snapshot-and-reset shape: the snapshot
+        # already folded seqs 1-2, but the log still holds them.
+        path = _wal_path(tmp_path)
+        with WriteAheadLog(path) as wal:
+            for _ in range(3):
+                wal.append("append", rows=[])
+        recovered = WriteAheadLog(path, start_seq=2)
+        assert [r["seq"] for r in recovered.records] == [3]
+        assert recovered.last_seq == 3
+        recovered.close()
+
+    def test_gap_between_snapshot_and_log_is_refused(self, tmp_path):
+        path = _wal_path(tmp_path)
+        with WriteAheadLog(path) as wal:
+            wal.append("append", rows=[])  # seq 1... log starts too new
+        with pytest.raises(WALError, match="snapshot ends at seq"):
+            WriteAheadLog(path, start_seq=-1)
+
+
+class TestCheckpointDurability:
+    """The atomic+durable ``Checkpoint.save`` satellite."""
+
+    def _checkpoint(self):
+        return Checkpoint(
+            algorithm="service",
+            universe_items=("A", "B"),
+            state={"seq": 1},
+            accounting={"queries": 4},
+        )
+
+    def test_save_replaces_atomically_and_leaves_no_temp(self, tmp_path):
+        path = tmp_path / "snap.json"
+        self._checkpoint().save(path)
+        first = path.read_text()
+        second = self._checkpoint()
+        second.state = {"seq": 2}
+        second.save(path)
+        assert json.loads(path.read_text())["state"]["seq"] == 2
+        assert first != path.read_text()
+        leftovers = [
+            name for name in os.listdir(tmp_path) if name != "snap.json"
+        ]
+        assert leftovers == []
+
+    def test_truncated_checkpoint_rejected_with_one_line_error(
+        self, tmp_path
+    ):
+        path = tmp_path / "snap.json"
+        self._checkpoint().save(path)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])  # simulate a torn write
+        with pytest.raises(CheckpointError) as excinfo:
+            Checkpoint.load(path)
+        assert "malformed checkpoint JSON" in str(excinfo.value)
+        assert "\n" not in str(excinfo.value).strip()
+
+    def test_cli_resume_from_truncated_checkpoint_exits_2(
+        self, tmp_path, capsys
+    ):
+        data = str(tmp_path / "data.dat")
+        assert main(
+            ["generate", data, "--items", "8", "--transactions", "20",
+             "--seed", "3"]
+        ) == 0
+        bad = tmp_path / "ckpt.json"
+        bad.write_text('{"version": 1, "algorithm": "level')
+        code = main(
+            ["mine", data, "--min-support", "0.3",
+             "--algorithm", "levelwise", "--resume", str(bad)]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err

@@ -77,7 +77,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "--min-support",
         type=float,
         default=0.1,
-        help="relative (0,1] or absolute (>1) support threshold",
+        help="relative (0,1] or absolute whole-number (>1) support "
+        "threshold; non-integral values above 1 are rejected",
     )
     mine.add_argument(
         "--algorithm",
@@ -212,7 +213,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "--min-support",
         type=float,
         default=0.1,
-        help="relative (0,1] or absolute (>1) support threshold",
+        help="relative (0,1] or absolute whole-number (>1) support "
+        "threshold; non-integral values above 1 are rejected",
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument(
@@ -405,13 +407,28 @@ def _report_partial(args: argparse.Namespace, partial: PartialResult) -> int:
     return EXIT_INTERRUPT if partial.reason == "interrupt" else EXIT_PARTIAL
 
 
+def _resolve_min_support(value: float) -> int | float:
+    """Interpret ``--min-support``: (0, 1] is a relative frequency, a
+    value above 1 is an absolute row count and must be integral —
+    silently truncating 2.5 to 2 would change the mined theory without
+    notice, so that is rejected instead (``main`` maps the
+    :class:`ValueError` to exit code 2)."""
+    if value > 1:
+        if value != int(value):
+            raise ValueError(
+                f"--min-support {value} is neither a relative "
+                "frequency in (0, 1] nor a whole-number absolute "
+                "row count"
+            )
+        return int(value)
+    return value
+
+
 def _cmd_mine(args: argparse.Namespace) -> int:
     database = _read_database(args.input)
     if args.engine == "eclat" and args.algorithm in ("apriori", "eclat"):
         args.algorithm = "eclat"
-    threshold: int | float = args.min_support
-    if threshold > 1:
-        threshold = int(threshold)
+    threshold = _resolve_min_support(args.min_support)
     budget = _build_budget(args)
     tracer, finalize = _build_tracer(args)
     try:
@@ -513,9 +530,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import AdmissionController, MiningServer, ServiceCore
 
     database = _read_database(args.input)
-    threshold: int | float = args.min_support
-    if threshold > 1:
-        threshold = int(threshold)
+    threshold = _resolve_min_support(args.min_support)
     tracer, finalize = _build_tracer(args)
     stop = threading.Event()
 

@@ -261,12 +261,15 @@ def parse_trace(path: str) -> list[dict]:
     A torn *final* line — the normal artifact of a process killed
     mid-write (the writer flushes per line but a crash can still land
     between bytes) — is tolerated with a :class:`UserWarning` so traces
-    from crashed long-lived processes stay analyzable.  A bad line with
-    valid lines after it is still an error: that is corruption, not a
-    crash.
+    from crashed long-lived processes stay analyzable.  The tolerance
+    mirrors the WAL's torn-tail rule: only a final line *without a
+    trailing newline* can be a crash artifact.  A bad line that is
+    newline-terminated was fully written and is therefore corruption —
+    an error, final or not — as is any bad line with valid lines after
+    it.
 
     Raises:
-        ValueError: on a non-final line that is not valid JSON (with
+        ValueError: on an invalid line that is not a torn tail (with
             the line number in the message).
     """
     records: list[dict] = []
@@ -280,7 +283,7 @@ def parse_trace(path: str) -> list[dict]:
         try:
             records.append(json.loads(stripped))
         except json.JSONDecodeError as error:
-            if number == last_number:
+            if number == last_number and not line.endswith("\n"):
                 warnings.warn(
                     f"{path}:{number}: ignoring torn final line "
                     f"({error})",

@@ -225,7 +225,7 @@ class _Handler(BaseHTTPRequestHandler):
         rows = [int(r) for r in body["rows"]]
         op_id = body.get("op")
         with self.server.admission:
-            seq, stats = self.core.append(rows, op_id=op_id)
+            seq, stats, digest = self.core.append(rows, op_id=op_id)
         self._send_json(
             200,
             {
@@ -233,7 +233,7 @@ class _Handler(BaseHTTPRequestHandler):
                 "duplicate": stats is None,
                 "evaluated": stats.evaluated if stats else 0,
                 "remined": stats.remined if stats else False,
-                "digest": self.core.digest(),
+                "digest": digest,
             },
         )
 
@@ -244,7 +244,7 @@ class _Handler(BaseHTTPRequestHandler):
             raise ValueError("min_support must be a number")
         op_id = body.get("op")
         with self.server.admission:
-            seq, stats = self.core.set_threshold(value, op_id=op_id)
+            seq, stats, digest = self.core.set_threshold(value, op_id=op_id)
         self._send_json(
             200,
             {
@@ -252,7 +252,7 @@ class _Handler(BaseHTTPRequestHandler):
                 "duplicate": stats is None,
                 "evaluated": stats.evaluated if stats else 0,
                 "remined": stats.remined if stats else False,
-                "digest": self.core.digest(),
+                "digest": digest,
             },
         )
 
@@ -313,7 +313,12 @@ class MiningServer(ThreadingHTTPServer):
         return self
 
     def stop(self) -> None:
-        """Graceful shutdown: stop accepting, close the WAL."""
+        """Graceful shutdown: stop accepting, then close the WAL.
+
+        ``core.close()`` runs last and takes the core's mutation lock,
+        so a handler thread still mid-``/append`` finishes its
+        log-and-apply before the WAL file handle goes away.
+        """
         self.shutdown()
         if self._thread is not None:
             self._thread.join(timeout=5)

@@ -9,13 +9,17 @@ translation on top.  The protocol, in order, for every mutation:
    from the ledger without logging or applying anything.  Clients (and
    the chaos harness) may therefore re-send every batch after a crash
    and converge on the exact state of an uninterrupted run.
-2. **Log** — the operation is fsync'd to the
+2. **Validate** — the operation is checked (rows inside the universe,
+   threshold resolvable and non-negative) *before* it is logged: a WAL
+   record is replayed unconditionally on recovery, so a record that
+   cannot apply would poison the log and make every restart fail.
+3. **Log** — the operation is fsync'd to the
    :class:`~repro.service.wal.WriteAheadLog` *before* any state change.
-3. **Apply** — the pure functions of :mod:`repro.service.incremental`
+4. **Apply** — the pure functions of :mod:`repro.service.incremental`
    produce a new immutable :class:`~repro.service.incremental.MaintainedTheory`
    and the reference is swapped under the core's lock (readers never
    lock; they grab the current reference and get a consistent state).
-4. **Compact** — every ``compact_every`` records the state is folded
+5. **Compact** — every ``compact_every`` records the state is folded
    into a :class:`~repro.runtime.checkpoint.Checkpoint`
    (``algorithm="service"``, written atomically + durably) and the WAL
    restarts empty.
@@ -286,11 +290,14 @@ class ServiceCore:
 
     def append(
         self, rows: list[int], *, op_id: str | None = None
-    ) -> tuple[int, RepairStats | None]:
+    ) -> tuple[int, RepairStats | None, str]:
         """Durably append transactions and repair the borders.
 
-        Returns ``(seq, stats)``; ``stats`` is ``None`` when ``op_id``
-        was already applied (idempotent replay — state untouched).
+        Returns ``(seq, stats, digest)``; ``stats`` is ``None`` when
+        ``op_id`` was already applied (idempotent replay — state
+        untouched).  ``digest`` is :meth:`digest` of the state at
+        ``seq``, computed before the mutation lock is released, so it
+        can be paired with ``seq`` even under concurrent writers.
         """
         return self._mutate(
             "append", {"rows": [int(r) for r in rows]}, op_id
@@ -298,16 +305,44 @@ class ServiceCore:
 
     def set_threshold(
         self, min_support: int | float, *, op_id: str | None = None
-    ) -> tuple[int, RepairStats | None]:
-        """Durably move the maintained threshold."""
+    ) -> tuple[int, RepairStats | None, str]:
+        """Durably move the maintained threshold (same returns as
+        :meth:`append`)."""
         return self._mutate("threshold", {"value": min_support}, op_id)
+
+    def _validate(self, kind: str, payload: dict[str, Any]) -> None:
+        """Reject a bad operation *before* it reaches the WAL.
+
+        A logged record is replayed unconditionally on every recovery,
+        so anything that would make ``apply_append``/``apply_threshold``
+        raise must be refused up front — otherwise one bad request
+        durably poisons the log and the service can never restart.
+        """
+        if kind == "append":
+            full = self._state.database.universe.full_mask
+            for row in payload["rows"]:
+                if row < 0 or row & ~full:
+                    raise ValueError(
+                        f"appended transaction {row} uses items "
+                        "outside the universe"
+                    )
+        else:
+            value = payload["value"]
+            threshold = (
+                self._state.database.absolute_support(value)
+                if isinstance(value, float)
+                else int(value)
+            )
+            if threshold < 0:
+                raise ValueError("min_support must be non-negative")
 
     def _mutate(
         self, kind: str, payload: dict[str, Any], op_id: str | None
-    ) -> tuple[int, RepairStats | None]:
+    ) -> tuple[int, RepairStats | None, str]:
         with self._lock:
             if op_id is not None and op_id in self._ledger:
-                return self._ledger[op_id], None
+                return self._ledger[op_id], None, self.digest()
+            self._validate(kind, payload)
             if self._wal is not None:
                 seq = self._wal.append(
                     kind, **payload, **({"op": op_id} if op_id else {})
@@ -345,7 +380,7 @@ class ServiceCore:
                 and self._wal.pending() >= self._compact_every
             ):
                 self.compact()
-            return seq, stats
+            return seq, stats, self.digest()
 
     def compact(self) -> None:
         """Fold the WAL into a durable snapshot and restart it empty.
@@ -404,9 +439,17 @@ class ServiceCore:
         }
 
     def close(self) -> None:
-        """Release the WAL file handle (idempotent)."""
-        if self._wal is not None:
-            self._wal.close()
+        """Release the WAL file handle (idempotent).
+
+        Taken under the core lock, so an in-flight mutation (WAL append
+        + apply) always completes before the file closes; a mutation
+        arriving afterwards fails cleanly with
+        :class:`~repro.core.errors.WALError` instead of writing to a
+        closed file mid-protocol.
+        """
+        with self._lock:
+            if self._wal is not None:
+                self._wal.close()
 
     def __enter__(self) -> "ServiceCore":
         return self

@@ -76,6 +76,20 @@ class TestGenerateAndMine:
         assert main(["mine", "/nonexistent/file.dat"]) == 2
         assert "error:" in capsys.readouterr().err
 
+    @pytest.mark.parametrize("command", ["mine", "serve"])
+    def test_fractional_absolute_threshold_is_rejected(
+        self, tmp_path, capsys, command
+    ):
+        """A --min-support like 2.5 is neither a relative frequency nor
+        a whole row count; silently truncating it to 2 would change the
+        mined theory without notice."""
+        path = str(tmp_path / "data.dat")
+        main(["generate", path, "--items", "10", "--transactions", "40",
+              "--seed", "1"])
+        capsys.readouterr()
+        assert main([command, path, "--min-support", "2.5"]) == 2
+        assert "--min-support 2.5" in capsys.readouterr().err
+
 
 class TestTransversalsCommand:
     def test_example8(self, capsys):

@@ -345,6 +345,19 @@ class TestCrashArtifactsAndRotation:
         with pytest.raises(ValueError, match=":2:"):
             parse_trace(str(path))
 
+    def test_newline_terminated_corrupt_final_line_raises(self, tmp_path):
+        """A bad final line that ends in a newline was fully written —
+        corruption, not a torn tail (mirrors the WAL's rule)."""
+        from repro.obs import parse_trace
+
+        path = tmp_path / "trace.jsonl"
+        good = json.dumps(
+            {"kind": "event", "name": "x", "ts": 0.0, "attrs": {}}
+        )
+        self._write_trace(path, [good, '{"kind": "ev'])
+        with pytest.raises(ValueError, match=":2:"):
+            parse_trace(str(path))
+
     def test_rotate_keeps_both_files_balanced(self, tmp_path):
         from repro.obs import parse_trace
 

@@ -123,6 +123,69 @@ class TestInProcessCrashSimulation:
         assert first == second
 
 
+class TestBadRequestsNeverPoisonTheLog:
+    """Regression: a mutation that cannot apply must be rejected
+    *before* it reaches the WAL.  A durably logged record that raises
+    on replay would make every subsequent restart fail — one bad
+    request would permanently brick the service."""
+
+    def test_out_of_universe_append_rejected_unlogged(self, tmp_path):
+        state_dir = tmp_path / "state"
+        with ServiceCore(
+            _database(), 2, state_dir=str(state_dir)
+        ) as core:
+            before = core.digest()
+            with pytest.raises(ValueError):
+                core.append([1 << N_ITEMS])  # item outside the universe
+            with pytest.raises(ValueError):
+                core.append([-1])  # negative row mask
+            with pytest.raises(ValueError):
+                core.append([7, 1 << N_ITEMS])  # valid prefix, bad tail
+            assert core.seq == 0
+            assert core.digest() == before
+        # Nothing was logged: recovery succeeds and matches.
+        with ServiceCore(
+            _database(), 2, state_dir=str(state_dir)
+        ) as core:
+            assert core.seq == 0
+            assert core.digest() == before
+
+    def test_bad_threshold_rejected_unlogged(self, tmp_path):
+        state_dir = tmp_path / "state"
+        with ServiceCore(
+            _database(), 2, state_dir=str(state_dir)
+        ) as core:
+            before = core.digest()
+            with pytest.raises(ValueError):
+                core.set_threshold(-1)
+            with pytest.raises(ValueError):
+                core.set_threshold(2.5)  # float > 1: not a frequency
+            assert core.digest() == before
+        with ServiceCore(
+            _database(), 2, state_dir=str(state_dir)
+        ) as core:
+            assert core.digest() == before
+
+    def test_good_mutation_after_rejected_one_still_applies(
+        self, tmp_path
+    ):
+        state_dir = tmp_path / "state"
+        with ServiceCore(
+            _database(), 2, state_dir=str(state_dir)
+        ) as core:
+            with pytest.raises(ValueError):
+                core.append([1 << N_ITEMS])
+            seq, stats, digest = core.append([7], op_id="good")
+            assert seq == 1
+            assert stats is not None
+            assert digest == core.digest()
+        with ServiceCore(
+            _database(), 2, state_dir=str(state_dir)
+        ) as core:
+            assert core.seq == 1
+            assert core.digest() == digest
+
+
 # -- subprocess SIGKILL harness -----------------------------------------
 
 

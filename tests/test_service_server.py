@@ -411,6 +411,38 @@ class TestHTTPEndpoints:
         status, payload, _ = _request(server.port, "/append", {})
         assert status == 400
 
+    def test_bad_append_is_400_and_leaves_service_usable(self, server):
+        # Out-of-universe and negative rows are rejected *before* the
+        # WAL, so the service keeps serving (and can keep restarting).
+        status, _, _ = _request(
+            server.port, "/append", {"rows": [1 << 10]}
+        )
+        assert status == 400
+        status, _, _ = _request(server.port, "/append", {"rows": [-1]})
+        assert status == 400
+        assert server.core.seq == 0
+        status, payload, _ = _request(
+            server.port, "/append", {"rows": [15], "op": "good"}
+        )
+        assert status == 200
+        assert payload["seq"] == 1
+
+    def test_bad_threshold_is_400_and_leaves_service_usable(self, server):
+        status, _, _ = _request(
+            server.port, "/threshold", {"min_support": -1}
+        )
+        assert status == 400
+        status, _, _ = _request(
+            server.port, "/threshold", {"min_support": 2.5}
+        )
+        assert status == 400
+        assert server.core.seq == 0
+        status, payload, _ = _request(
+            server.port, "/threshold", {"min_support": 3}
+        )
+        assert status == 200
+        assert payload["seq"] == 1
+
     def test_metrics_include_admission_snapshot(self, server):
         status, payload, _ = _request(server.port, "/metrics")
         assert status == 200

@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test perf perf-check lint bench faults trace-smoke par-smoke \
-	eclat-smoke steal-smoke serve-smoke chaos coverage
+	eclat-smoke steal-smoke serve-smoke obs-smoke chaos coverage
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -28,6 +28,9 @@ perf-check:
 	$(PYTHON) -m benchmarks.check_regression $(BENCH_PR5_OUT)
 	$(PYTHON) -m benchmarks.bench_steal --output $(BENCH_PR6_OUT)
 	$(PYTHON) -m benchmarks.check_regression $(BENCH_PR6_OUT)
+	$(eval BENCH_PR8_OUT := $(shell mktemp /tmp/bench_pr8.XXXXXX.json))
+	$(PYTHON) -m benchmarks.bench_obs --output $(BENCH_PR8_OUT)
+	$(PYTHON) -m benchmarks.check_regression $(BENCH_PR8_OUT)
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q
@@ -105,6 +108,20 @@ serve-smoke:
 	$(PYTHON) -m benchmarks.serve_smoke $(SERVE_DIR)/smoke.dat \
 		--state-dir $(SERVE_DIR)/state
 	rm -rf $(SERVE_DIR)
+
+# Telemetry-plane smoke: boot a traced `repro serve` with rotation,
+# check X-Request-Id round trips and /metrics content negotiation
+# (Prometheus text by default, JSON on Accept), force a rotation, then
+# SIGTERM and offline-verify every trace segment: schema-valid,
+# theorem-monitor certified, per-request latency table reconstructed
+# (benchmarks/obs_smoke.py does the driving).
+obs-smoke:
+	$(eval OBS_DIR := $(shell mktemp -d /tmp/obs_smoke.XXXXXX))
+	$(PYTHON) -m repro generate $(OBS_DIR)/smoke.dat \
+		--items 12 --transactions 120 --seed 7
+	$(PYTHON) -m benchmarks.obs_smoke $(OBS_DIR)/smoke.dat \
+		--trace $(OBS_DIR)/trace.jsonl
+	rm -rf $(OBS_DIR)
 
 # Crash-recovery gate: the chaos suite (in-process WAL-tail truncation
 # sweeps + real SIGKILL-at-random-instants over subprocess servers,

@@ -33,8 +33,13 @@ MIN_SUPPORT = 3
 
 
 def _get(port: int, path: str) -> dict:
-    url = f"http://127.0.0.1:{port}{path}"
-    with urllib.request.urlopen(url, timeout=10) as response:
+    # /metrics content-negotiates: ask for the JSON form explicitly
+    # (the default exposition is Prometheus text).
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        headers={"Accept": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
         return json.loads(response.read())
 
 

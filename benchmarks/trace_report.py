@@ -6,6 +6,13 @@ CLI's ``--trace FILE``) and prints:
 * per-span wall-clock totals — count, total/mean/max duration per span
   name, so the time split between candidate generation, oracle passes,
   and dualization is visible without a profiler;
+* per-worker attribution — stitched multi-process traces carry
+  ``worker.task`` / ``worker.count`` spans tagged with the worker pid;
+  the report totals each worker's task count and wall clock, making
+  load imbalance visible from the trace alone;
+* per-request latency — service traces (``repro serve --trace``) close
+  one ``service.request`` span per HTTP request; the report tables
+  count/total/mean/max latency per endpoint;
 * per-level levelwise progression — ``|C_l|``, interesting, rejected,
   and the candidate-generation wall clock (the ``levelwise.generate``
   sub-span) per ``levelwise.level`` span (the Theorem 10 ledger, level
@@ -34,9 +41,11 @@ from collections import defaultdict
 from collections.abc import Sequence
 
 from repro.obs.monitor import TheoremMonitor
-from repro.obs.schema import parse_trace, validate_trace
+from repro.obs.schema import KNOWN_EVENTS, parse_trace, validate_trace
 
 __all__ = ["build_report", "render_report", "main"]
+
+_WORKER_SPANS = ("worker.task", "worker.count")
 
 
 def build_report(records: list[dict]) -> dict:
@@ -48,7 +57,13 @@ def build_report(records: list[dict]) -> dict:
     matching ``levelwise.generate`` wall clock under ``generate``
     (``None`` for levels that never generated, e.g. the last); ``events``
     maps event name to count; ``queries`` holds total / charged / cached
-    ``oracle.query`` splits; ``counters`` sums counter deltas.
+    ``oracle.query`` splits; ``counters`` sums counter deltas;
+    ``workers`` maps worker pid to ``{tasks, total}`` (stitched
+    multi-process traces); ``requests`` maps endpoint to
+    ``{count, total, mean, max}``; ``unknown_names`` lists record names
+    outside the published schema, and ``malformed`` counts records the
+    reporter could not fold (both are reported, never fatal — a report
+    from a newer or damaged trace is still better than a crash).
     """
     durations: dict[str, list[float]] = defaultdict(list)
     span_errors: dict[str, int] = defaultdict(int)
@@ -56,44 +71,62 @@ def build_report(records: list[dict]) -> dict:
     counters: dict[str, int] = defaultdict(int)
     levels: list[dict] = []
     queries = {"total": 0, "charged": 0, "cached": 0}
+    workers: dict[int, dict] = defaultdict(
+        lambda: {"tasks": 0, "total": 0.0}
+    )
+    requests: dict[str, list[float]] = defaultdict(list)
+    unknown_names: set[str] = set()
+    malformed = 0
     # The generate span's rank rides on its *open* record; remember it
     # by span id so the close's duration can be keyed back to the level.
     generate_rank_by_id: dict[int, int] = {}
     generate_seconds: dict[int, float] = {}
     for record in records:
-        kind = record.get("kind")
-        name = record.get("name", "")
-        attrs = record.get("attrs", {}) or {}
-        if kind == "span_open" and name == "levelwise.generate":
-            generate_rank_by_id[record.get("id")] = attrs.get("rank")
-        if kind == "span_close":
-            durations[name].append(float(record.get("dur", 0.0)))
-            if record.get("error"):
-                span_errors[name] += 1
-            if name == "levelwise.generate":
-                rank = generate_rank_by_id.get(record.get("id"))
-                if rank is not None:
-                    generate_seconds[rank] = float(record.get("dur", 0.0))
-            if name == "levelwise.level":
-                levels.append(
-                    {
-                        "rank": attrs.get("rank"),
-                        "candidates": attrs.get("candidates"),
-                        "interesting": attrs.get("interesting"),
-                        "rejected": attrs.get("rejected"),
-                        "seconds": float(record.get("dur", 0.0)),
-                    }
-                )
-        elif kind == "event":
-            events[name] += 1
-            if name == "oracle.query":
-                queries["total"] += 1
-                if attrs.get("charged"):
-                    queries["charged"] += 1
-                else:
-                    queries["cached"] += 1
-        elif kind == "counter":
-            counters[name] += int(record.get("delta", 0))
+        try:
+            kind = record.get("kind")
+            name = record.get("name", "")
+            attrs = record.get("attrs", {}) or {}
+            if name and name not in KNOWN_EVENTS:
+                unknown_names.add(name)
+            if kind == "span_open" and name == "levelwise.generate":
+                generate_rank_by_id[record.get("id")] = attrs.get("rank")
+            if kind == "span_close":
+                dur = float(record.get("dur", 0.0))
+                durations[name].append(dur)
+                if record.get("error"):
+                    span_errors[name] += 1
+                if name in _WORKER_SPANS and "worker" in attrs:
+                    row = workers[attrs["worker"]]
+                    row["tasks"] += 1
+                    row["total"] += dur
+                if name == "service.request":
+                    requests[attrs.get("endpoint", "?")].append(dur)
+                if name == "levelwise.generate":
+                    rank = generate_rank_by_id.get(record.get("id"))
+                    if rank is not None:
+                        generate_seconds[rank] = dur
+                if name == "levelwise.level":
+                    levels.append(
+                        {
+                            "rank": attrs.get("rank"),
+                            "candidates": attrs.get("candidates"),
+                            "interesting": attrs.get("interesting"),
+                            "rejected": attrs.get("rejected"),
+                            "seconds": dur,
+                        }
+                    )
+            elif kind == "event":
+                events[name] += 1
+                if name == "oracle.query":
+                    queries["total"] += 1
+                    if attrs.get("charged"):
+                        queries["charged"] += 1
+                    else:
+                        queries["cached"] += 1
+            elif kind == "counter":
+                counters[name] += int(record.get("delta", 0))
+        except (TypeError, ValueError, AttributeError):
+            malformed += 1
     for row in levels:
         row["generate"] = generate_seconds.get(row["rank"])
     spans = {
@@ -112,6 +145,18 @@ def build_report(records: list[dict]) -> dict:
         "events": dict(events),
         "queries": queries,
         "counters": dict(counters),
+        "workers": {pid: dict(row) for pid, row in workers.items()},
+        "requests": {
+            endpoint: {
+                "count": len(times),
+                "total": sum(times),
+                "mean": sum(times) / len(times),
+                "max": max(times),
+            }
+            for endpoint, times in requests.items()
+        },
+        "unknown_names": sorted(unknown_names),
+        "malformed": malformed,
     }
 
 
@@ -154,6 +199,26 @@ def render_report(report: dict, monitor: TheoremMonitor, out=None) -> None:
                 f"{row['seconds']:.6f}  {generate_text}",
                 file=out,
             )
+    if report.get("workers"):
+        print("per-worker attribution:", file=out)
+        print("  worker      tasks   seconds", file=out)
+        for pid in sorted(report["workers"]):
+            row = report["workers"][pid]
+            print(
+                f"  {pid!s:<10}  {row['tasks']:<6}  {row['total']:.6f}",
+                file=out,
+            )
+    if report.get("requests"):
+        print("per-request latency:", file=out)
+        print("  endpoint      n       total      mean       max", file=out)
+        for endpoint in sorted(report["requests"]):
+            stats = report["requests"][endpoint]
+            print(
+                f"  {endpoint:<12}  {stats['count']:<6} "
+                f"{stats['total']:.6f}  {stats['mean']:.6f}  "
+                f"{stats['max']:.6f}",
+                file=out,
+            )
     queries = report["queries"]
     if queries["total"]:
         print(
@@ -175,6 +240,16 @@ def render_report(report: dict, monitor: TheoremMonitor, out=None) -> None:
         print("counters:", file=out)
         for name, total in sorted(report["counters"].items()):
             print(f"  {name:<24} {total}", file=out)
+    for name in report.get("unknown_names", ()):
+        print(
+            f"warning: unknown record name {name!r} (newer writer?)",
+            file=sys.stderr,
+        )
+    if report.get("malformed"):
+        print(
+            f"warning: {report['malformed']} malformed records skipped",
+            file=sys.stderr,
+        )
     print(monitor.report().summary(), file=out)
 
 

@@ -35,6 +35,7 @@ from repro.obs import (
     MetricsRegistry,
     MetricsTracer,
     MultiTracer,
+    SamplingProfiler,
     TheoremMonitor,
 )
 from repro.runtime.budget import Budget
@@ -268,6 +269,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="per-request mining deadline when the client sends none "
         "(deadline cuts return certified HTTP 206 partials)",
     )
+    serve.add_argument(
+        "--trace-rotate",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --trace: rotate the trace file after N records "
+        "(FILE, FILE.1, FILE.2, ... — each independently valid; "
+        "0 = never rotate)",
+    )
     _add_observability_flags(serve)
 
     subparsers.add_parser(
@@ -322,21 +332,67 @@ def _add_observability_flags(subparser: argparse.ArgumentParser) -> None:
         help="print a metrics summary table and the theorem-monitor "
         "verdict on stderr at exit",
     )
+    subparser.add_argument(
+        "--profile",
+        default=None,
+        metavar="FILE",
+        help="run the sampling profiler and write folded stacks here "
+        "(flamegraph-compatible 'stack count' lines; zero overhead "
+        "when absent)",
+    )
 
 
-def _build_tracer(args: argparse.Namespace):
-    """Build the CLI tracer stack from ``--trace`` / ``--metrics``.
+class _ObsStack:
+    """What the observability flags built, exposed piecewise.
 
-    Returns ``(tracer, finalize)``.  ``tracer`` is ``None`` when neither
-    flag was given; ``finalize()`` must run in a ``finally`` block — it
-    closes the JSONL writer (flushing is per-line, so even an interrupt
-    leaves a parseable trace) and prints the metrics table plus the
-    :class:`~repro.obs.monitor.TheoremMonitor` verdict to stderr.
+    ``tracer`` is ``None`` when neither ``--trace`` nor ``--metrics``
+    was given (engines then skip all instrumentation); ``writer`` /
+    ``registry`` / ``profiler`` are the individual components for
+    commands that need them directly (``serve`` wires the writer into
+    trace rotation and shares the registry with ``/metrics``).
+    ``finalize()`` must run in a ``finally`` block.
+    """
+
+    __slots__ = ("tracer", "writer", "registry", "profiler", "finalize")
+
+    def __init__(self, tracer, writer, registry, profiler, finalize):
+        self.tracer = tracer
+        self.writer = writer
+        self.registry = registry
+        self.profiler = profiler
+        self.finalize = finalize
+
+
+def _build_tracer(args: argparse.Namespace) -> _ObsStack:
+    """Build the CLI observability stack from ``--trace`` /
+    ``--metrics`` / ``--profile``.
+
+    ``finalize()`` closes the JSONL writer (flushing is per-line, so
+    even an interrupt leaves a parseable trace), prints the metrics
+    table plus the :class:`~repro.obs.monitor.TheoremMonitor` verdict
+    to stderr, and stops the profiler and writes its folded stacks.
+    The profiler is started here, so the whole command (including
+    dataset parsing) is attributed.
     """
     trace_path = getattr(args, "trace", None)
     want_metrics = getattr(args, "metrics", False)
+    profile_path = getattr(args, "profile", None)
+    profiler = None
+    if profile_path:
+        profiler = SamplingProfiler()
+        profiler.start()
     if not trace_path and not want_metrics:
-        return None, lambda: None
+        def finalize_profile() -> None:
+            if profiler is not None:
+                profiler.stop()
+                stacks = profiler.write(profile_path)
+                print(
+                    f"profile written to {profile_path} "
+                    f"({stacks} stacks, {profiler.total_samples} samples)",
+                    file=sys.stderr,
+                )
+
+        return _ObsStack(None, None, None, profiler, finalize_profile)
     writer = JsonlTraceWriter(trace_path) if trace_path else None
     registry = MetricsRegistry() if want_metrics else None
     monitor = TheoremMonitor()
@@ -354,8 +410,16 @@ def _build_tracer(args: argparse.Namespace):
         if trace_path:
             print(f"trace written to {trace_path}", file=sys.stderr)
         print(monitor.report().summary(), file=sys.stderr)
+        if profiler is not None:
+            profiler.stop()
+            stacks = profiler.write(profile_path)
+            print(
+                f"profile written to {profile_path} "
+                f"({stacks} stacks, {profiler.total_samples} samples)",
+                file=sys.stderr,
+            )
 
-    return tracer, finalize
+    return _ObsStack(tracer, writer, registry, profiler, finalize)
 
 
 def _build_budget(args: argparse.Namespace) -> Budget | None:
@@ -430,7 +494,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         args.algorithm = "eclat"
     threshold = _resolve_min_support(args.min_support)
     budget = _build_budget(args)
-    tracer, finalize = _build_tracer(args)
+    obs = _build_tracer(args)
     try:
         theory = mine_frequent_itemsets(
             database,
@@ -440,12 +504,12 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             engine=args.engine,
             budget=budget,
             resume=args.resume,
-            tracer=tracer,
+            tracer=obs.tracer,
             workers=args.workers,
             memory=args.memory,
         )
     finally:
-        finalize()
+        obs.finalize()
     print(
         f"{args.input}: {database.n_transactions} rows, "
         f"{database.n_items} items; algorithm={args.algorithm}"
@@ -489,13 +553,13 @@ def _cmd_transversals(args: argparse.Namespace) -> int:
     universe = Universe(vertices)
     hypergraph = Hypergraph.from_sets(edges, universe)
     budget = _build_budget(args)
-    tracer, finalize = _build_tracer(args)
+    obs = _build_tracer(args)
     try:
         family = minimal_transversals(
             hypergraph,
             method=args.method,
             budget=budget,
-            tracer=tracer,
+            tracer=obs.tracer,
             workers=args.workers,
         )
     except BudgetExhausted as exhausted:
@@ -516,7 +580,7 @@ def _cmd_transversals(args: argparse.Namespace) -> int:
             print(" ", universe.label(mask, sep=" "))
         return EXIT_PARTIAL
     finally:
-        finalize()
+        obs.finalize()
     print(f"{len(family)} minimal transversals ({args.method}):")
     for mask in family:
         print(" ", universe.label(mask, sep=" "))
@@ -531,7 +595,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     database = _read_database(args.input)
     threshold = _resolve_min_support(args.min_support)
-    tracer, finalize = _build_tracer(args)
+    obs = _build_tracer(args)
+    tracer = obs.tracer
+    # The service's production instruments are always on; --metrics
+    # additionally folds the trace stream into the same registry and
+    # prints the table at exit, so /metrics and the exit table agree.
+    registry = obs.registry if obs.registry is not None else MetricsRegistry()
     stop = threading.Event()
 
     def _on_signal(signum, frame):
@@ -549,6 +618,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             compact_every=args.compact_every,
             repair_limit=args.repair_limit,
             tracer=tracer,
+            registry=registry,
         )
         server = MiningServer(
             core,
@@ -557,10 +627,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             admission=AdmissionController(
                 args.max_concurrent,
                 max_queued=args.max_queued,
-                tracer=tracer,
+                registry=registry,
             ),
             default_deadline=args.default_deadline,
             tracer=tracer,
+            registry=registry,
+            trace_writer=obs.writer,
+            trace_rotate=args.trace_rotate,
         )
         server.start_background()
         state = core.state
@@ -579,7 +652,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         for sig, handler in previous.items():
             signal.signal(sig, handler)
-        finalize()
+        obs.finalize()
     return EXIT_OK
 
 

@@ -34,13 +34,23 @@ Typical wiring::
     assert monitor.report().certified("theorem10")
 """
 
+from repro.obs.context import (
+    TraceContext,
+    WorkerTraceCollector,
+    active_collector,
+    install_worker_collector,
+)
 from repro.obs.jsonl import JsonlTraceWriter
 from repro.obs.metrics import (
     MetricsRegistry,
     MetricsTracer,
     DEFAULT_SECONDS_BUCKETS,
+    LATENCY_SECONDS_BUCKETS,
+    labelled,
+    render_prometheus,
 )
 from repro.obs.monitor import Check, TheoremMonitor, TheoremReport
+from repro.obs.profile import SamplingProfiler
 from repro.obs.schema import (
     KNOWN_EVENTS,
     parse_trace,
@@ -67,6 +77,14 @@ __all__ = [
     "MetricsRegistry",
     "MetricsTracer",
     "DEFAULT_SECONDS_BUCKETS",
+    "LATENCY_SECONDS_BUCKETS",
+    "labelled",
+    "render_prometheus",
+    "TraceContext",
+    "WorkerTraceCollector",
+    "install_worker_collector",
+    "active_collector",
+    "SamplingProfiler",
     "TheoremMonitor",
     "TheoremReport",
     "Check",

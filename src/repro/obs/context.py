@@ -1,0 +1,240 @@
+"""Cross-process trace propagation: contexts and buffering collectors.
+
+Everything in :mod:`repro.obs` before this module is coordinator-side:
+a :class:`~repro.obs.jsonl.JsonlTraceWriter` owns one file, one span-id
+sequence, and one clock — none of which can be shared with a worker
+process.  This module is the seam that carries tracing *across* the
+pool boundary without giving up the single-stream contract:
+
+* :class:`TraceContext` — the small, picklable identity of the
+  coordinator's trace (trace id, the span the remote records belong
+  under, and the coordinator's monotonic clock offset).  It ships to
+  workers through the existing pool-initializer handshake
+  (:class:`~repro.parallel.pool.WorkerPool` ``trace_context=``), the
+  same channel the shared-memory handle uses.
+* :class:`WorkerTraceCollector` — a tracer that *buffers* records in
+  the JSONL record shape instead of writing them.  A worker runs its
+  task under collector spans, then :meth:`~WorkerTraceCollector.drain`\\ s
+  the balanced batch and returns it with the task result.  The
+  coordinator folds results in deterministic sequence order and calls
+  :meth:`~repro.obs.tracer.Tracer.stitch` at each fold, so the final
+  trace has one deterministic record order, balanced spans, and
+  monotone timestamps — ``validate_trace``-clean by construction.
+
+The transport changes *nothing* about mining results: collectors only
+observe, the records ride the existing result tuples, and stitching
+happens at the same fold points that already exist — the
+tracing-on/off bit-identity property suite covers the worker path.
+"""
+
+from __future__ import annotations
+
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Any
+
+from repro.obs.tracer import Span, Tracer
+
+__all__ = [
+    "TraceContext",
+    "WorkerTraceCollector",
+    "install_worker_collector",
+    "active_collector",
+]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The picklable identity of a coordinator trace.
+
+    Attributes:
+        trace_id: opaque hex id of the coordinator's trace stream.
+        parent_span: coordinator span id the remote records logically
+            belong under (``None`` at top level).  Informational — the
+            coordinator re-anchors stitched records under whatever span
+            is open at the fold point, which is the same span on every
+            deterministic run.
+        clock_offset: the coordinator's monotonic-clock zero.  Workers
+            stamp buffered records relative to it so raw worker
+            timestamps are comparable across processes (``fork`` shares
+            the monotonic epoch); stitching re-stamps ``ts`` with the
+            coordinator clock anyway, so this is best-effort context,
+            never a correctness input.
+    """
+
+    trace_id: str
+    parent_span: int | None
+    clock_offset: float
+
+    @classmethod
+    def capture(cls, tracer: Tracer) -> "TraceContext":
+        """Snapshot ``tracer``'s context for shipment to workers.
+
+        Tracers that own a stream (:class:`~repro.obs.jsonl.JsonlTraceWriter`,
+        :class:`~repro.obs.tracer.MultiTracer`) expose ``trace_context()``
+        and answer with their real identity; for any other tracer a
+        fresh anonymous context is minted — workers only need *a*
+        consistent clock zero and id to buffer against.
+        """
+        getter = getattr(tracer, "trace_context", None)
+        if getter is not None:
+            context = getter()
+            if context is not None:
+                return context
+        return cls(
+            trace_id=uuid.uuid4().hex,
+            parent_span=None,
+            clock_offset=time.monotonic(),
+        )
+
+
+class _CollectorSpan(Span):
+    __slots__ = ("_collector", "_id", "_t0")
+
+    def __init__(
+        self,
+        collector: "WorkerTraceCollector",
+        name: str,
+        attrs: dict[str, Any],
+    ):
+        super().__init__(name, attrs)
+        self._collector = collector
+        self._id = collector._next_span_id()
+        self._t0 = collector._now()
+        parent = collector._stack[-1] if collector._stack else None
+        collector._stack.append(self._id)
+        record = {"kind": "span_open", "name": name, "id": self._id}
+        if parent is not None:
+            record["parent"] = parent
+        collector._append(record, attrs)
+
+    def _close(self, error: str | None) -> None:
+        collector = self._collector
+        if collector._stack and collector._stack[-1] == self._id:
+            collector._stack.pop()
+        elif self._id in collector._stack:  # closed out of order
+            collector._stack.remove(self._id)
+        record: dict[str, Any] = {
+            "kind": "span_close",
+            "name": self.name,
+            "id": self._id,
+            "dur": collector._now() - self._t0,
+        }
+        if error is not None:
+            record["error"] = error
+        collector._append(record, self.attrs)
+
+
+class WorkerTraceCollector(Tracer):
+    """A tracer that buffers records for later coordinator stitching.
+
+    Two deployments share it:
+
+    * **worker processes** — installed by the pool initializer from a
+      shipped :class:`TraceContext`; each task drains its batch into
+      the result tuple (:func:`install_worker_collector` /
+      :func:`active_collector`);
+    * **service handler threads** — one collector per HTTP request, so
+      the single-threaded :class:`~repro.obs.jsonl.JsonlTraceWriter`
+      receives each request's span tree as one contiguous, lock-guarded
+      stitch instead of interleaved writes from concurrent threads.
+
+    Records use the JSONL shape with *local* span ids (1, 2, ...) and
+    timestamps relative to ``context.clock_offset``; stitching remaps
+    ids into the destination stream and re-stamps ``ts``, keeping the
+    worker-measured ``dur``.
+
+    :meth:`drain` returns the buffered batch and resets the collector
+    for the next task.  Draining with spans still open raises — a
+    half-open batch could never satisfy ``validate_trace`` and points
+    at a task that leaked a span.
+    """
+
+    def __init__(self, context: TraceContext, clock=None):
+        self.context = context
+        self._clock = clock if clock is not None else time.monotonic
+        self._records: list[dict[str, Any]] = []
+        self._stack: list[int] = []
+        self._span_counter = 0
+
+    def _now(self) -> float:
+        return max(0.0, self._clock() - self.context.clock_offset)
+
+    def _next_span_id(self) -> int:
+        self._span_counter += 1
+        return self._span_counter
+
+    def _append(
+        self, record: dict[str, Any], attrs: dict[str, Any]
+    ) -> None:
+        record["ts"] = self._now()
+        if attrs:
+            record["attrs"] = attrs
+        self._records.append(record)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        self._append({"kind": "event", "name": name}, attrs)
+
+    def span(self, name: str, **attrs: Any) -> _CollectorSpan:
+        return _CollectorSpan(self, name, attrs)
+
+    def counter(self, name: str, delta: int = 1, **attrs: Any) -> None:
+        self._append(
+            {"kind": "counter", "name": name, "delta": delta}, attrs
+        )
+
+    def gauge(self, name: str, value: float, **attrs: Any) -> None:
+        self._append(
+            {"kind": "gauge", "name": name, "value": value}, attrs
+        )
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def drain(self) -> tuple[dict[str, Any], ...]:
+        """Take the buffered batch and reset for the next task.
+
+        Raises:
+            ValueError: when a span is still open — the batch would be
+                unbalanced and could never stitch cleanly.
+        """
+        if self._stack:
+            raise ValueError(
+                f"cannot drain with {len(self._stack)} span(s) still "
+                "open; close every span before returning the batch"
+            )
+        records = tuple(self._records)
+        self._records = []
+        self._span_counter = 0
+        return records
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkerTraceCollector(trace={self.context.trace_id[:8]}, "
+            f"buffered={len(self._records)})"
+        )
+
+
+# The per-process collector a pool initializer installs.  One slot per
+# worker process (same pattern as the engines' _WORKER_STATE dicts):
+# tasks are executed strictly one at a time per process, so a single
+# collector per process is race-free.
+_ACTIVE: list[WorkerTraceCollector | None] = [None]
+
+
+def install_worker_collector(context: TraceContext | None) -> None:
+    """Install (or clear) this process's buffering collector.
+
+    Called by the :class:`~repro.parallel.pool.WorkerPool` initializer
+    wrapper in each worker process — and again on every pool restart,
+    so a rebuilt worker is indistinguishable from the original.
+    """
+    _ACTIVE[0] = (
+        WorkerTraceCollector(context) if context is not None else None
+    )
+
+
+def active_collector() -> WorkerTraceCollector | None:
+    """The collector installed in this process, or ``None`` (untraced)."""
+    return _ACTIVE[0]

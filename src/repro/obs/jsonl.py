@@ -28,6 +28,7 @@ import io
 import json
 import os
 import time
+import uuid
 from typing import Any
 
 from repro.obs.tracer import Span, Tracer
@@ -95,14 +96,17 @@ class JsonlTraceWriter(Tracer):
         if isinstance(sink, (str, os.PathLike)):
             self._file = open(sink, "w", encoding="utf-8")
             self._owns_file = True
+            self.path: str | None = os.fspath(sink)
         else:
             self._file = sink
             self._owns_file = False
+            self.path = None
         self._closed = False
         self._span_counter = 0
         self._stack: list[int] = []
         self._open_spans: dict[int, tuple[str, dict[str, Any]]] = {}
         self.records_written = 0
+        self.trace_id = uuid.uuid4().hex
 
     def _now(self) -> float:
         return self._clock() - self._t0
@@ -132,6 +136,61 @@ class JsonlTraceWriter(Tracer):
 
     def gauge(self, name: str, value: float, **attrs: Any) -> None:
         self._emit({"kind": "gauge", "name": name, "value": value}, attrs)
+
+    def trace_context(self):
+        """A :class:`~repro.obs.context.TraceContext` naming this stream.
+
+        Ships to workers (or per-request collectors) so their buffered
+        records carry timestamps relative to this writer's clock zero
+        and can later be stitched under the currently open span.
+        """
+        from repro.obs.context import TraceContext
+
+        return TraceContext(
+            trace_id=self.trace_id,
+            parent_span=self._stack[-1] if self._stack else None,
+            clock_offset=self._t0,
+        )
+
+    def stitch(self, records) -> None:
+        """Write a drained collector batch into this stream.
+
+        Remote records arrive complete — balanced spans, worker-measured
+        ``dur`` — but carry *local* span ids and worker-relative
+        timestamps, so they cannot be appended verbatim:
+
+        * span ids are remapped onto this writer's id sequence (unique
+          ids per trace);
+        * a top-level remote span is re-parented under the span
+          currently open here (the fold point's span — deterministic,
+          because folds happen in sequence order);
+        * ``ts`` is re-stamped with this writer's clock, keeping the
+          file's monotone-timestamp invariant; the worker-measured
+          ``dur`` is preserved untouched (it is a duration, not a
+          timestamp, and is exactly what per-worker attribution needs).
+
+        Because each batch is balanced, the stitched file still passes
+        :func:`~repro.obs.schema.validate_trace` and rotation keeps
+        working (no remote span is ever left open across a boundary).
+        """
+        id_map: dict[int, int] = {}
+        anchor = self._stack[-1] if self._stack else None
+        for record in records:
+            rec = dict(record)
+            attrs = rec.pop("attrs", None) or {}
+            kind = rec.get("kind")
+            if kind == "span_open":
+                local = rec.get("id")
+                rec["id"] = id_map[local] = self._next_span_id()
+                parent = id_map.get(rec.pop("parent", None), anchor)
+                if parent is not None:
+                    rec["parent"] = parent
+            elif kind == "span_close":
+                mapped = id_map.get(rec.get("id"))
+                if mapped is None:  # close without an open in the batch
+                    continue
+                rec["id"] = mapped
+            self._emit(rec, attrs)
 
     def rotate(self, sink: "str | os.PathLike") -> None:
         """Roll the trace to a new file without dropping open spans.
@@ -173,6 +232,7 @@ class JsonlTraceWriter(Tracer):
             )
         self._file.close()
         self._file = open(sink, "w", encoding="utf-8")
+        self.path = os.fspath(sink)
         parent: int | None = None
         for span_id in self._stack:
             name, attrs = self._open_spans[span_id]

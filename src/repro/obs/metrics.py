@@ -12,6 +12,15 @@ Histograms use *fixed* bucket boundaries chosen at creation (defaults
 suit sub-second span timings).  Observations record the count per
 bucket plus running sum/min/max, which is enough for the summary table
 and keeps memory constant regardless of run length.
+
+For a scrapeable production view, :func:`render_prometheus` serializes
+a registry in the Prometheus text exposition format (version 0.0.4):
+counters and gauges as single samples, histograms as *cumulative*
+``_bucket{le="..."}`` series plus ``_sum``/``_count``.  Labels are
+zero-dependency by convention: a metric registered under
+``name{key="value"}`` (see :func:`labelled`) is rendered as that exact
+sample line, with the base name shared across the family's ``# TYPE``
+header.
 """
 
 from __future__ import annotations
@@ -22,11 +31,20 @@ from typing import Any, TextIO
 from repro.obs.tracer import Span, Tracer
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
-           "MetricsTracer", "DEFAULT_SECONDS_BUCKETS"]
+           "MetricsTracer", "DEFAULT_SECONDS_BUCKETS",
+           "LATENCY_SECONDS_BUCKETS", "labelled", "render_prometheus"]
 
 #: Default histogram boundaries for span durations, in seconds.
 DEFAULT_SECONDS_BUCKETS = (
     0.0001, 0.001, 0.01, 0.1, 1.0, 10.0, 60.0,
+)
+
+#: Request/fsync-latency boundaries (the classic Prometheus ladder):
+#: finer sub-second resolution than the span default, for the service's
+#: per-endpoint latency and WAL-fsync histograms.
+LATENCY_SECONDS_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
 )
 
 
@@ -58,6 +76,10 @@ class Gauge:
         self.samples = 0
 
     def set(self, value: float) -> None:
+        if value != value:  # NaN poisons min/max forever — refuse it
+            raise ValueError(
+                f"gauge {self.name!r}: NaN is not a valid sample"
+            )
         self.value = value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
@@ -88,6 +110,10 @@ class Histogram:
         self.max: float | None = None
 
     def observe(self, value: float) -> None:
+        if value != value:  # NaN poisons sum/min/max forever — refuse it
+            raise ValueError(
+                f"histogram {self.name!r}: NaN is not a valid observation"
+            )
         self.count += 1
         self.sum += value
         self.min = value if self.min is None else min(self.min, value)
@@ -201,6 +227,101 @@ def _fmt(value: float | None) -> str:
     return str(value)
 
 
+def labelled(name: str, **labels: Any) -> str:
+    """Embed Prometheus labels into a registry key: ``name{k="v",...}``.
+
+    The registry itself is label-agnostic (keys are plain strings);
+    this helper fixes one canonical spelling — sorted keys, values
+    escaped per the exposition format — so the same label set always
+    maps to the same metric object.
+    """
+    if not labels:
+        return name
+    body = ",".join(
+        f'{key}="{_escape_label(str(value))}"'
+        for key, value in sorted(labels.items())
+    )
+    return f"{name}{{{body}}}"
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _split_labelled(key: str) -> tuple[str, str]:
+    """``name{a="b"}`` → ``("name", 'a="b"')``; plain names → ``("", )``."""
+    if key.endswith("}") and "{" in key:
+        base, _, rest = key.partition("{")
+        return base, rest[:-1]
+    return key, ""
+
+
+def _prom_number(value: float) -> str:
+    if value != value:  # pragma: no cover - NaN is rejected upstream
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return format(value, ".12g")
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Serialize a registry in the Prometheus text exposition format.
+
+    One ``# TYPE`` header per metric family (the base name before any
+    ``{labels}``), then the samples: counters and gauges as single
+    lines, histograms as cumulative ``<name>_bucket{le="..."}`` series
+    — each bucket counts observations at or below its boundary, ending
+    with the ``+Inf`` catch-all — plus ``<name>_sum`` and
+    ``<name>_count``.  Gauges that were never set are skipped (there is
+    no sample to report).  Output ends with a newline, as scrapers
+    expect.
+    """
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def header(base: str, kind: str) -> None:
+        if base not in typed:
+            typed.add(base)
+            lines.append(f"# TYPE {base} {kind}")
+
+    for key, counter in sorted(registry._counters.items()):
+        base, _ = _split_labelled(key)
+        header(base, "counter")
+        lines.append(f"{key} {counter.value}")
+    for key, gauge in sorted(registry._gauges.items()):
+        if gauge.value is None:
+            continue
+        base, _ = _split_labelled(key)
+        header(base, "gauge")
+        lines.append(f"{key} {_prom_number(gauge.value)}")
+    for key, histogram in sorted(registry._histograms.items()):
+        base, label_body = _split_labelled(key)
+        header(base, "histogram")
+        cumulative = 0
+        for boundary, count in zip(
+            histogram.boundaries, histogram.buckets
+        ):
+            cumulative += count
+            le = f'le="{_prom_number(boundary)}"'
+            labels = f"{label_body},{le}" if label_body else le
+            lines.append(f"{base}_bucket{{{labels}}} {cumulative}")
+        le = 'le="+Inf"'
+        labels = f"{label_body},{le}" if label_body else le
+        lines.append(f"{base}_bucket{{{labels}}} {histogram.count}")
+        suffix = f"{{{label_body}}}" if label_body else ""
+        lines.append(f"{base}_sum{suffix} {_prom_number(histogram.sum)}")
+        lines.append(f"{base}_count{suffix} {histogram.count}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
 class _MetricsSpan(Span):
     __slots__ = ("_tracer", "_t0")
 
@@ -248,3 +369,30 @@ class MetricsTracer(Tracer):
 
     def gauge(self, name: str, value: float, **attrs: Any) -> None:
         self.registry.gauge(name).set(value)
+
+    def stitch(self, records) -> None:
+        """Fold a drained collector batch into the registry.
+
+        Remote span durations were already measured in the worker, so
+        they go straight into the ``span.<name>.seconds`` histograms —
+        re-timing them through :meth:`span` would record stitch time,
+        not work time.
+        """
+        registry = self.registry
+        for record in records:
+            kind = record.get("kind")
+            name = record.get("name", "")
+            if kind == "event":
+                registry.counter(f"events.{name}").inc()
+            elif kind == "counter":
+                registry.counter(name).inc(int(record.get("delta", 1)))
+            elif kind == "gauge":
+                value = record.get("value")
+                if isinstance(value, (int, float)):
+                    registry.gauge(name).set(value)
+            elif kind == "span_close":
+                registry.histogram(f"span.{name}.seconds").observe(
+                    float(record.get("dur", 0.0))
+                )
+                if record.get("error"):
+                    registry.counter(f"span.{name}.errors").inc()

@@ -192,6 +192,17 @@ class TheoremMonitor(Tracer):
         elif kind == "span_close":
             self._on_span_close(name, dict(attrs), record.get("error"))
 
+    def stitch(self, records) -> None:
+        """Fold a drained worker/request batch into the live checks.
+
+        Stitched records are complete JSONL-shaped dicts, so they feed
+        through the same offline path as :meth:`from_trace`; charged
+        ``oracle.query`` events in the batch count toward the enclosing
+        run's accounting exactly as if they had been emitted inline.
+        """
+        for record in records:
+            self.feed_record(record)
+
     @classmethod
     def from_trace(cls, records) -> "TheoremMonitor":
         """Build a monitor and replay a recorded trace through it."""

@@ -122,6 +122,8 @@ KNOWN_EVENTS: dict[str, tuple[str, tuple[str, ...]]] = {
     "worker.fallback": ("event", ("reason",)),
     "worker.minimize": ("event", ("size", "chunks")),
     "worker.steal": ("event", ("seq", "pending")),
+    "worker.task": ("span_open", ("position",)),
+    "worker.count": ("span_open", ("shard", "size")),
     # shared-memory vertical store (repro.parallel.shm)
     "shm.publish": ("event", ("segment", "bytes", "rows", "items")),
     "shm.attach": ("event", ("segment", "workers")),
@@ -141,6 +143,10 @@ KNOWN_EVENTS: dict[str, tuple[str, tuple[str, ...]]] = {
     "service.compact": ("event", ("seq",)),
     "service.shed": ("event", ("waiting", "queued")),
     "service.deadline": ("event", ("reason",)),
+    "service.admission": ("span_open", ()),
+    "service.mine": ("span_open", ("threshold",)),
+    "service.wal": ("span_open", ("kind",)),
+    "service.apply": ("span_open", ("kind",)),
     # pool supervision (repro.service.admission)
     "supervisor.restart": ("event", ("attempt", "delay")),
     "supervisor.degraded": ("event", ("crashes",)),

@@ -110,6 +110,22 @@ class Tracer:
     def gauge(self, name: str, value: float, **attrs: Any) -> None:
         pass
 
+    def stitch(self, records) -> None:
+        """Fold a batch of already-recorded remote records into this
+        tracer.
+
+        The cross-process transport: a worker buffers its records in a
+        :class:`~repro.obs.context.WorkerTraceCollector`, ships them
+        back with its result, and the coordinator calls ``stitch`` at
+        the deterministic fold point.  Records arrive in the JSONL
+        record shape (``kind``/``name``/``ts``/``id``/``dur``/...), are
+        already *complete* (spans balanced, durations measured in the
+        worker), and must not be re-measured — so this is a separate
+        method rather than a replay through :meth:`span`.  The base
+        implementation ignores them; tracers that can consume finished
+        records override it.
+        """
+
     def close(self) -> None:
         """Release any underlying resource (idempotent)."""
 
@@ -147,11 +163,17 @@ class _MultiSpan(_NullSpan):
 
     def note(self, **attrs: Any) -> None:
         for span in self._spans:
-            span.note(**attrs)
+            try:
+                span.note(**attrs)
+            except Exception:
+                continue
 
     def __enter__(self) -> "_MultiSpan":
         for span in self._spans:
-            span.__enter__()
+            try:
+                span.__enter__()
+            except Exception:
+                continue
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
@@ -169,6 +191,13 @@ class MultiTracer(Tracer):
 
     Disabled children are skipped; an empty or all-disabled set behaves
     exactly like :data:`NULL_TRACER`.
+
+    Fan-out is *error-isolated*: one child raising from any record
+    method never drops the record for its siblings and never unbalances
+    their spans — a crashing experimental tracer attached next to the
+    persistent :class:`~repro.obs.jsonl.JsonlTraceWriter` must not
+    corrupt the durable trace.  (Instrumented code is unaffected too:
+    the exception is swallowed, not propagated into the engine.)
     """
 
     def __init__(self, *tracers: "Tracer | None"):
@@ -181,26 +210,63 @@ class MultiTracer(Tracer):
 
     def event(self, name: str, **attrs: Any) -> None:
         for tracer in self._tracers:
-            tracer.event(name, **attrs)
+            try:
+                tracer.event(name, **attrs)
+            except Exception:
+                continue
 
     def span(self, name: str, **attrs: Any):
         if not self._tracers:
             return _NULL_SPAN
-        return _MultiSpan(
-            [tracer.span(name, **attrs) for tracer in self._tracers]
-        )
+        spans = []
+        for tracer in self._tracers:
+            try:
+                spans.append(tracer.span(name, **attrs))
+            except Exception:
+                # The failed child simply has no span for this region;
+                # its siblings still open/close theirs normally.
+                continue
+        return _MultiSpan(spans)
 
     def counter(self, name: str, delta: int = 1, **attrs: Any) -> None:
         for tracer in self._tracers:
-            tracer.counter(name, delta, **attrs)
+            try:
+                tracer.counter(name, delta, **attrs)
+            except Exception:
+                continue
 
     def gauge(self, name: str, value: float, **attrs: Any) -> None:
         for tracer in self._tracers:
-            tracer.gauge(name, value, **attrs)
+            try:
+                tracer.gauge(name, value, **attrs)
+            except Exception:
+                continue
+
+    def stitch(self, records) -> None:
+        records = list(records)
+        for tracer in self._tracers:
+            try:
+                tracer.stitch(records)
+            except Exception:
+                continue
+
+    def trace_context(self):
+        """The first child-provided context (see
+        :meth:`~repro.obs.context.TraceContext.capture`)."""
+        for tracer in self._tracers:
+            getter = getattr(tracer, "trace_context", None)
+            if getter is not None:
+                context = getter()
+                if context is not None:
+                    return context
+        return None
 
     def close(self) -> None:
         for tracer in self._tracers:
-            tracer.close()
+            try:
+                tracer.close()
+            except Exception:
+                continue
 
     def __repr__(self) -> str:
         return f"MultiTracer({', '.join(map(repr, self._tracers))})"

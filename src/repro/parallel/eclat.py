@@ -56,6 +56,7 @@ as the last line of defence against leaked ``/dev/shm`` entries.
 
 from __future__ import annotations
 
+import os
 import time
 
 from repro.core.errors import BudgetExhausted
@@ -66,6 +67,7 @@ from repro.mining.eclat import (
     _maximal_from_supports,
     _mine_subtree,
 )
+from repro.obs.context import TraceContext, active_collector
 from repro.obs.tracer import as_tracer
 from repro.parallel.pool import WorkerPool, WorkerPoolBroken, resolve_workers
 from repro.parallel.shm import ShmVerticalStore, resolve_memory
@@ -207,8 +209,17 @@ def _mine_payload(
 
 
 def _mine_task(position: int, split_index: int | None):
-    """Worker entry point: mine one task from the initializer state."""
-    return _mine_payload(
+    """Worker entry point: mine one task from the initializer state.
+
+    Returns the :func:`_mine_payload` 5-tuple extended with the drained
+    trace-record batch (empty when the run is untraced).  The worker
+    wraps its work in a ``worker.task`` span on the process's buffering
+    collector — it never emits ``oracle.query`` events itself; those
+    are re-emitted (and charged) coordinator-side in fold order, so the
+    :class:`~repro.obs.monitor.TheoremMonitor` accounting stays
+    single-counted and bit-identical to serial.
+    """
+    args = (
         _WORKER_STATE["members"],
         _WORKER_STATE["is_diff"],
         _WORKER_STATE["threshold"],
@@ -216,6 +227,23 @@ def _mine_task(position: int, split_index: int | None):
         position,
         split_index,
     )
+    collector = active_collector()
+    if collector is None:
+        return (*_mine_payload(*args), ())
+    with collector.span(
+        "worker.task",
+        position=position,
+        split=split_index,
+        worker=os.getpid(),
+    ) as span:
+        result = _mine_payload(*args)
+        span.note(
+            supported=len(result[0]),
+            rejected=len(result[1]),
+            nodes=result[2],
+            seconds=round(result[4], 6),
+        )
+    return (*result, collector.drain())
 
 
 def eclat_parallel(
@@ -252,7 +280,15 @@ def eclat_parallel(
             one ``worker.batch`` event per folded task, and the
             ``eclat.done`` accounting that
             :class:`~repro.obs.monitor.TheoremMonitor` certifies.
-            Workers themselves never trace.
+            Workers never emit ``oracle.query`` records (that would
+            double-charge the accounting); instead each task runs under
+            a buffered ``worker.task`` span — position, split index,
+            pid, and worker-measured duration — that rides home with
+            the result tuple and is stitched into the coordinator
+            stream at the fold point (see
+            :class:`~repro.obs.context.WorkerTraceCollector`), so one
+            trace file holds the whole multi-process run and still
+            certifies unchanged.
         memory: ``"shm"`` (zero-copy shared segment), ``"pickle"``
             (ship columns through the initializer, the PR 5 transport),
             or ``"auto"`` (shm when available).
@@ -452,7 +488,7 @@ def eclat_parallel(
 
     def merge(result) -> None:
         nonlocal queries, nodes, diffset_nodes
-        sub_supports, sub_rejected, sub_nodes, sub_diff, _ = result
+        sub_supports, sub_rejected, sub_nodes, sub_diff = result[:4]
         for mask, supp in sub_supports.items():
             supports[mask] = supp
             history[mask] = True
@@ -481,6 +517,13 @@ def eclat_parallel(
             charge_expansion(position)
         if budget is not None:
             budget.check(queries=queries, family=len(members))
+        # Stitch the worker's buffered trace records at the fold point:
+        # folds happen strictly in sequence order, so the stitched
+        # record order is deterministic at every worker count.  (The
+        # serial fallback path folds bare 5-tuples — nothing to stitch.)
+        records = result[5] if len(result) > 5 else ()
+        if tracer.enabled and records:
+            tracer.stitch(records)
         merge(result)
         if tracer.enabled:
             tracer.event(
@@ -510,6 +553,9 @@ def eclat_parallel(
             workers,
             initializer=_init_steal_worker,
             initargs=(spec,),
+            trace_context=(
+                TraceContext.capture(tracer) if tracer.enabled else None
+            ),
             tracer=tracer,
         )
         if store is not None:

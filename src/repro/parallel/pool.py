@@ -39,6 +39,24 @@ from concurrent.futures.process import BrokenProcessPool
 __all__ = ["WorkerPool", "WorkerPoolBroken", "resolve_workers"]
 
 
+def _initializer_with_context(context, initializer, initargs):
+    """Worker-process bootstrap when a trace context is shipped.
+
+    Must be a module-level function (it crosses the process boundary by
+    pickle).  Installs the process's buffering
+    :class:`~repro.obs.context.WorkerTraceCollector` *before* the
+    engine's own initializer runs, so even initializer-time spans could
+    be collected; because it is stored as the pool's initializer it is
+    rerun on every restart — a rebuilt worker traces exactly like the
+    original.
+    """
+    from repro.obs.context import install_worker_collector
+
+    install_worker_collector(context)
+    if initializer is not None:
+        initializer(*initargs)
+
+
 class WorkerPoolBroken(RuntimeError):
     """The pool died and its restart allowance is spent.
 
@@ -80,6 +98,15 @@ class WorkerPool:
         initargs: arguments for ``initializer``; must be picklable.
         max_restarts: how many times a broken pool may be rebuilt
             before :class:`WorkerPoolBroken` is raised (default 1).
+        trace_context: optional :class:`~repro.obs.context.TraceContext`
+            shipped to every worker process through the initializer
+            handshake (the same channel the shared-memory handle uses).
+            When given, each worker installs a buffering
+            :class:`~repro.obs.context.WorkerTraceCollector` before the
+            engine initializer runs; tasks fetch it with
+            :func:`~repro.obs.context.active_collector` and return the
+            drained record batch with their results for coordinator-side
+            stitching.  Restarts reship the context automatically.
         tracer: optional :class:`~repro.obs.tracer.Tracer`; emits a
             ``worker.pool`` event per (re)spawn and a ``worker.crash``
             event per pool failure.
@@ -111,6 +138,7 @@ class WorkerPool:
         initializer: Callable | None = None,
         initargs: tuple = (),
         max_restarts: int = 1,
+        trace_context=None,
         tracer=None,
         on_crash: Callable[[BaseException | None, bool], None] | None = None,
     ):
@@ -119,8 +147,12 @@ class WorkerPool:
         if max_restarts < 0:
             raise ValueError("max_restarts must be non-negative")
         self.workers = resolve_workers(workers)
-        self._initializer = initializer
-        self._initargs = initargs
+        if trace_context is not None:
+            self._initializer = _initializer_with_context
+            self._initargs = (trace_context, initializer, initargs)
+        else:
+            self._initializer = initializer
+            self._initargs = initargs
         self._restarts_left = max_restarts
         self._executor: ProcessPoolExecutor | None = None
         self._broken = False

@@ -38,10 +38,12 @@ transport and the shard partition.
 
 from __future__ import annotations
 
+import os
 import time
 from collections.abc import Iterable
 
 from repro.datasets.transactions import TransactionDatabase
+from repro.obs.context import TraceContext, active_collector
 from repro.parallel.pool import WorkerPool, WorkerPoolBroken, resolve_workers
 from repro.parallel.shm import ShmVerticalStore, resolve_memory
 from repro.util.bitset import Universe
@@ -137,11 +139,30 @@ def _shard_database(shard_id: int) -> TransactionDatabase:
     return database
 
 
-def _count_shard(shard_id: int, masks: list[int]) -> tuple[list[int], float]:
-    """Count a candidate batch on one shard; returns (counts, seconds)."""
-    t0 = time.perf_counter()
-    counts = _shard_database(shard_id).support_counts(masks)
-    return counts, time.perf_counter() - t0
+def _count_shard(shard_id: int, masks: list[int]):
+    """Count a candidate batch on one shard.
+
+    Returns ``(counts, seconds, records)`` where ``records`` is the
+    drained ``worker.count`` trace batch from this process's buffering
+    collector (empty when the run is untraced) — the coordinator
+    stitches it before emitting its own ``worker.batch`` event, so the
+    merged trace carries true in-worker timings per shard dispatch.
+    """
+    collector = active_collector()
+    if collector is None:
+        t0 = time.perf_counter()
+        counts = _shard_database(shard_id).support_counts(masks)
+        return counts, time.perf_counter() - t0, ()
+    with collector.span(
+        "worker.count",
+        shard=shard_id,
+        size=len(masks),
+        worker=os.getpid(),
+    ):
+        t0 = time.perf_counter()
+        counts = _shard_database(shard_id).support_counts(masks)
+        seconds = time.perf_counter() - t0
+    return counts, seconds, collector.drain()
 
 
 class ShardedSupportCounter:
@@ -159,7 +180,11 @@ class ShardedSupportCounter:
             shard dispatch (shard id, batch size, in-worker seconds),
             and ``worker.fallback`` when a broken pool degrades the
             counter to the serial kernel.  Shared-memory runs add one
-            ``shm.publish`` and one ``shm.attach`` event.
+            ``shm.publish`` and one ``shm.attach`` event.  When tracing
+            is on, a :class:`~repro.obs.context.TraceContext` ships to
+            every worker and each shard dispatch runs under a buffered
+            ``worker.count`` span that is stitched back into the
+            coordinator stream in shard order.
         max_restarts: forwarded to :class:`~repro.parallel.pool.WorkerPool`.
         memory: ``"shm"`` (publish the vertical store once; workers
             count on zero-copy views of the shared pages), ``"pickle"``
@@ -220,6 +245,7 @@ class ShardedSupportCounter:
                     initializer=_init_shard_worker_shm,
                     initargs=(store.handle, tuple(self._bounds)),
                     max_restarts=max_restarts,
+                    trace_context=self._capture_context(),
                     tracer=self._tracer,
                 )
                 self._pool.add_finalizer(store.unlink)
@@ -240,6 +266,7 @@ class ShardedSupportCounter:
                         database.backend,
                     ),
                     max_restarts=max_restarts,
+                    trace_context=self._capture_context(),
                     tracer=self._tracer,
                 )
             if self._tracer.enabled:
@@ -250,6 +277,12 @@ class ShardedSupportCounter:
                 )
         else:
             self._pool = WorkerPool(1)
+
+    def _capture_context(self):
+        """Trace context shipped to workers (``None`` when untraced)."""
+        if not self._tracer.enabled:
+            return None
+        return TraceContext.capture(self._tracer)
 
     @property
     def universe(self):
@@ -294,7 +327,13 @@ class ShardedSupportCounter:
                 self._tracer.event("worker.fallback", reason="pool-broken")
             return self.database.support_counts(masks)
         if self._tracer.enabled:
-            for shard_id, (_, seconds) in enumerate(per_shard):
+            # Shards are gathered in submission order, so stitching the
+            # per-shard collector batches here is deterministic; the
+            # coordinator's worker.batch event follows each shard's own
+            # worker.count span in the merged stream.
+            for shard_id, (_, seconds, records) in enumerate(per_shard):
+                if records:
+                    self._tracer.stitch(records)
                 self._tracer.event(
                     "worker.batch",
                     shard=shard_id,
@@ -302,7 +341,7 @@ class ShardedSupportCounter:
                     seconds=round(seconds, 6),
                 )
         totals = per_shard[0][0]
-        for counts, _ in per_shard[1:]:
+        for counts, _, _ in per_shard[1:]:
             totals = [a + b for a, b in zip(totals, counts)]
         return totals
 

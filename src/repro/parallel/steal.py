@@ -28,6 +28,16 @@ reclaims every in-flight task (tasks are pure functions of their
 payloads), restarts the pool through its bounded allowance, and
 resubmits; past the allowance :class:`WorkerPoolBroken` propagates and
 the engine finishes the remaining sequence numbers serially.
+
+The sequence-ordered fold is also what makes **cross-process tracing**
+deterministic for free: a traced task buffers its records in the
+worker's :class:`~repro.obs.context.WorkerTraceCollector` and returns
+the drained batch inside its result tuple, and the engine's fold
+callback stitches that batch into the coordinator's tracer *at the
+fold point*.  The scheduler itself never inspects results — record
+transport is purely a payload/result convention between the engine's
+task function and its fold — so stitched record order inherits the
+fold order and is identical at every worker count and steal schedule.
 """
 
 from __future__ import annotations

@@ -64,6 +64,12 @@ class AdmissionController:
         queue_timeout: seconds a waiter may block before being shed.
         retry_after: the backoff hint attached to :class:`Saturated`.
         tracer: optional tracer (``service.shed`` events).
+        registry: optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            when given, the controller keeps the always-on production
+            instruments current — ``repro_admission_active`` /
+            ``repro_admission_waiting`` gauges and the
+            ``repro_requests_shed_total`` counter — so ``/metrics``
+            scrapes see queue pressure without tracing enabled.
     """
 
     def __init__(
@@ -74,6 +80,7 @@ class AdmissionController:
         queue_timeout: float = 1.0,
         retry_after: float = 1.0,
         tracer=None,
+        registry=None,
     ):
         if max_concurrent < 1:
             raise ValueError("max_concurrent must be positive")
@@ -89,23 +96,46 @@ class AdmissionController:
         self.admitted = 0
         self.shed = 0
         self._tracer = as_tracer(tracer)
+        self._registry = registry
+        self._sync_gauges()
 
-    def acquire(self) -> None:
+    def _sync_gauges(self) -> None:
+        # Called with self._cond held (or before concurrency starts).
+        if self._registry is not None:
+            self._registry.gauge("repro_admission_active").set(self._active)
+            self._registry.gauge("repro_admission_waiting").set(self._waiting)
+
+    def _count_shed(self) -> None:
+        if self._registry is not None:
+            self._registry.counter("repro_requests_shed_total").inc()
+
+    def acquire(self, tracer=None) -> None:
         """Take a slot or raise :class:`Saturated` (never hangs:
-        bounded queue, bounded wait)."""
+        bounded queue, bounded wait).
+
+        ``tracer`` overrides the constructor tracer for this call's
+        ``service.shed`` event — the HTTP layer passes its
+        request-scoped collector so shed records land inside the
+        request's stitched span tree instead of racing other handler
+        threads into the shared writer.
+        """
+        t = self._tracer if tracer is None else tracer
         with self._cond:
             if self._active < self._max_concurrent:
                 self._active += 1
                 self.admitted += 1
+                self._sync_gauges()
                 return
             if self._waiting >= self._max_queued:
                 self.shed += 1
-                if self._tracer.enabled:
-                    self._tracer.event(
+                self._count_shed()
+                if t.enabled:
+                    t.event(
                         "service.shed", waiting=self._waiting, queued=False
                     )
                 raise Saturated(self._retry_after)
             self._waiting += 1
+            self._sync_gauges()
             try:
                 admitted = self._cond.wait_for(
                     lambda: self._active < self._max_concurrent,
@@ -115,18 +145,22 @@ class AdmissionController:
                 self._waiting -= 1
             if not admitted:
                 self.shed += 1
-                if self._tracer.enabled:
-                    self._tracer.event(
+                self._count_shed()
+                self._sync_gauges()
+                if t.enabled:
+                    t.event(
                         "service.shed", waiting=self._waiting, queued=True
                     )
                 raise Saturated(self._retry_after)
             self._active += 1
             self.admitted += 1
+            self._sync_gauges()
 
     def release(self) -> None:
         """Free a slot and wake one waiter."""
         with self._cond:
             self._active -= 1
+            self._sync_gauges()
             self._cond.notify()
 
     def __enter__(self) -> "AdmissionController":

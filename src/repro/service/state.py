@@ -40,6 +40,7 @@ import hashlib
 import json
 import os
 import threading
+import time
 from typing import Any
 
 from repro.core.errors import CheckpointError, WALError
@@ -101,6 +102,14 @@ class ServiceCore:
         repair_limit: per-update border-repair budget before falling
             back to a full remine (``None`` = never fall back).
         tracer: optional tracer (``service.*`` and ``wal.*`` events).
+            :meth:`mine`, :meth:`append`, and :meth:`set_threshold`
+            additionally accept a per-call ``tracer`` override so the
+            HTTP layer can route each request's records through its
+            request-scoped collector.
+        registry: optional :class:`~repro.obs.metrics.MetricsRegistry`
+            for the always-on production instruments: every durable
+            WAL fsync is observed into ``repro_wal_fsync_seconds`` and
+            every compaction into ``repro_compaction_seconds``.
     """
 
     def __init__(
@@ -113,8 +122,10 @@ class ServiceCore:
         compact_every: int = 64,
         repair_limit: int | None = None,
         tracer=None,
+        registry=None,
     ):
         self._tracer = as_tracer(tracer)
+        self._registry = registry
         self._lock = threading.RLock()
         self._compact_every = compact_every
         self._repair_limit = repair_limit
@@ -137,11 +148,21 @@ class ServiceCore:
         self._seq = snapshot_seq
 
         if self._dir is not None:
+            fsync_observer = None
+            if registry is not None:
+                from repro.obs.metrics import LATENCY_SECONDS_BUCKETS
+
+                fsync_histogram = registry.histogram(
+                    "repro_wal_fsync_seconds",
+                    boundaries=LATENCY_SECONDS_BUCKETS,
+                )
+                fsync_observer = fsync_histogram.observe
             self._wal = WriteAheadLog(
                 os.path.join(self._dir, WAL_NAME),
                 start_seq=snapshot_seq,
                 durable=durable,
                 tracer=self._tracer,
+                fsync_observer=fsync_observer,
             )
             replayed = len(self._wal.records)
             for record in self._wal.records:
@@ -224,7 +245,13 @@ class ServiceCore:
         """Sequence number of the last applied operation."""
         return self._seq
 
-    def mine(self, min_support: int | float | None = None, *, budget=None):
+    def mine(
+        self,
+        min_support: int | float | None = None,
+        *,
+        budget=None,
+        tracer=None,
+    ):
         """Frequent itemsets at ``min_support`` (default: maintained).
 
         Thresholds at or above the maintained one are served from the
@@ -234,10 +261,18 @@ class ServiceCore:
         the caller's budget, which may return a certified
         :class:`~repro.runtime.partial.PartialResult`.
 
+        ``tracer`` overrides the core tracer for this one call (the
+        HTTP layer passes the request-scoped collector): the call runs
+        under a ``service.mine`` span whose close note records the
+        source, and a cold mine passes the tracer into
+        :func:`~repro.mining.eclat.eclat` so the request trace carries
+        the full, monitor-certifiable ``eclat.run`` tree.
+
         Returns:
             ``("hot" | "mined", EclatResult-like dict)`` on completion,
             or ``("partial", PartialResult)`` on a deadline cut.
         """
+        t = self._tracer if tracer is None else as_tracer(tracer)
         state = self._state
         if min_support is None:
             threshold = state.threshold
@@ -247,30 +282,36 @@ class ServiceCore:
             threshold = int(min_support)
         if threshold < 0:
             raise ValueError("min_support must be non-negative")
-        if threshold >= state.threshold:
-            maximal, negative = state.theory_at(threshold)
-            supports = {
-                mask: supp
-                for mask, supp in state.supports.items()
-                if supp >= threshold
-            }
-            return "hot", {
+        with t.span("service.mine", threshold=threshold) as span:
+            if threshold >= state.threshold:
+                maximal, negative = state.theory_at(threshold)
+                supports = {
+                    mask: supp
+                    for mask, supp in state.supports.items()
+                    if supp >= threshold
+                }
+                span.note(source="hot", queries=0)
+                return "hot", {
+                    "threshold": threshold,
+                    "supports": supports,
+                    "maximal": maximal,
+                    "negative": negative,
+                    "queries": 0,
+                }
+            result = eclat(
+                state.database, threshold, budget=budget, tracer=t
+            )
+            if isinstance(result, PartialResult):
+                span.note(source="partial", queries=result.queries)
+                return "partial", result
+            span.note(source="mined", queries=result.queries)
+            return "mined", {
                 "threshold": threshold,
-                "supports": supports,
-                "maximal": maximal,
-                "negative": negative,
-                "queries": 0,
+                "supports": result.supports,
+                "maximal": result.maximal,
+                "negative": result.negative_border,
+                "queries": result.queries,
             }
-        result = eclat(state.database, threshold, budget=budget)
-        if isinstance(result, PartialResult):
-            return "partial", result
-        return "mined", {
-            "threshold": threshold,
-            "supports": result.supports,
-            "maximal": result.maximal,
-            "negative": result.negative_border,
-            "queries": result.queries,
-        }
 
     def member(self, mask: int) -> dict:
         """Certified membership of ``mask`` via the border bracket."""
@@ -289,7 +330,11 @@ class ServiceCore:
     # -- mutations (WAL-first, deduped, compacting) -------------------
 
     def append(
-        self, rows: list[int], *, op_id: str | None = None
+        self,
+        rows: list[int],
+        *,
+        op_id: str | None = None,
+        tracer=None,
     ) -> tuple[int, RepairStats | None, str]:
         """Durably append transactions and repair the borders.
 
@@ -298,17 +343,25 @@ class ServiceCore:
         untouched).  ``digest`` is :meth:`digest` of the state at
         ``seq``, computed before the mutation lock is released, so it
         can be paired with ``seq`` even under concurrent writers.
+        ``tracer`` overrides the core tracer for this one mutation's
+        records (the HTTP layer's request-scoped collector).
         """
         return self._mutate(
-            "append", {"rows": [int(r) for r in rows]}, op_id
+            "append", {"rows": [int(r) for r in rows]}, op_id, tracer
         )
 
     def set_threshold(
-        self, min_support: int | float, *, op_id: str | None = None
+        self,
+        min_support: int | float,
+        *,
+        op_id: str | None = None,
+        tracer=None,
     ) -> tuple[int, RepairStats | None, str]:
         """Durably move the maintained threshold (same returns as
         :meth:`append`)."""
-        return self._mutate("threshold", {"value": min_support}, op_id)
+        return self._mutate(
+            "threshold", {"value": min_support}, op_id, tracer
+        )
 
     def _validate(self, kind: str, payload: dict[str, Any]) -> None:
         """Reject a bad operation *before* it reaches the WAL.
@@ -337,38 +390,48 @@ class ServiceCore:
                 raise ValueError("min_support must be non-negative")
 
     def _mutate(
-        self, kind: str, payload: dict[str, Any], op_id: str | None
+        self,
+        kind: str,
+        payload: dict[str, Any],
+        op_id: str | None,
+        tracer=None,
     ) -> tuple[int, RepairStats | None, str]:
+        t = self._tracer if tracer is None else as_tracer(tracer)
         with self._lock:
             if op_id is not None and op_id in self._ledger:
                 return self._ledger[op_id], None, self.digest()
             self._validate(kind, payload)
             if self._wal is not None:
-                seq = self._wal.append(
-                    kind, **payload, **({"op": op_id} if op_id else {})
-                )
+                with t.span("service.wal", kind=kind):
+                    seq = self._wal.append(
+                        kind,
+                        tracer=tracer,
+                        **payload,
+                        **({"op": op_id} if op_id else {}),
+                    )
             else:
                 seq = self._seq + 1
-            if kind == "append":
-                new_state, stats = apply_append(
-                    self._state,
-                    payload["rows"],
-                    repair_limit=self._repair_limit,
-                    tracer=self._tracer,
-                )
-            else:
-                new_state, stats = apply_threshold(
-                    self._state,
-                    payload["value"],
-                    repair_limit=self._repair_limit,
-                    tracer=self._tracer,
-                )
+            with t.span("service.apply", kind=kind):
+                if kind == "append":
+                    new_state, stats = apply_append(
+                        self._state,
+                        payload["rows"],
+                        repair_limit=self._repair_limit,
+                        tracer=t,
+                    )
+                else:
+                    new_state, stats = apply_threshold(
+                        self._state,
+                        payload["value"],
+                        repair_limit=self._repair_limit,
+                        tracer=t,
+                    )
             self._state = new_state
             self._seq = seq
             if op_id is not None:
                 self._ledger[op_id] = seq
-            if self._tracer.enabled:
-                self._tracer.event(
+            if t.enabled:
+                t.event(
                     "service.append" if kind == "append" else
                     "service.threshold",
                     seq=seq,
@@ -393,6 +456,7 @@ class ServiceCore:
         if self._dir is None or self._wal is None:
             return
         with self._lock:
+            t0 = time.perf_counter()
             checkpoint = Checkpoint(
                 algorithm="service",
                 universe_items=tuple(
@@ -403,6 +467,10 @@ class ServiceCore:
             )
             checkpoint.save(os.path.join(self._dir, SNAPSHOT_NAME))
             self._wal.reset(self._seq)
+            if self._registry is not None:
+                self._registry.histogram(
+                    "repro_compaction_seconds"
+                ).observe(time.perf_counter() - t0)
             if self._tracer.enabled:
                 self._tracer.event("service.compact", seq=self._seq)
 

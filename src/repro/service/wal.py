@@ -39,6 +39,7 @@ from __future__ import annotations
 import io
 import json
 import os
+import time
 import zlib
 from typing import Any
 
@@ -132,6 +133,11 @@ class WriteAheadLog:
             benchmarks only; the service always syncs).
         tracer: optional tracer — emits one ``wal.record`` event per
             append and a ``wal.recover`` event at open.
+        fsync_observer: optional ``callable(seconds)`` invoked with the
+            measured duration of each per-record fsync — the service
+            feeds its ``repro_wal_fsync_seconds`` histogram through
+            this, keeping the WAL itself metrics-agnostic.  Not called
+            when ``durable`` is off (there is no fsync to measure).
 
     Attributes:
         records: the durable records recovered at open (replay input).
@@ -147,6 +153,7 @@ class WriteAheadLog:
         "_durable",
         "_file",
         "_tracer",
+        "_fsync_observer",
     )
 
     def __init__(
@@ -156,10 +163,12 @@ class WriteAheadLog:
         start_seq: int = 0,
         durable: bool = True,
         tracer=None,
+        fsync_observer=None,
     ):
         self.path = os.fspath(path)
         self._durable = durable
         self._tracer = as_tracer(tracer)
+        self._fsync_observer = fsync_observer
         records, durable_bytes, torn = _scan(self.path)
         # Replay only what is newer than the snapshot; stale records
         # (<= start_seq) are already folded into the snapshot — a crash
@@ -188,12 +197,17 @@ class WriteAheadLog:
                 torn=torn is not None,
             )
 
-    def append(self, kind: str, **payload: Any) -> int:
+    def append(self, kind: str, tracer=None, **payload: Any) -> int:
         """Durably log one operation; returns its sequence number.
 
         The record is on disk (written, flushed, fsync'd) before this
         returns — the caller applies the operation only afterwards, so
         an acknowledged operation can never be lost to a crash.
+
+        ``tracer`` overrides the constructor tracer for this one
+        append's ``wal.record`` event — the service routes each HTTP
+        request's events through a per-request collector this way, so
+        no payload key may be named ``tracer``.
         """
         if self._file is None:
             raise WALError(f"{self.path}: log is closed")
@@ -210,11 +224,17 @@ class WriteAheadLog:
         self._file.write(line)
         self._file.flush()
         if self._durable:
-            os.fsync(self._file.fileno())
+            if self._fsync_observer is not None:
+                t0 = time.perf_counter()
+                os.fsync(self._file.fileno())
+                self._fsync_observer(time.perf_counter() - t0)
+            else:
+                os.fsync(self._file.fileno())
         self.last_seq = seq
         self.records_written += 1
-        if self._tracer.enabled:
-            self._tracer.event("wal.record", seq=seq, kind=kind)
+        record_tracer = self._tracer if tracer is None else tracer
+        if record_tracer.enabled:
+            record_tracer.event("wal.record", seq=seq, kind=kind)
         return seq
 
     def pending(self) -> int:

@@ -1,0 +1,223 @@
+"""Cross-process trace propagation: contexts, collectors, stitching.
+
+Covers the transport seam end to end at the unit level: capturing a
+:class:`~repro.obs.context.TraceContext` from a writer, buffering
+records in a :class:`~repro.obs.context.WorkerTraceCollector` (relative
+timestamps, local ids, drain-resets, drain-refuses-open-spans), and
+stitching drained batches back into a
+:class:`~repro.obs.jsonl.JsonlTraceWriter` (id remapping, anchoring
+under the open span, monotone timestamps, preserved worker durations)
+plus the :class:`~repro.obs.tracer.MultiTracer` and
+:class:`~repro.obs.monitor.TheoremMonitor` fan-out paths.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    JsonlTraceWriter,
+    MetricsRegistry,
+    MetricsTracer,
+    MultiTracer,
+    TheoremMonitor,
+    TraceContext,
+    WorkerTraceCollector,
+    validate_trace,
+)
+from repro.obs.context import active_collector, install_worker_collector
+
+
+class _FakeClock:
+    def __init__(self, t=100.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def _context(offset=100.0):
+    return TraceContext(
+        trace_id="t" * 32, parent_span=None, clock_offset=offset
+    )
+
+
+class TestTraceContext:
+    def test_capture_from_writer_carries_identity_and_open_span(self):
+        clock = _FakeClock()
+        writer = JsonlTraceWriter(io.StringIO(), clock=clock)
+        with writer.span("eclat.run", n=4, threshold=3):
+            context = TraceContext.capture(writer)
+            assert context.trace_id == writer.trace_id
+            assert context.parent_span == 1
+            assert context.clock_offset == 100.0
+
+    def test_capture_from_plain_tracer_mints_fresh_context(self):
+        a = TraceContext.capture(TheoremMonitor())
+        b = TraceContext.capture(TheoremMonitor())
+        assert a.trace_id != b.trace_id
+        assert a.parent_span is None
+
+    def test_capture_through_multitracer_finds_the_writer(self):
+        writer = JsonlTraceWriter(io.StringIO())
+        fanout = MultiTracer(TheoremMonitor(), writer)
+        assert TraceContext.capture(fanout).trace_id == writer.trace_id
+
+    def test_context_is_picklable(self):
+        import pickle
+
+        context = _context()
+        assert pickle.loads(pickle.dumps(context)) == context
+
+
+class TestWorkerTraceCollector:
+    def test_records_use_local_ids_and_relative_timestamps(self):
+        clock = _FakeClock(100.0)
+        collector = WorkerTraceCollector(_context(100.0), clock=clock)
+        with collector.span("worker.task", position=0) as span:
+            clock.advance(0.25)
+            collector.event("oracle.query", mask=3, answer=True, charged=True)
+            span.note(nodes=7)
+        batch = collector.drain()
+        assert [r["kind"] for r in batch] == [
+            "span_open", "event", "span_close",
+        ]
+        assert batch[0]["id"] == 1 and batch[0]["ts"] == 0.0
+        assert batch[1]["ts"] == 0.25
+        assert batch[2]["dur"] == 0.25
+        assert batch[2]["attrs"]["nodes"] == 7
+
+    def test_clock_skew_clamps_to_zero_not_negative(self):
+        clock = _FakeClock(99.0)  # behind the coordinator's zero
+        collector = WorkerTraceCollector(_context(100.0), clock=clock)
+        collector.event("worker.batch", n=1)
+        assert collector.drain()[0]["ts"] == 0.0
+
+    def test_drain_resets_ids_and_buffer(self):
+        collector = WorkerTraceCollector(_context())
+        with collector.span("worker.task", position=0):
+            pass
+        first = collector.drain()
+        with collector.span("worker.task", position=1):
+            pass
+        second = collector.drain()
+        assert first[0]["id"] == 1 and second[0]["id"] == 1
+        assert len(collector) == 0
+
+    def test_drain_refuses_open_spans(self):
+        collector = WorkerTraceCollector(_context())
+        span = collector.span("worker.task", position=0)
+        with pytest.raises(ValueError, match="still"):
+            collector.drain()
+        span.__exit__(None, None, None)
+        assert len(collector.drain()) == 2
+
+    def test_install_and_active_collector_roundtrip(self):
+        try:
+            install_worker_collector(_context())
+            assert isinstance(active_collector(), WorkerTraceCollector)
+            install_worker_collector(None)
+            assert active_collector() is None
+        finally:
+            install_worker_collector(None)
+
+
+def _drained_batch(context, *, events=1):
+    collector = WorkerTraceCollector(context, clock=_FakeClock(100.5))
+    with collector.span("worker.task", position=0, worker=1234):
+        for i in range(events):
+            collector.event(
+                "oracle.query", mask=i, answer=True, charged=True
+            )
+    return collector.drain()
+
+
+class TestJsonlStitch:
+    def test_stitch_remaps_ids_and_anchors_under_open_span(self):
+        clock = _FakeClock()
+        sink = io.StringIO()
+        writer = JsonlTraceWriter(sink, clock=clock)
+        with writer.span("eclat.run", n=4, threshold=2):
+            clock.advance(1.0)
+            writer.stitch(_drained_batch(writer.trace_context()))
+        records = [
+            json.loads(line) for line in sink.getvalue().splitlines()
+        ]
+        assert validate_trace(records) == []
+        opened = [r for r in records if r["kind"] == "span_open"]
+        # The remote span got a fresh id in this writer's sequence and
+        # the open eclat.run span as its parent.
+        assert opened[1]["name"] == "worker.task"
+        assert opened[1]["id"] == 2
+        assert opened[1]["parent"] == 1
+
+    def test_stitch_restamps_ts_but_preserves_worker_dur(self):
+        clock = _FakeClock()
+        sink = io.StringIO()
+        writer = JsonlTraceWriter(sink, clock=clock)
+        batch = _drained_batch(writer.trace_context())
+        worker_dur = batch[-1]["dur"]
+        clock.advance(5.0)
+        writer.stitch(batch)
+        records = [
+            json.loads(line) for line in sink.getvalue().splitlines()
+        ]
+        closes = [r for r in records if r["kind"] == "span_close"]
+        assert closes[0]["ts"] == 5.0  # coordinator clock, not worker's
+        assert closes[0]["dur"] == worker_dur
+        timestamps = [r["ts"] for r in records]
+        assert timestamps == sorted(timestamps)
+
+    def test_stitch_drops_close_without_matching_open(self):
+        sink = io.StringIO()
+        writer = JsonlTraceWriter(sink)
+        writer.stitch(
+            [{"kind": "span_close", "name": "worker.task", "id": 9,
+              "dur": 0.1, "ts": 0.0}]
+        )
+        assert sink.getvalue() == ""
+
+    def test_sequential_stitches_yield_distinct_ids(self):
+        sink = io.StringIO()
+        writer = JsonlTraceWriter(sink)
+        context = writer.trace_context()
+        writer.stitch(_drained_batch(context))
+        writer.stitch(_drained_batch(context))
+        records = [
+            json.loads(line) for line in sink.getvalue().splitlines()
+        ]
+        assert validate_trace(records) == []
+        ids = [r["id"] for r in records if r["kind"] == "span_open"]
+        assert len(set(ids)) == len(ids) == 2
+
+
+class TestFanoutStitch:
+    def test_multitracer_stitch_reaches_every_child(self):
+        sink = io.StringIO()
+        writer = JsonlTraceWriter(sink)
+        registry = MetricsRegistry()
+        fanout = MultiTracer(writer, MetricsTracer(registry))
+        fanout.stitch(_drained_batch(writer.trace_context(), events=3))
+        assert sink.getvalue().count("\n") == 5
+        assert registry.counter("events.oracle.query").value == 3
+
+    def test_metrics_stitch_folds_span_durations(self):
+        registry = MetricsRegistry()
+        MetricsTracer(registry).stitch(
+            _drained_batch(_context(), events=0)
+        )
+        histogram = registry.histogram("span.worker.task.seconds")
+        assert histogram.count == 1
+
+    def test_monitor_stitch_feeds_the_live_checks(self):
+        monitor = TheoremMonitor()
+        monitor.stitch(_drained_batch(_context(), events=2))
+        # No *.done accounting events in the batch — nothing to certify,
+        # but the records were accepted without error.
+        assert monitor.report().ok

@@ -1,0 +1,136 @@
+"""Metric primitives and the Prometheus text exposition renderer.
+
+The registry half (counters/gauges/histograms feeding the CLI summary
+table) has coverage in test_obs_tracer.py; this file covers what PR 8
+added on top: NaN rejection at the sample boundary, the ``labelled``
+key convention, and :func:`~repro.obs.metrics.render_prometheus` —
+family headers, cumulative buckets, label merging, and the numeric
+formatting scrapers require.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    labelled,
+    render_prometheus,
+)
+
+
+class TestNaNGuards:
+    def test_gauge_rejects_nan(self):
+        gauge = Gauge("repro_admission_active")
+        gauge.set(2.0)
+        with pytest.raises(ValueError, match="NaN"):
+            gauge.set(float("nan"))
+        # The poison sample left no trace: min/max/value are intact.
+        assert (gauge.value, gauge.min, gauge.max, gauge.samples) == (
+            2.0, 2.0, 2.0, 1,
+        )
+
+    def test_histogram_rejects_nan(self):
+        histogram = Histogram("repro_request_seconds", boundaries=(1.0,))
+        histogram.observe(0.5)
+        with pytest.raises(ValueError, match="NaN"):
+            histogram.observe(math.nan)
+        assert histogram.count == 1
+        assert histogram.sum == 0.5
+        assert histogram.buckets == [1, 0]
+
+    def test_infinities_are_still_legal_gauge_samples(self):
+        gauge = Gauge("g")
+        gauge.set(float("inf"))
+        assert gauge.value == float("inf")
+
+
+class TestLabelled:
+    def test_plain_name_passes_through(self):
+        assert labelled("repro_requests_total") == "repro_requests_total"
+
+    def test_labels_are_sorted_for_one_canonical_spelling(self):
+        a = labelled("m", status="200", endpoint="/mine")
+        b = labelled("m", endpoint="/mine", status="200")
+        assert a == b == 'm{endpoint="/mine",status="200"}'
+
+    def test_label_values_are_escaped(self):
+        key = labelled("m", path='a"b\\c\nd')
+        assert key == 'm{path="a\\"b\\\\c\\nd"}'
+
+
+class TestRenderPrometheus:
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_counters_and_gauges_with_shared_type_header(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            labelled("repro_requests_total", endpoint="/mine")
+        ).inc(3)
+        registry.counter(
+            labelled("repro_requests_total", endpoint="/health")
+        ).inc()
+        registry.gauge("repro_service_seq").set(7)
+        text = render_prometheus(registry)
+        lines = text.splitlines()
+        assert text.endswith("\n")
+        assert (
+            lines.count("# TYPE repro_requests_total counter") == 1
+        ), "one TYPE header per family, not per labelled sample"
+        assert 'repro_requests_total{endpoint="/mine"} 3' in lines
+        assert 'repro_requests_total{endpoint="/health"} 1' in lines
+        assert "# TYPE repro_service_seq gauge" in lines
+        assert "repro_service_seq 7" in lines
+
+    def test_unset_gauges_are_skipped(self):
+        registry = MetricsRegistry()
+        registry.gauge("never_sampled")
+        assert render_prometheus(registry) == ""
+
+    def test_histogram_buckets_are_cumulative_and_end_at_inf(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "repro_wal_fsync_seconds", boundaries=(0.01, 0.1, 1.0)
+        )
+        for value in (0.005, 0.05, 0.05, 50.0):
+            histogram.observe(value)
+        lines = render_prometheus(registry).splitlines()
+        assert "# TYPE repro_wal_fsync_seconds histogram" in lines
+        assert 'repro_wal_fsync_seconds_bucket{le="0.01"} 1' in lines
+        assert 'repro_wal_fsync_seconds_bucket{le="0.1"} 3' in lines
+        assert 'repro_wal_fsync_seconds_bucket{le="1"} 3' in lines
+        assert 'repro_wal_fsync_seconds_bucket{le="+Inf"} 4' in lines
+        assert "repro_wal_fsync_seconds_sum 50.105" in lines
+        assert "repro_wal_fsync_seconds_count 4" in lines
+
+    def test_labelled_histogram_merges_le_into_label_body(self):
+        registry = MetricsRegistry()
+        registry.histogram(
+            labelled("repro_request_seconds", endpoint="/mine"),
+            boundaries=(0.5,),
+        ).observe(0.1)
+        lines = render_prometheus(registry).splitlines()
+        assert (
+            'repro_request_seconds_bucket{endpoint="/mine",le="0.5"} 1'
+            in lines
+        )
+        assert (
+            'repro_request_seconds_bucket{endpoint="/mine",le="+Inf"} 1'
+            in lines
+        )
+        assert 'repro_request_seconds_count{endpoint="/mine"} 1' in lines
+
+    def test_integral_floats_render_without_decimal_point(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(4.0)
+        assert "g 4\n" in render_prometheus(registry)
+
+    def test_counter_rejects_negative_delta(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="gauge"):
+            registry.counter("c").inc(-1)

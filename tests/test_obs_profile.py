@@ -1,0 +1,120 @@
+"""The sampling profiler: lifecycle, folded-stack output, determinism.
+
+Timing-sensitive assertions use the synchronous ``sample_now`` hook
+rather than the timer thread, so the suite does not depend on scheduler
+behavior; one lifecycle test does start the real thread and only checks
+it can be stopped and restarted.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import SamplingProfiler
+
+
+class TestLifecycle:
+    def test_rejects_non_positive_rate(self):
+        with pytest.raises(ValueError, match="hz"):
+            SamplingProfiler(hz=0)
+        with pytest.raises(ValueError, match="hz"):
+            SamplingProfiler(hz=-5)
+
+    def test_double_start_is_an_error(self):
+        profiler = SamplingProfiler()
+        profiler.start()
+        try:
+            with pytest.raises(ValueError, match="already running"):
+                profiler.start()
+        finally:
+            profiler.stop()
+
+    def test_stop_is_idempotent_and_restart_accumulates(self):
+        profiler = SamplingProfiler(hz=200)
+        profiler.start()
+        time.sleep(0.05)
+        profiler.stop()
+        profiler.stop()  # no-op, not an error
+        first = profiler.total_samples
+        assert first > 0, "200 Hz for 50 ms should have sampled"
+        profiler.start()
+        time.sleep(0.05)
+        profiler.stop()
+        assert profiler.total_samples > first
+
+    def test_context_manager_stops_even_when_body_raises(self):
+        profiler = SamplingProfiler()
+        with pytest.raises(RuntimeError):
+            with profiler:
+                assert "running" in repr(profiler)
+                raise RuntimeError("boom")
+        assert "stopped" in repr(profiler)
+
+
+def _busy_wait(barrier, release):
+    barrier.set()
+    while not release.is_set():
+        pass
+
+
+class TestFoldedOutput:
+    def test_sample_now_folds_this_very_stack(self):
+        profiler = SamplingProfiler()
+        profiler.sample_now()
+        folded = profiler.folded()
+        assert profiler.total_samples == 1
+        # The sampling thread is this test's thread; its stack must
+        # contain this test function, rendered basename:function.
+        assert "test_obs_profile.py:test_sample_now_folds_this_very_stack" in folded
+        assert folded.endswith("\n")
+
+    def test_stacks_are_rooted_at_the_thread_name(self):
+        barrier, release = threading.Event(), threading.Event()
+        worker = threading.Thread(
+            target=_busy_wait, args=(barrier, release),
+            name="busy-worker", daemon=True,
+        )
+        worker.start()
+        barrier.wait(timeout=5)
+        try:
+            profiler = SamplingProfiler()
+            profiler.sample_now()
+        finally:
+            release.set()
+            worker.join(timeout=5)
+        stacks = [
+            line.rsplit(" ", 1)[0]
+            for line in profiler.folded().splitlines()
+        ]
+        roots = {stack.split(";", 1)[0] for stack in stacks}
+        assert "busy-worker" in roots
+        assert any(
+            stack.startswith("busy-worker;")
+            and "test_obs_profile.py:_busy_wait" in stack
+            for stack in stacks
+        )
+
+    def test_folded_is_deterministically_sorted(self):
+        profiler = SamplingProfiler()
+        profiler._counts.update(
+            {"main;a.py:f": 2, "main;b.py:g": 5, "main;a.py:e": 2}
+        )
+        assert profiler.folded().splitlines() == [
+            "main;b.py:g 5",
+            "main;a.py:e 2",
+            "main;a.py:f 2",
+        ]
+
+    def test_write_reports_stack_count(self, tmp_path):
+        profiler = SamplingProfiler()
+        profiler.sample_now()
+        path = tmp_path / "profile.folded"
+        stacks = profiler.write(path)
+        content = path.read_text()
+        assert stacks == len(content.splitlines()) > 0
+        for line in content.splitlines():
+            stack, _, count = line.rpartition(" ")
+            assert stack and int(count) >= 1

@@ -416,3 +416,110 @@ class TestCrashArtifactsAndRotation:
         owned.close()
         with pytest.raises(ValueError, match="closed"):
             owned.rotate(str(tmp_path / "z.jsonl"))
+
+
+class _Grenade(Tracer):
+    """A tracer whose every method raises — the worst possible sibling."""
+
+    def event(self, name, **attrs):
+        raise RuntimeError("event boom")
+
+    def span(self, name, **attrs):
+        raise RuntimeError("span boom")
+
+    def counter(self, name, delta=1, **attrs):
+        raise RuntimeError("counter boom")
+
+    def gauge(self, name, value, **attrs):
+        raise RuntimeError("gauge boom")
+
+    def stitch(self, records):
+        raise RuntimeError("stitch boom")
+
+
+class _GrenadeSpan:
+    def note(self, **attrs):
+        raise RuntimeError("note boom")
+
+    def __enter__(self):
+        raise RuntimeError("enter boom")
+
+    def __exit__(self, exc_type, exc, tb):
+        raise RuntimeError("exit boom")
+
+
+class _SpanGrenade(Tracer):
+    """Opens spans fine; every span method then raises."""
+
+    def span(self, name, **attrs):
+        return _GrenadeSpan()
+
+
+class TestMultiTracerIsolation:
+    """Regression: one raising child must never starve its siblings.
+
+    The ordering matters — the crashing child is registered *first*, so
+    a fan-out that stops at the first exception would drop the record
+    for everyone after it.
+    """
+
+    def test_event_counter_gauge_reach_later_children(self):
+        recorder = _Recorder()
+        fanout = MultiTracer(_Grenade(), recorder)
+        fanout.event("eclat.node", prefix=1, tail=2, kind="closed")
+        fanout.counter("queries", 3)
+        fanout.gauge("depth", 4)
+        assert ("event", "eclat.node",
+                {"prefix": 1, "tail": 2, "kind": "closed"}) in recorder.records
+        assert ("counter", "queries", 3) in recorder.records
+        assert ("gauge", "depth", 4) in recorder.records
+
+    def test_span_open_close_survive_a_crashing_sibling(self):
+        recorder = _Recorder()
+        fanout = MultiTracer(_Grenade(), recorder)
+        with fanout.span("eclat.run", n=4, threshold=2) as span:
+            span.note(nodes=9)
+        kinds = [(kind, name) for kind, name, *_ in recorder.records]
+        assert kinds == [
+            ("span_open", "eclat.run"), ("span_close", "eclat.run")
+        ]
+        close_attrs = recorder.records[-1][2]
+        assert close_attrs["nodes"] == 9, "note was lost behind the crash"
+
+    def test_span_methods_isolate_too(self):
+        recorder = _Recorder()
+        fanout = MultiTracer(_SpanGrenade(), recorder)
+        with fanout.span("worker.task", position=0) as span:
+            span.note(stolen=True)
+        assert recorder.records[-1][2]["stolen"] is True
+
+    def test_stitch_reaches_later_children(self):
+        recorder = _Recorder()
+        seen = []
+
+        class _StitchRecorder(Tracer):
+            def stitch(self, records):
+                seen.append(list(records))
+
+        batch = [{"kind": "event", "name": "worker.batch", "ts": 0.0,
+                  "attrs": {"n": 1}}]
+        MultiTracer(_Grenade(), _StitchRecorder(), recorder).stitch(batch)
+        assert seen == [batch]
+
+    def test_instrumented_code_never_sees_the_exception(self):
+        fanout = MultiTracer(_Grenade())
+        fanout.event("anything")  # must not raise
+        with fanout.span("region"):
+            pass
+
+    def test_durable_writer_stays_valid_next_to_a_grenade(self):
+        sink = io.StringIO()
+        writer = JsonlTraceWriter(sink)
+        fanout = MultiTracer(_Grenade(), writer, _SpanGrenade())
+        with fanout.span("eclat.run", n=3, threshold=1):
+            fanout.event("eclat.node", prefix=0, tail=1, kind="open")
+        records = [json.loads(line) for line in sink.getvalue().splitlines()]
+        assert validate_trace(records) == []
+        assert [r["kind"] for r in records] == [
+            "span_open", "event", "span_close"
+        ]

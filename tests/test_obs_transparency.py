@@ -124,3 +124,84 @@ class TestTracingTransparency:
         assert report.ok, report.violations
         assert report.certified("theorem10")
         assert report.certified("trace_accounting")
+
+
+class TestParallelTracingTransparency:
+    """The cross-process plane is transparent too: worker-side
+    collectors buffer and ship their records, but the mined theory and
+    the query accounting stay bit-identical to an untraced run."""
+
+    def _database(self):
+        from repro.datasets.synthetic import (
+            QuestParameters,
+            generate_quest_database,
+        )
+
+        return generate_quest_database(
+            QuestParameters(
+                n_items=16,
+                n_transactions=200,
+                avg_transaction_length=5,
+                avg_pattern_length=3,
+            ),
+            seed=13,
+        )
+
+    def test_parallel_eclat_bit_identical_with_worker_collection(self):
+        from repro.parallel.eclat import eclat_parallel
+
+        database = self._database()
+        plain = eclat_parallel(
+            database, 10, workers=2, memory="pickle"
+        )
+        sink = io.StringIO()
+        writer = JsonlTraceWriter(sink)
+        traced = eclat_parallel(
+            database, 10, workers=2, memory="pickle",
+            tracer=MultiTracer(writer, TheoremMonitor()),
+        )
+        assert traced.maximal == plain.maximal
+        assert traced.negative_border == plain.negative_border
+        assert traced.supports == plain.supports
+        assert traced.queries == plain.queries
+        assert traced.nodes == plain.nodes
+        # The stitched stream really carries worker-side records.
+        names = {
+            line.split('"name": "', 1)[1].split('"', 1)[0]
+            for line in sink.getvalue().splitlines()
+            if '"name": "' in line
+        }
+        assert "worker.task" in names, f"no worker spans in {sorted(names)}"
+
+
+class TestServiceTracingTransparency:
+    """Request-scoped service tracing never changes a response."""
+
+    def _cores(self):
+        from repro.service.state import ServiceCore
+        from repro.util.bitset import Universe
+        from repro.datasets.transactions import TransactionDatabase
+
+        universe = Universe(range(6))
+        rows = [0b000111, 0b001110, 0b011100, 0b111000, 0b000111,
+                0b001110, 0b110001, 0b101010]
+        database = TransactionDatabase(universe, rows)
+        plain = ServiceCore(database, 2)
+        traced = ServiceCore(
+            database, 2, tracer=_full_stack(), registry=MetricsRegistry()
+        )
+        return plain, traced
+
+    def test_mine_append_threshold_identical(self):
+        plain, traced = self._cores()
+        try:
+            assert traced.mine() == plain.mine()
+            assert traced.mine(min_support=1) == plain.mine(min_support=1)
+            new_rows = [0b010101, 0b101010]
+            assert traced.append(new_rows) == plain.append(new_rows)
+            assert traced.set_threshold(3) == plain.set_threshold(3)
+            assert traced.mine() == plain.mine()
+            assert traced.digest() == plain.digest()
+        finally:
+            plain.close()
+            traced.close()

@@ -283,28 +283,34 @@ class TestPoolCrashHook:
 # -- HTTP end to end ----------------------------------------------------
 
 
-def _request(port, path, body=None):
+def _decode(headers, raw):
+    if "application/json" in (headers.get("Content-Type") or ""):
+        return json.loads(raw)
+    return raw.decode("utf-8")
+
+
+def _request(port, path, body=None, headers=None):
     url = f"http://127.0.0.1:{port}{path}"
     if body is not None:
         request = urllib.request.Request(
             url,
             data=json.dumps(body).encode(),
-            headers={"Content-Type": "application/json"},
+            headers={"Content-Type": "application/json", **(headers or {})},
             method="POST",
         )
     else:
-        request = url
+        request = urllib.request.Request(url, headers=headers or {})
     try:
         with urllib.request.urlopen(request, timeout=10) as response:
             return (
                 response.status,
-                json.loads(response.read()),
+                _decode(response.headers, response.read()),
                 dict(response.headers),
             )
     except urllib.error.HTTPError as error:
         return (
             error.code,
-            json.loads(error.read()),
+            _decode(error.headers, error.read()),
             dict(error.headers),
         )
 
@@ -444,10 +450,40 @@ class TestHTTPEndpoints:
         assert payload["seq"] == 1
 
     def test_metrics_include_admission_snapshot(self, server):
-        status, payload, _ = _request(server.port, "/metrics")
+        status, payload, _ = _request(
+            server.port, "/metrics", headers={"Accept": "application/json"}
+        )
         assert status == 200
         assert payload["n_transactions"] == 6
         assert payload["admission"]["max_concurrent"] == 2
+
+    def test_metrics_default_is_prometheus_text(self, server):
+        status, body, headers = _request(server.port, "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert "version=0.0.4" in headers["Content-Type"]
+        assert isinstance(body, str)
+        assert "# TYPE repro_service_seq gauge" in body
+        assert "repro_admission_active 0" in body
+        assert body.endswith("\n")
+
+    def test_request_id_echoed_and_minted(self, server):
+        _, _, headers = _request(
+            server.port, "/health", headers={"X-Request-Id": "abc-123"}
+        )
+        assert headers["X-Request-Id"] == "abc-123"
+        _, _, headers = _request(server.port, "/health")
+        assert len(headers["X-Request-Id"]) == 16
+
+    def test_request_latency_histograms_always_on(self, server):
+        _request(server.port, "/mine")
+        _request(server.port, "/health")
+        status, body, _ = _request(server.port, "/metrics")
+        assert status == 200
+        assert 'repro_request_seconds_count{endpoint="/mine"} 1' in body
+        assert (
+            'repro_requests_total{endpoint="/mine",status="200"} 1' in body
+        )
 
     def test_saturation_is_503_with_retry_after(self, server):
         gate = server.admission

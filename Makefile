@@ -2,7 +2,8 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test perf perf-check lint bench faults trace-smoke par-smoke \
-	eclat-smoke steal-smoke serve-smoke obs-smoke chaos coverage
+	eclat-smoke mmcs-smoke steal-smoke serve-smoke obs-smoke chaos \
+	coverage
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -31,6 +32,9 @@ perf-check:
 	$(eval BENCH_PR8_OUT := $(shell mktemp /tmp/bench_pr8.XXXXXX.json))
 	$(PYTHON) -m benchmarks.bench_obs --output $(BENCH_PR8_OUT)
 	$(PYTHON) -m benchmarks.check_regression $(BENCH_PR8_OUT)
+	$(eval BENCH_PR9_OUT := $(shell mktemp /tmp/bench_pr9.XXXXXX.json))
+	$(PYTHON) -m benchmarks.bench_transversals --output $(BENCH_PR9_OUT)
+	$(PYTHON) -m benchmarks.check_regression $(BENCH_PR9_OUT)
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q
@@ -76,6 +80,27 @@ eclat-smoke:
 		--engine eclat --workers 2
 	$(PYTHON) -m benchmarks.trace_report $(ECLAT_DIR)/smoke.jsonl --validate
 	rm -rf $(ECLAT_DIR)
+
+# Transversal-core smoke: a dualize-and-advance mine through the MMCS
+# engine, the transversal CLI over --method mmcs (traced) and rs, the
+# same family through the depth-2 work-stealing driver at --workers 2
+# (bit-identical by construction), then offline schema validation of
+# the mmcs trace (the theorem-monitor verdict prints via --metrics).
+mmcs-smoke:
+	$(eval MMCS_DIR := $(shell mktemp -d /tmp/mmcs_smoke.XXXXXX))
+	$(PYTHON) -m repro generate $(MMCS_DIR)/smoke.dat \
+		--items 14 --transactions 150 --seed 7
+	$(PYTHON) -m repro mine $(MMCS_DIR)/smoke.dat --min-support 0.25 \
+		--algorithm dualize_advance --engine mmcs
+	$(PYTHON) -m repro transversals \
+		--edges "0 1, 1 2, 2 3, 0 3, 1 4, 3 4" --method mmcs \
+		--trace $(MMCS_DIR)/mmcs.jsonl --metrics
+	$(PYTHON) -m repro transversals \
+		--edges "0 1, 1 2, 2 3, 0 3, 1 4, 3 4" --method rs
+	$(PYTHON) -m repro transversals \
+		--edges "0 1, 1 2, 2 3, 0 3, 1 4, 3 4" --method mmcs --workers 2
+	$(PYTHON) -m benchmarks.trace_report $(MMCS_DIR)/mmcs.jsonl --validate
+	rm -rf $(MMCS_DIR)
 
 # Work-stealing + shared-memory smoke: the steal determinism suite at
 # 2 workers, a CLI mine through each --memory transport (identical

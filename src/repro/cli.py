@@ -102,11 +102,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     mine.add_argument(
         "--engine",
-        choices=("berge", "fk", "eclat"),
+        choices=("berge", "fk", "mmcs", "eclat"),
         default="berge",
-        help="transversal engine for --algorithm dualize_advance; "
-        "'eclat' instead selects the depth-first vertical miner "
-        "(shorthand for --algorithm eclat)",
+        help="transversal engine for --algorithm dualize_advance "
+        "('mmcs' materializes the family with the MMCS branch-and-bound "
+        "enumerator); 'eclat' instead selects the depth-first vertical "
+        "miner (shorthand for --algorithm eclat)",
     )
     mine.add_argument(
         "--budget-queries",
@@ -176,7 +177,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     transversals.add_argument(
         "--method",
-        choices=("berge", "fk", "levelwise", "dfs", "brute"),
+        choices=("berge", "fk", "mmcs", "rs", "levelwise", "dfs", "brute"),
         default="berge",
     )
     transversals.add_argument(
@@ -184,7 +185,8 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         metavar="SECONDS",
-        help="wall-clock deadline (berge/fk only; partial family, exit 3)",
+        help="wall-clock deadline (berge/fk/mmcs/rs only; partial "
+        "family, exit 3)",
     )
     transversals.add_argument(
         "--max-family",
@@ -192,15 +194,16 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="largest intermediate transversal family allowed "
-        "(berge/fk only)",
+        "(berge/fk/mmcs/rs only)",
     )
     transversals.add_argument(
         "--workers",
         type=int,
         default=1,
         metavar="N",
-        help="worker processes for the chunk-parallel minimality filter "
-        "(--method berge; results are bit-identical to serial)",
+        help="worker processes: chunk-parallel minimality filter for "
+        "--method berge, work-stolen depth-2 subtrees for "
+        "--method mmcs/rs (results are bit-identical to serial)",
     )
     _add_observability_flags(transversals)
 

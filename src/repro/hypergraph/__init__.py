@@ -17,6 +17,12 @@ Engines provided:
 * :mod:`repro.hypergraph.levelwise_transversal` — the paper's new special
   case (Corollary 15): input-polynomial transversals when every edge has
   at least ``n - k`` vertices with ``k = O(log n)``.
+* :mod:`repro.hypergraph.mmcs` — the MMCS/RS branch-and-bound
+  enumerators (arXiv:1805.01310), the practical engines at
+  data-profiling scale (PR 9).
+* :mod:`repro.hypergraph.duality` — the oracle-free Gottlob–Malizia
+  style duality *decision* procedure (arXiv:1212.1881), a fast path
+  that skips Fredman–Khachiyan witness generation.
 """
 
 from repro.hypergraph.certification import (
@@ -37,6 +43,12 @@ from repro.hypergraph.fredman_khachiyan import (
 from repro.hypergraph.dfs_enumeration import (
     dfs_transversal_masks,
     iter_minimal_transversals_dfs,
+)
+from repro.hypergraph.duality import DUALITY_METHODS, decide_duality
+from repro.hypergraph.mmcs import (
+    MMCS_VARIANTS,
+    mmcs_transversal_masks,
+    rs_transversal_masks,
 )
 from repro.hypergraph.enumeration import (
     brute_force_transversal_masks,
@@ -65,6 +77,11 @@ __all__ = [
     "DualityWitness",
     "check_duality",
     "find_new_minimal_transversal",
+    "DUALITY_METHODS",
+    "decide_duality",
+    "MMCS_VARIANTS",
+    "mmcs_transversal_masks",
+    "rs_transversal_masks",
     "brute_force_transversal_masks",
     "dfs_transversal_masks",
     "iter_minimal_transversals",

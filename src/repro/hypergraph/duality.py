@@ -1,0 +1,254 @@
+"""Oracle-free monotone-duality *decision* (Gottlob–Malizia style).
+
+Fredman–Khachiyan's test (:mod:`repro.hypergraph.fredman_khachiyan`)
+answers duality *and* manufactures a witness assignment when the answer
+is no — the witness is what incremental enumeration spends it on.  But
+much of what :func:`~repro.mining.dualize_advance.dualize_and_advance`
+pays for is the other answer: "not dual yet, keep going", asked once
+per emitted transversal, where the witness machinery is pure overhead
+until the very last call.  Gottlob & Malizia (arXiv:1212.1881) showed
+the *decision* problem sits in quadratic logspace — structurally easier
+than witness search — and this module reproduces that split as a
+practical fast path: :func:`decide_duality` answers yes/no only,
+leaning on a battery of quadratic-time screens that resolve most
+non-dual instances without touching the recursion at all.
+
+The screens are classical necessary conditions on a dual pair of
+minimized monotone DNFs ``(f, g)``:
+
+* **intersection** — every ``f``-term meets every ``g``-term (a
+  disjoint pair yields a "both true" assignment);
+* **variables** — non-constant minimized duals use exactly the same
+  variable set (every vertex of a simple hypergraph appears in some
+  minimal transversal, and Tr introduces none);
+* **term size** — each ``g``-term is a minimal transversal of ``f``
+  and therefore has at most ``|f|`` vertices (one critical edge each),
+  and symmetrically;
+* **coverage** — Fredman–Khachiyan's counting lemma:
+  ``Σ_{T∈f} 2^{-|T|} + Σ_{T∈g} 2^{-|T|} ≥ 1``, because duality
+  partitions the assignment cube between ``f(a)`` and ``g(V∖a)`` and
+  each term covers a ``2^{-|T|}`` fraction.  Computed exactly in
+  scaled integer arithmetic — no floats.
+
+What remains is a decision-only FK split recursion (no witness
+lifting, no assignment bookkeeping) with the coverage screen re-applied
+at every node: subproblems of a dual pair are dual, so coverage is a
+sound prune everywhere, and it is what collapses the deep non-dual
+subtrees the witness-producing recursion must descend.
+
+``method="fk"`` delegates to :func:`check_duality` and discards the
+witness — the reference semantics the property suite pins ``"gm"``
+against.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.hypergraph.fredman_khachiyan import (
+    _most_frequent_variable,
+    check_duality,
+)
+from repro.hypergraph.hypergraph import minimize_family
+from repro.obs.tracer import NULL_TRACER, as_tracer
+from repro.util.antichain import merge_antichains
+from repro.util.bitset import popcount
+
+__all__ = ["decide_duality", "DUALITY_METHODS"]
+
+DUALITY_METHODS = ("gm", "fk")
+
+
+def _covers(f_terms: Sequence[int], g_terms: Sequence[int]) -> bool:
+    """Exact check of ``Σ 2^{-|T|} ≥ 1`` over both families.
+
+    Scaled to integers by the largest term size, so the comparison is
+    exact at any width (terms are arbitrary-precision masks).
+    """
+    scale = 0
+    for term in f_terms:
+        scale = max(scale, popcount(term))
+    for term in g_terms:
+        scale = max(scale, popcount(term))
+    total = 0
+    for term in f_terms:
+        total += 1 << (scale - popcount(term))
+    for term in g_terms:
+        total += 1 << (scale - popcount(term))
+    return total >= 1 << scale
+
+
+def _decide_recursive(
+    f_terms: list[int],
+    g_terms: list[int],
+    variables_mask: int,
+    budget,
+    tracer,
+    depth: int,
+) -> bool:
+    """Decision-only FK split with the coverage prune at every node."""
+    if budget is not None:
+        budget.check(family=len(f_terms) + len(g_terms))
+    if tracer.enabled:
+        tracer.event(
+            "duality.node",
+            depth=depth,
+            f_terms=len(f_terms),
+            g_terms=len(g_terms),
+        )
+    # Constant cases, mirrored from the FK recursion (witness dropped).
+    if not f_terms:
+        return g_terms == [0]
+    if f_terms == [0]:
+        return not g_terms
+    if not g_terms or g_terms == [0]:
+        return False
+    # Sound at every node: subproblems of a dual pair are dual, and
+    # every dual pair satisfies the coverage inequality.
+    if not _covers(f_terms, g_terms):
+        return False
+
+    x = 1 << _most_frequent_variable(f_terms, g_terms)
+    remaining = variables_mask & ~x
+    f1 = [term & ~x for term in f_terms if term & x]
+    f0 = [term for term in f_terms if not term & x]
+    g1 = [term & ~x for term in g_terms if term & x]
+    g0 = [term for term in g_terms if not term & x]
+    return _decide_recursive(
+        f0,
+        merge_antichains(g0, g1),
+        remaining,
+        budget,
+        tracer,
+        depth + 1,
+    ) and _decide_recursive(
+        merge_antichains(f0, f1),
+        g0,
+        remaining,
+        budget,
+        tracer,
+        depth + 1,
+    )
+
+
+def _screened_decide(
+    f_terms: list[int],
+    g_terms: list[int],
+    variables_mask: int,
+    budget,
+    tracer,
+) -> tuple[bool, str | None]:
+    """Run the quadratic screens, then the pruned decision recursion.
+
+    Returns ``(verdict, screen)`` where ``screen`` names the screen
+    that settled a non-dual verdict (``None`` when the recursion had
+    to decide).
+    """
+    # Constant inputs go straight to the recursion's base cases — the
+    # non-constant screens below would mis-fire on them.
+    constant = (
+        not f_terms or f_terms == [0] or not g_terms or g_terms == [0]
+    )
+    if not constant:
+        f_vars = 0
+        g_vars = 0
+        for term in f_terms:
+            f_vars |= term
+        for term in g_terms:
+            g_vars |= term
+        if f_vars != g_vars:
+            return False, "variables"
+        f_size = len(f_terms)
+        g_size = len(g_terms)
+        if any(popcount(term) > g_size for term in f_terms) or any(
+            popcount(term) > f_size for term in g_terms
+        ):
+            return False, "term_size"
+        for f_term in f_terms:
+            for g_term in g_terms:
+                if f_term & g_term == 0:
+                    return False, "intersection"
+        if not _covers(f_terms, g_terms):
+            return False, "coverage"
+    return (
+        _decide_recursive(
+            f_terms, g_terms, variables_mask, budget, tracer, 0
+        ),
+        None,
+    )
+
+
+def decide_duality(
+    f_terms: Sequence[int],
+    g_terms: Sequence[int],
+    variables_mask: int,
+    method: str = "gm",
+    budget=None,
+    tracer=None,
+) -> bool:
+    """Decide whether ``g = f^d`` over ``variables_mask`` — yes/no only.
+
+    Args:
+        f_terms: term masks of ``f`` (minimized internally).
+        g_terms: term masks of ``g``.
+        variables_mask: the variable universe; terms must be subsets.
+        method: ``"gm"`` (default) — quadratic screens plus a
+            decision-only pruned FK split, never building a witness —
+            or ``"fk"`` — delegate to :func:`check_duality` and report
+            ``witness is None`` (the reference semantics).
+        budget: optional :class:`~repro.runtime.budget.Budget`; checked
+            per recursion node exactly like the FK test (wall clock
+            plus live sub-DNF size).
+        tracer: optional tracer — a ``duality.check`` span wraps the
+            decision; when a screen settles it, one ``duality.screen``
+            event names the screen; otherwise ``duality.node`` events
+            chart the pruned recursion.  The span closes with a
+            ``dual=`` note either way.
+
+    Returns:
+        ``True`` iff the two DNFs are dual.  Agreement with
+        ``check_duality(...) is None`` is property-tested, witness
+        cases included.
+    """
+    if method not in DUALITY_METHODS:
+        raise ValueError(
+            f"unknown method {method!r}; expected one of {DUALITY_METHODS}"
+        )
+    f_minimized = minimize_family(f_terms)
+    g_minimized = minimize_family(g_terms)
+    for term in (*f_minimized, *g_minimized):
+        if term & ~variables_mask:
+            raise ValueError("term uses variables outside variables_mask")
+    tracer = as_tracer(tracer)
+    with tracer.span(
+        "duality.check",
+        f_terms=len(f_minimized),
+        g_terms=len(g_minimized),
+        method=method,
+    ) as check_span:
+        if method == "fk":
+            dual = (
+                check_duality(
+                    f_minimized,
+                    g_minimized,
+                    variables_mask,
+                    budget=budget,
+                    tracer=tracer,
+                )
+                is None
+            )
+            if tracer.enabled:
+                check_span.note(dual=dual)
+            return dual
+        dual, screen = _screened_decide(
+            f_minimized,
+            g_minimized,
+            variables_mask,
+            budget,
+            tracer if tracer.enabled else NULL_TRACER,
+        )
+        if tracer.enabled:
+            if screen is not None:
+                tracer.event("duality.screen", screen=screen)
+            check_span.note(dual=dual)
+        return dual

@@ -5,11 +5,14 @@
 * ``"berge"`` — :mod:`repro.hypergraph.berge` multiplication (default);
 * ``"fk"`` — incremental enumeration driven by Fredman–Khachiyan duality
   witnesses (the paper's Corollary 22 engine);
+* ``"mmcs"`` / ``"rs"`` — the MMCS branch-and-bound enumerators of
+  :mod:`repro.hypergraph.mmcs` (arXiv:1805.01310), the engines that
+  dominate at data-profiling scale (see docs/API.md §17);
 * ``"levelwise"`` — the paper's Corollary 15 special case (efficient when
   every edge has at least ``n - k`` vertices for small ``k``);
 * ``"brute"`` — exhaustive scan of the powerset, for testing only.
 
-All four agree on every input; the test suite asserts this with
+All engines agree on every input; the test suite asserts this with
 hypothesis-generated hypergraphs.
 """
 
@@ -26,9 +29,12 @@ from repro.hypergraph.dfs_enumeration import (
 from repro.hypergraph.fredman_khachiyan import find_new_minimal_transversal
 from repro.hypergraph.hypergraph import Hypergraph, minimize_family
 from repro.hypergraph.levelwise_transversal import levelwise_transversal_masks
+from repro.hypergraph.mmcs import mmcs_transversal_masks, rs_transversal_masks
 from repro.util.bitset import iter_bits, popcount
 
-_METHODS = ("berge", "fk", "levelwise", "dfs", "brute")
+_METHODS = ("berge", "fk", "mmcs", "rs", "levelwise", "dfs", "brute")
+_BUDGETED = ("berge", "fk", "mmcs", "rs")
+_PARALLEL = ("berge", "mmcs", "rs")
 
 
 def minimize_transversal_mask(edge_masks: Sequence[int], transversal: int) -> int:
@@ -81,11 +87,12 @@ def iter_minimal_transversals(
     the "incremental T(I, i) time" notion of Section 3 of the paper.
     Other methods compute the full family first and then yield from it.
 
-    A :class:`~repro.runtime.budget.Budget` is honored by the ``"fk"``
-    and ``"berge"`` engines (checked per enumeration step / per edge);
-    the reference baselines reject it.  A ``tracer`` is likewise
-    forwarded to those two engines (``fk.check`` spans per enumeration
-    step, ``berge.run``/``berge.edge`` spans) and ignored by the
+    A :class:`~repro.runtime.budget.Budget` is honored by the ``"fk"``,
+    ``"berge"``, ``"mmcs"``, and ``"rs"`` engines (checked per
+    enumeration step / edge / search node); the reference baselines
+    reject it.  A ``tracer`` is likewise forwarded to those engines
+    (``fk.check`` spans per enumeration step, ``berge.run`` /
+    ``berge.edge`` spans, ``mmcs.run`` spans) and ignored by the
     baselines.
     """
     if method == "fk":
@@ -106,7 +113,7 @@ def iter_minimal_transversals(
             yield nxt
     elif method == "dfs":
         if budget is not None:
-            raise ValueError("budgets are only supported by 'fk' and 'berge'")
+            raise ValueError(f"budgets are only supported by {_BUDGETED}")
         yield from dfs_transversal_masks_iter(hypergraph.edge_masks)
     elif method in _METHODS:
         yield from minimal_transversals(
@@ -126,23 +133,42 @@ def minimal_transversals(
     """The complete family ``Tr(H)`` as a sorted list of masks.
 
     Args:
-        workers: worker processes for the chunk-parallel minimality
-            filter (``"berge"`` only; the output is bit-identical to
-            the serial engine).  ``None`` or ``<= 1`` runs serially.
+        workers: worker processes — ``"berge"`` runs its chunk-parallel
+            minimality filter, ``"mmcs"``/``"rs"`` run the depth-2
+            subtree work-stealing driver; either way the output is
+            bit-identical to the serial engine.  ``None`` or ``<= 1``
+            runs serially.
 
     Raises:
         BudgetExhausted: with a
             :class:`~repro.runtime.partial.PartialDualization` attached,
             when a supplied budget trips (``"berge"``: the transversals
-            of the processed edge prefix; ``"fk"``: the genuine minimal
-            transversals enumerated so far).
+            of the processed edge prefix; ``"fk"``/``"mmcs"``/``"rs"``:
+            the genuine minimal transversals enumerated so far).
         ValueError: when a budget is supplied with a reference baseline
             (``"levelwise"``, ``"dfs"``, ``"brute"``), which do not
             support cooperative checks, or when ``workers > 1`` is
-            combined with a method other than ``"berge"``.
+            combined with a method outside ``("berge", "mmcs", "rs")``.
     """
-    if workers is not None and workers > 1 and method != "berge":
-        raise ValueError("workers are only supported by method 'berge'")
+    if workers is not None and workers > 1 and method not in _PARALLEL:
+        raise ValueError(f"workers are only supported by methods {_PARALLEL}")
+    if method in ("mmcs", "rs"):
+        if workers is not None and workers > 1:
+            from repro.parallel.mmcs import mmcs_transversals_parallel
+
+            return mmcs_transversals_parallel(
+                hypergraph.edge_masks,
+                workers,
+                budget=budget,
+                tracer=tracer,
+                variant=method,
+            )
+        enumerate_masks = (
+            mmcs_transversal_masks if method == "mmcs" else rs_transversal_masks
+        )
+        return enumerate_masks(
+            hypergraph.edge_masks, budget=budget, tracer=tracer
+        )
     if method == "berge":
         if workers is not None and workers > 1:
             from repro.parallel.minimize import berge_transversals_parallel
@@ -180,7 +206,7 @@ def minimal_transversals(
             ) from exhausted
         return sorted(found, key=lambda m: (popcount(m), m))
     if budget is not None:
-        raise ValueError("budgets are only supported by 'fk' and 'berge'")
+        raise ValueError(f"budgets are only supported by {_BUDGETED}")
     if method == "levelwise":
         return levelwise_transversal_masks(
             hypergraph.edge_masks, len(hypergraph.universe)

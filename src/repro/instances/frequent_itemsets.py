@@ -112,7 +112,9 @@ def mine_frequent_itemsets(
             to ``"berge"``, which amortizes best on basket data; pass
             ``"fk"`` for the incremental Corollary 22 engine (the right
             choice when intermediate transversal families blow up,
-            cf. Example 19).  ``engine="eclat"`` is a shorthand that
+            cf. Example 19) or ``"mmcs"`` for the MMCS branch-and-bound
+            enumerator (docs/API.md §17).  ``engine="eclat"`` is a
+            shorthand that
             selects ``algorithm="eclat"`` (the CLI's ``--engine eclat``).
         budget: optional :class:`~repro.runtime.budget.Budget`;
             supported by ``"levelwise"``, ``"eclat"``,

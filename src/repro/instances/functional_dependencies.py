@@ -146,6 +146,7 @@ def mine_minimal_keys(
     relation: Relation,
     algorithm: str = "levelwise",
     seed: int | random.Random | None = None,
+    method: str = "fk",
 ) -> Theory:
     """Mine maximal non-keys (``MTh``) and minimal keys (``Bd-``) through
     the ``Is-interesting`` oracle only.
@@ -153,6 +154,10 @@ def mine_minimal_keys(
     The paper highlights that this works "even if the access to the
     database is restricted to Is-interesting queries" — contrast with
     :func:`minimal_keys_via_agree_sets`, which reads the data directly.
+
+    ``method`` selects the transversal engine behind
+    ``algorithm="dualize_advance"`` (``"fk"``, ``"berge"``, or
+    ``"mmcs"``); the levelwise route does not dualize and ignores it.
     """
     predicate = CountingOracle(
         key_interestingness_predicate(relation), name="not-superkey"
@@ -168,7 +173,9 @@ def mine_minimal_keys(
             queries=result.queries,
         )
     if algorithm == "dualize_advance":
-        advance = dualize_and_advance(universe, predicate, shuffle=seed)
+        advance = dualize_and_advance(
+            universe, predicate, engine=method, shuffle=seed
+        )
         return Theory(
             universe=universe,
             maximal=advance.maximal,

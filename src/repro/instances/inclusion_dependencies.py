@@ -95,6 +95,7 @@ def mine_inclusion_dependencies(
     algorithm: str = "levelwise",
     restrict_to_unary_valid: bool = True,
     seed: int | random.Random | None = None,
+    method: str = "fk",
 ) -> Theory:
     """Mine maximal valid INDs between two relations.
 
@@ -107,6 +108,9 @@ def mine_inclusion_dependencies(
             changes no results because an IND containing an invalid pair
             is invalid, but it shrinks the lattice).
         seed: RNG seed for the D&A extension order.
+        method: transversal engine behind ``"dualize_advance"``
+            (``"fk"``, ``"berge"``, or ``"mmcs"``); ignored by the
+            levelwise route.
 
     Returns:
         A :class:`~repro.core.theory.Theory` over the pair universe;
@@ -131,7 +135,9 @@ def mine_inclusion_dependencies(
             queries=result.queries,
         )
     if algorithm == "dualize_advance":
-        advance = dualize_and_advance(universe, predicate, shuffle=seed)
+        advance = dualize_and_advance(
+            universe, predicate, engine=method, shuffle=seed
+        )
         return Theory(
             universe=universe,
             maximal=advance.maximal,

@@ -24,7 +24,9 @@ Fredman–Khachiyan witnesses — each iteration does work proportional to
 the sets actually probed, giving the Corollary 22 sub-exponential bound;
 ``"berge"`` recomputes the full transversal family per iteration, which
 is simpler and exposes the intermediate blow-up of Example 19 (tracked
-in ``transversal_family_sizes``).
+in ``transversal_family_sizes``); ``"mmcs"`` (PR 9) materializes the
+family like Berge but enumerates it with the MMCS branch-and-bound
+engine, the practical choice at data-profiling scale.
 
 Convention: the empty set is probed first.  If even ``∅`` is
 uninteresting the theory is empty (``MTh = ∅``, ``Bd- = {∅}``).
@@ -53,14 +55,16 @@ from repro.core.errors import BudgetExhausted, CheckpointError
 from repro.core.oracle import CountingOracle
 from repro.obs.tracer import Tracer, as_tracer
 from repro.hypergraph.berge import berge_step
+from repro.hypergraph.duality import decide_duality
 from repro.hypergraph.fredman_khachiyan import find_new_minimal_transversal
+from repro.hypergraph.mmcs import mmcs_transversal_masks
 from repro.mining.maximalize import greedy_maximalize
 from repro.runtime.budget import Budget
 from repro.runtime.checkpoint import Checkpoint
 from repro.runtime.partial import PartialResult, build_partial
 from repro.util.bitset import Universe, popcount
 
-_ENGINES = ("fk", "berge")
+_ENGINES = ("fk", "berge", "mmcs")
 
 
 @dataclass(frozen=True)
@@ -127,10 +131,25 @@ class _IncrementalDualizer:
     * ``fk`` keeps the minimal transversals that still hit the new edge
       (they stay minimal: old edges keep every vertex critical) and asks
       Fredman–Khachiyan only for the genuinely new ones — the
-      incremental access pattern of Corollary 22.
+      incremental access pattern of Corollary 22;
+    * ``mmcs`` re-enumerates the family per new edge with the MMCS
+      branch-and-bound engine (:mod:`repro.hypergraph.mmcs`) — a full
+      recompute like ``berge``'s semantics but priced by the PR 9
+      crossover benchmark, and the engine of choice at
+      data-profiling scale.  It shares ``berge``'s materialized-family
+      checkpoint slot.
 
     ``iterate()`` yields ``(transversal, is_fresh)``; stale survivors
     were already probed (and memoized) in earlier iterations.
+
+    ``duality_screen`` (FK engine only) consults the oracle-free
+    :func:`~repro.hypergraph.duality.decide_duality` decision before
+    each witness search: the final "family complete" verdict then
+    costs a decision instead of a decision-plus-witness recursion, and
+    the screens resolve most intermediate "not done yet" checks at the
+    root.  It makes no oracle queries, so border results and query
+    accounting are bit-identical with the screen on or off — which is
+    why it is not part of the checkpoint configuration key.
     """
 
     def __init__(
@@ -139,11 +158,13 @@ class _IncrementalDualizer:
         engine: str,
         budget: Budget | None = None,
         tracer: "Tracer | None" = None,
+        duality_screen: bool = False,
     ):
         self.universe = universe
         self.engine = engine
         self.budget = budget
         self.tracer = tracer
+        self.duality_screen = duality_screen
         self.complements: list[int] = []
         self._berge_family: list[int] | None = None
         self._fk_known: list[int] = []
@@ -166,6 +187,10 @@ class _IncrementalDualizer:
                 self._berge_family, new_edge, budget=self.budget
             )
             self._berge_family = new_family
+        elif self.engine == "mmcs":
+            self._berge_family = mmcs_transversal_masks(
+                [*self.complements, new_edge], budget=self.budget
+            )
         else:
             self._fk_known = [
                 transversal
@@ -178,7 +203,7 @@ class _IncrementalDualizer:
         """Yield the current minimal transversals as (mask, is_fresh)."""
         if self._dead:
             return
-        if self.engine == "berge":
+        if self.engine in ("berge", "mmcs"):
             family = self._berge_family or []
             for transversal in family:
                 yield (transversal, True)
@@ -187,6 +212,14 @@ class _IncrementalDualizer:
         for survivor in self._fk_known:
             yield (survivor, False)
         while True:
+            if self.duality_screen and decide_duality(
+                self.complements,
+                self._fk_known,
+                full,
+                budget=self.budget,
+                tracer=self.tracer,
+            ):
+                return
             transversal = find_new_minimal_transversal(
                 self.complements,
                 self._fk_known,
@@ -211,8 +244,8 @@ class _IncrementalDualizer:
             ]
 
     def family_size(self) -> int | None:
-        """``|Tr(D_i)|`` when materialized (Berge engine only)."""
-        if self.engine == "berge":
+        """``|Tr(D_i)|`` when materialized (berge/mmcs engines)."""
+        if self.engine in ("berge", "mmcs"):
             return len(self._berge_family or []) if not self._dead else 0
         return None
 
@@ -227,6 +260,7 @@ def dualize_and_advance(
     resume: "Checkpoint | str | None" = None,
     on_exhaust: str = "return",
     tracer: "Tracer | None" = None,
+    duality_screen: bool = False,
 ) -> "DualizeAdvanceResult | PartialResult":
     """Run Algorithm 16.
 
@@ -235,7 +269,10 @@ def dualize_and_advance(
         predicate: the monotone ``q``; wrapped in a
             :class:`~repro.core.oracle.CountingOracle` unless it already
             is one.
-        engine: ``"fk"`` (incremental, default) or ``"berge"``.
+        engine: ``"fk"`` (incremental, default), ``"berge"``, or
+            ``"mmcs"`` (materialized family via the MMCS
+            branch-and-bound enumerator — the data-profiling-scale
+            engine; see docs/API.md §17 for the crossover guidance).
         shuffle: optional seed/RNG; when given, the greedy extension
             order is randomized per iteration, turning the deterministic
             advance into the randomized variant of [11].
@@ -266,6 +303,12 @@ def dualize_and_advance(
             :class:`~repro.obs.monitor.TheoremMonitor` certifies against
             Theorem 21 and bracket monotonicity.  Per-query events come
             from the underlying :class:`~repro.core.oracle.CountingOracle`.
+        duality_screen: FK engine only — consult the oracle-free
+            :func:`~repro.hypergraph.duality.decide_duality` decision
+            procedure before each witness search.  A pure fast path:
+            borders, query counts, and checkpoints are bit-identical
+            with it on or off (it never touches the oracle), so
+            checkpoints taken either way interoperate.
 
     Returns:
         :class:`DualizeAdvanceResult` with ``MTh``, ``Bd-(MTh)``, the
@@ -324,10 +367,16 @@ def dualize_and_advance(
         pending = dict(state["pending"]) if state["pending"] else None
         if incremental:
             folded = state["folded"]
-            dualizer = _IncrementalDualizer(universe, engine, budget=budget, tracer=tracer)
+            dualizer = _IncrementalDualizer(
+                universe,
+                engine,
+                budget=budget,
+                tracer=tracer,
+                duality_screen=duality_screen,
+            )
             dualizer.complements = list(state["complements"])
             dualizer._dead = state["dead"]
-            if engine == "berge":
+            if engine in ("berge", "mmcs"):
                 family = state["berge_family"]
                 dualizer._berge_family = None if family is None else list(family)
             else:
@@ -347,7 +396,13 @@ def dualize_and_advance(
         counted_pending = None
         pending = None
         folded = 0
-        dualizer = _IncrementalDualizer(universe, engine, budget=budget, tracer=tracer)
+        dualizer = _IncrementalDualizer(
+            universe,
+            engine,
+            budget=budget,
+            tracer=tracer,
+            duality_screen=duality_screen,
+        )
 
     probed_set = set(probed)
     start_queries = oracle.distinct_queries
@@ -423,7 +478,7 @@ def dualize_and_advance(
         else:
             family: list[int] = []
             if dualizer is not None:
-                if engine == "berge":
+                if engine in ("berge", "mmcs"):
                     family = (
                         []
                         if dualizer._dead
@@ -432,12 +487,12 @@ def dualize_and_advance(
                 else:
                     family = list(dualizer._fk_known)
             frontier = [t for t in family if t not in history]
-        # Berge materializes Tr of the folded edge prefix, which covers
+        # Berge/MMCS materialize Tr of the folded edge prefix, which covers
         # the whole undecided region (every set outside the bracket hits
         # all folded complements, hence contains a family member); FK
         # only holds the transversals enumerated so far — future
         # witnesses are implicit in the recursion.
-        frontier_complete = engine == "berge" or not started
+        frontier_complete = engine in ("berge", "mmcs") or not started
         return build_partial(
             universe,
             "dualize_advance",
@@ -534,7 +589,13 @@ def dualize_and_advance(
                     enumerated = 0
                     counted_pending = None
                 if not incremental:
-                    dualizer = _IncrementalDualizer(universe, engine, budget=budget, tracer=tracer)
+                    dualizer = _IncrementalDualizer(
+                        universe,
+                        engine,
+                        budget=budget,
+                        tracer=tracer,
+                        duality_screen=duality_screen,
+                    )
                     folded = 0
                 while folded < len(current_maximal):
                     dualizer.add_maximal(current_maximal[folded])

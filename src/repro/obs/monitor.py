@@ -34,6 +34,13 @@ Checks performed:
   ``dualize.done`` the Theorem 21 bound is tracked with the repo's
   stated slack (`EXPERIMENTS.md`, Conventions):
   ``|MTh|·(|Bd-| + rank·width) + |Bd-| + 1``.
+* **MMCS/RS enumeration** — on ``mmcs.done``: the ``mmcs.output``
+  events match the reported family size, the emitted family is an
+  antichain (no output contains another — minimal hitting sets are
+  incomparable by definition), and for fully traced serial runs
+  (``traced=True``) the ``mmcs.node`` events match the reported search
+  node count (parallel runs sum worker-side counts the workers did not
+  trace, and report ``traced=False``).
 * **Transcript consistency** — every mask reported maximal carries a
   ``True`` oracle answer somewhere in the trace; span opens and closes
   balance (the exception-safety guarantee).
@@ -146,6 +153,8 @@ class TheoremMonitor(Tracer):
         self._level_candidates: list[int] = []
         self._dualize_maximal: list[int] = []
         self._probed_negative: set[int] = set()
+        self._mmcs_nodes = 0
+        self._mmcs_outputs: list[int] = []
 
     # -- tracer protocol -------------------------------------------------
 
@@ -409,6 +418,75 @@ class TheoremMonitor(Tracer):
     def _on_maxminer_done(self, attrs: dict[str, Any]) -> None:
         self._check_charged("maxminer", attrs)
 
+    def _on_mmcs_node(self, attrs: dict[str, Any]) -> None:
+        self._mmcs_nodes += 1
+
+    def _on_mmcs_output(self, attrs: dict[str, Any]) -> None:
+        mask = attrs.get("mask")
+        if isinstance(mask, int):
+            self._mmcs_outputs.append(mask)
+
+    def _on_mmcs_done(self, attrs: dict[str, Any]) -> None:
+        family = int(attrs.get("family", 0))
+        nodes = int(attrs.get("nodes", 0))
+        variant = attrs.get("variant", "mmcs")
+
+        ok = len(self._mmcs_outputs) == family
+        self._checks.append(
+            Check(
+                name="mmcs_outputs",
+                ok=ok,
+                measured=len(self._mmcs_outputs),
+                expected=family,
+                detail=f"{variant}: mmcs.output events vs reported family",
+            )
+        )
+        if not ok:
+            self._violations.append(
+                f"{variant}: trace carries {len(self._mmcs_outputs)} "
+                f"output events but the engine reported {family} — "
+                "transversals were dropped or duplicated"
+            )
+        antichain_ok = True
+        outputs = self._mmcs_outputs
+        for index, mask in enumerate(outputs):
+            for other in outputs[index + 1:]:
+                if mask & other == mask or mask & other == other:
+                    antichain_ok = False
+                    self._violations.append(
+                        f"{variant}: outputs {mask:#x} and {other:#x} are "
+                        "comparable — the family is not an antichain, so "
+                        "some output is not minimal"
+                    )
+                    break
+            if not antichain_ok:
+                break
+        self._checks.append(
+            Check(
+                name="mmcs_antichain",
+                ok=antichain_ok,
+                measured=len(outputs),
+                detail=f"{variant}: emitted family is an antichain",
+            )
+        )
+        if attrs.get("traced"):
+            ok = self._mmcs_nodes == nodes
+            self._checks.append(
+                Check(
+                    name="mmcs_nodes",
+                    ok=ok,
+                    measured=self._mmcs_nodes,
+                    expected=nodes,
+                    detail=f"{variant}: mmcs.node events vs reported "
+                    "search nodes",
+                )
+            )
+            if not ok:
+                self._violations.append(
+                    f"{variant}: trace carries {self._mmcs_nodes} node "
+                    f"events but the engine reported {nodes}"
+                )
+
     def _on_eclat_done(self, attrs: dict[str, Any]) -> None:
         queries = int(attrs.get("queries", 0))
         negative = int(attrs.get("negative", 0))
@@ -483,4 +561,7 @@ _EVENT_HANDLERS = {
     "dualize.done": TheoremMonitor._on_dualize_done,
     "maxminer.done": TheoremMonitor._on_maxminer_done,
     "eclat.done": TheoremMonitor._on_eclat_done,
+    "mmcs.node": TheoremMonitor._on_mmcs_node,
+    "mmcs.output": TheoremMonitor._on_mmcs_output,
+    "mmcs.done": TheoremMonitor._on_mmcs_done,
 }

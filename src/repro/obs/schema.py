@@ -110,6 +110,16 @@ KNOWN_EVENTS: dict[str, tuple[str, tuple[str, ...]]] = {
     "fk.check": ("span_open", ("f_terms", "g_terms")),
     "fk.node": ("event", ("depth", "f_terms", "g_terms")),
     "fk.witness": ("event", ("kind",)),
+    "mmcs.run": ("span_open", ("edges", "variant")),
+    "mmcs.node": ("event", ("depth", "uncov", "cand")),
+    "mmcs.output": ("event", ("mask",)),
+    "mmcs.done": (
+        "event",
+        ("family", "nodes", "edges", "n", "variant", "traced"),
+    ),
+    "duality.check": ("span_open", ("f_terms", "g_terms", "method")),
+    "duality.screen": ("event", ("screen",)),
+    "duality.node": ("event", ("depth", "f_terms", "g_terms")),
     # resilience (repro.runtime.resilient)
     "resilient.retry": ("event", ("mask", "attempt", "delay")),
     "resilient.vote": ("event", ("mask", "vote", "answer")),

@@ -24,6 +24,9 @@ restart allowance):
   chunked antichain reduction merged with
   :func:`~repro.util.antichain.merge_antichains`, and the Berge engine
   built on it.
+* :func:`~repro.parallel.mmcs.mmcs_transversals_parallel` — the MMCS/RS
+  hitting-set search tree split at depth 2 into work-stolen subtree
+  tasks, folding in traversal order (PR 9).
 
 Transaction data reaches workers through the ``memory=`` switch:
 ``"shm"`` publishes the vertical bitmaps once into a
@@ -45,6 +48,7 @@ from repro.parallel.minimize import (
     berge_transversals_parallel,
     minimize_masks_parallel,
 )
+from repro.parallel.mmcs import mmcs_transversals_parallel
 from repro.parallel.pool import WorkerPool, WorkerPoolBroken, resolve_workers
 from repro.parallel.predicate import ShardedFrequencyPredicate
 from repro.parallel.sharding import (
@@ -80,4 +84,5 @@ __all__ = [
     "mine_frequent_itemsets_parallel",
     "minimize_masks_parallel",
     "berge_transversals_parallel",
+    "mmcs_transversals_parallel",
 ]

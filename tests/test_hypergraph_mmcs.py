@@ -1,0 +1,364 @@
+"""MMCS/RS enumerators, the GM duality decision, and their contracts.
+
+The PR 9 transversal core rests on four claims, each property-tested
+here against the established engines:
+
+* **output identity** — ``mmcs``/``rs`` return exactly the same sorted
+  family as Berge and FK on random simple hypergraphs, serially and
+  through the depth-2 work-stealing driver at any worker count or
+  steal schedule;
+* **budget honesty** — a tripped :class:`Budget` surfaces a
+  :class:`PartialDualization` whose family is a genuine subset of
+  ``Tr(H)``, deterministically;
+* **certified traces** — every traced run passes the
+  :class:`TheoremMonitor` checks (``mmcs_outputs``, ``mmcs_antichain``,
+  ``mmcs_nodes``), offline replay included, and a tampered trace is
+  flagged;
+* **duality decision** — ``decide_duality(method="gm")`` agrees with
+  the witness-producing FK test on duals and on perturbed non-duals.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import BudgetExhausted
+from repro.hypergraph.berge import berge_transversal_masks
+from repro.hypergraph.duality import DUALITY_METHODS, decide_duality
+from repro.hypergraph.enumeration import (
+    brute_force_transversal_masks,
+    minimal_transversals,
+)
+from repro.hypergraph.fredman_khachiyan import check_duality
+from repro.hypergraph.hypergraph import Hypergraph, minimize_family
+from repro.hypergraph.mmcs import (
+    MMCS_VARIANTS,
+    mmcs_transversal_masks,
+    rs_transversal_masks,
+)
+from repro.obs import JsonlTraceWriter, MultiTracer, TheoremMonitor
+from repro.parallel.mmcs import mmcs_transversals_parallel
+from repro.runtime.budget import Budget
+from repro.util.bitset import Universe, popcount
+
+from tests.conftest import mask_families, simple_hypergraphs
+
+ENUMERATORS = {
+    "mmcs": mmcs_transversal_masks,
+    "rs": rs_transversal_masks,
+}
+
+
+def _canonical(masks) -> list[int]:
+    return sorted(masks, key=lambda mask: (popcount(mask), mask))
+
+
+class TestOutputIdentity:
+    @settings(max_examples=250, deadline=None)
+    @given(simple_hypergraphs())
+    def test_mmcs_and_rs_match_brute_force(self, hypergraph):
+        reference = sorted(
+            brute_force_transversal_masks(
+                hypergraph.edge_masks, len(hypergraph.universe)
+            )
+        )
+        for variant, enumerate_masks in ENUMERATORS.items():
+            assert (
+                sorted(enumerate_masks(hypergraph.edge_masks)) == reference
+            ), variant
+
+    @settings(max_examples=150, deadline=None)
+    @given(simple_hypergraphs())
+    def test_all_four_methods_identical_through_enumeration_api(
+        self, hypergraph
+    ):
+        families = {
+            method: minimal_transversals(hypergraph, method=method)
+            for method in ("berge", "fk", "mmcs", "rs")
+        }
+        assert len({tuple(sorted(f)) for f in families.values()}) == 1
+
+    @settings(max_examples=150, deadline=None)
+    @given(simple_hypergraphs())
+    def test_output_order_is_cardinality_then_value(self, hypergraph):
+        family = mmcs_transversal_masks(hypergraph.edge_masks)
+        assert family == _canonical(family)
+        assert family == berge_transversal_masks(hypergraph.edge_masks)
+
+    @settings(max_examples=150, deadline=None)
+    @given(simple_hypergraphs())
+    def test_every_output_is_minimal_and_duplicate_free(self, hypergraph):
+        family = mmcs_transversal_masks(hypergraph.edge_masks)
+        assert len(family) == len(set(family))
+        for mask in family:
+            assert hypergraph.is_minimal_transversal(mask)
+
+    @settings(max_examples=150, deadline=None)
+    @given(mask_families(max_vertices=7))
+    def test_invariant_under_minimization(self, data):
+        _, family = data
+        for enumerate_masks in ENUMERATORS.values():
+            assert enumerate_masks(family) == enumerate_masks(
+                minimize_family(family)
+            )
+
+    def test_degenerate_contracts(self):
+        for enumerate_masks in ENUMERATORS.values():
+            # Empty family: the empty set hits everything vacuously.
+            assert enumerate_masks([]) == [0]
+            # An empty edge can never be hit: no transversals.
+            assert enumerate_masks([0, 3]) == []
+            assert enumerate_masks([0]) == []
+
+
+class TestParallelDriver:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        hypergraph=simple_hypergraphs(),
+        variant=st.sampled_from(MMCS_VARIANTS),
+    )
+    def test_workers_output_identical_to_serial(
+        self, worker_count, hypergraph, variant
+    ):
+        serial = ENUMERATORS[variant](hypergraph.edge_masks)
+        parallel = mmcs_transversals_parallel(
+            hypergraph.edge_masks, workers=worker_count, variant=variant
+        )
+        assert parallel == serial
+
+    @settings(max_examples=25, deadline=None)
+    @given(hypergraph=simple_hypergraphs(), seed=st.integers(0, 2**16))
+    def test_adversarial_steal_schedules_are_bit_identical(
+        self, worker_count, hypergraph, seed
+    ):
+        serial = mmcs_transversal_masks(hypergraph.edge_masks)
+        stolen = mmcs_transversals_parallel(
+            hypergraph.edge_masks,
+            workers=worker_count,
+            steal_rng=random.Random(seed),
+        )
+        assert stolen == serial
+
+    def test_workers_one_is_the_serial_path(self):
+        edges = [0b011, 0b110, 0b101]
+        assert mmcs_transversals_parallel(
+            edges, workers=1
+        ) == mmcs_transversal_masks(edges)
+
+
+class TestBudgets:
+    @settings(max_examples=100, deadline=None)
+    @given(simple_hypergraphs(), st.integers(1, 4))
+    def test_partial_family_is_a_transversal_prefix(
+        self, hypergraph, max_family
+    ):
+        full = set(mmcs_transversal_masks(hypergraph.edge_masks))
+        try:
+            family = mmcs_transversal_masks(
+                hypergraph.edge_masks, budget=Budget(max_family=max_family)
+            )
+        except BudgetExhausted as exhausted:
+            partial = exhausted.partial
+            assert partial is not None
+            assert exhausted.reason == "family"
+            assert set(partial.family) <= full
+            assert tuple(partial.processed_edges) == tuple(
+                hypergraph.edge_masks
+            )
+        else:
+            assert len(family) <= max_family or set(family) == full
+
+    @settings(max_examples=50, deadline=None)
+    @given(simple_hypergraphs())
+    def test_budget_cut_is_deterministic(self, hypergraph):
+        def cut():
+            try:
+                mmcs_transversal_masks(
+                    hypergraph.edge_masks, budget=Budget(max_family=1)
+                )
+            except BudgetExhausted as exhausted:
+                return tuple(exhausted.partial.family)
+            return None
+
+        assert cut() == cut()
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        hypergraph=simple_hypergraphs(),
+        variant=st.sampled_from(MMCS_VARIANTS),
+    )
+    def test_parallel_budget_partial_is_certified_subset(
+        self, worker_count, hypergraph, variant
+    ):
+        full = set(ENUMERATORS[variant](hypergraph.edge_masks))
+        monitor = TheoremMonitor()
+        try:
+            mmcs_transversals_parallel(
+                hypergraph.edge_masks,
+                workers=worker_count,
+                variant=variant,
+                budget=Budget(max_family=1),
+                tracer=monitor,
+            )
+        except BudgetExhausted as exhausted:
+            assert set(exhausted.partial.family) <= full
+        # Partial or not, the emitted trace must self-certify.
+        report = monitor.report()
+        assert report.ok, report.violations
+
+
+class TestCertifiedTraces:
+    def _traced_records(self, edge_masks, variant="mmcs"):
+        buffer = io.StringIO()
+        monitor = TheoremMonitor()
+        with JsonlTraceWriter(buffer) as writer:
+            family = ENUMERATORS[variant](
+                edge_masks, tracer=MultiTracer(writer, monitor)
+            )
+        records = [
+            json.loads(line)
+            for line in buffer.getvalue().splitlines()
+            if line
+        ]
+        return family, monitor, records
+
+    @settings(max_examples=60, deadline=None)
+    @given(simple_hypergraphs(), st.sampled_from(MMCS_VARIANTS))
+    def test_live_and_offline_certification(self, hypergraph, variant):
+        family, monitor, records = self._traced_records(
+            hypergraph.edge_masks, variant
+        )
+        live = monitor.report()
+        assert live.ok, live.violations
+        assert live.certified("mmcs_outputs")
+        assert live.certified("mmcs_antichain")
+        assert live.certified("mmcs_nodes")
+        replayed = TheoremMonitor.from_trace(records).report()
+        assert replayed.ok, replayed.violations
+        outputs = [
+            record["attrs"]["mask"]
+            for record in records
+            if record["name"] == "mmcs.output"
+        ]
+        assert sorted(outputs) == sorted(family)
+
+    def test_dropped_output_event_is_flagged(self):
+        _, _, records = self._traced_records([0b011, 0b110, 0b101])
+        drop = next(
+            index
+            for index, record in enumerate(records)
+            if record["name"] == "mmcs.output"
+        )
+        corrupted = records[:drop] + records[drop + 1 :]
+        report = TheoremMonitor.from_trace(corrupted).report()
+        assert not report.ok
+        assert not report.certified("mmcs_outputs")
+
+    def test_forged_nonminimal_output_breaks_the_antichain(self):
+        _, _, records = self._traced_records([0b011, 0b110, 0b101])
+        first_output = next(
+            r for r in records if r["name"] == "mmcs.output"
+        )
+        done_index = next(
+            i for i, r in enumerate(records) if r["name"] == "mmcs.done"
+        )
+        # Forge an output claiming a strict superset of a real
+        # transversal, and bump the reported family size so the output
+        # count still reconciles — only the antichain check can object.
+        forged = dict(first_output)
+        forged["attrs"] = dict(
+            first_output["attrs"], mask=first_output["attrs"]["mask"] | 0b111
+        )
+        done = dict(records[done_index])
+        done["attrs"] = dict(
+            done["attrs"], family=done["attrs"]["family"] + 1
+        )
+        corrupted = [
+            *records[:done_index],
+            forged,
+            done,
+            *records[done_index + 1 :],
+        ]
+        report = TheoremMonitor.from_trace(corrupted).report()
+        assert not report.certified("mmcs_antichain")
+
+
+class TestDecideDuality:
+    @settings(max_examples=150, deadline=None)
+    @given(simple_hypergraphs(max_vertices=6))
+    def test_gm_accepts_true_duals(self, hypergraph):
+        n = len(hypergraph.universe)
+        f_terms = list(hypergraph.edge_masks)
+        g_terms = brute_force_transversal_masks(f_terms, n)
+        full = (1 << n) - 1
+        assert decide_duality(f_terms, g_terms, full, method="gm")
+        assert check_duality(f_terms, g_terms, full) is None
+
+    @settings(max_examples=150, deadline=None)
+    @given(simple_hypergraphs(max_vertices=6), st.randoms(use_true_random=False))
+    def test_gm_agrees_with_fk_on_perturbed_pairs(self, hypergraph, rng):
+        n = len(hypergraph.universe)
+        full = (1 << n) - 1
+        f_terms = list(hypergraph.edge_masks)
+        g_terms = list(brute_force_transversal_masks(f_terms, n))
+        perturbation = rng.choice(("drop", "add", "flip"))
+        if perturbation == "drop" and g_terms:
+            g_terms.pop(rng.randrange(len(g_terms)))
+        elif perturbation == "add":
+            g_terms = minimize_family(
+                [*g_terms, rng.randrange(1, full + 1)]
+            )
+        else:
+            g_terms = [
+                term ^ (1 << rng.randrange(n)) for term in g_terms
+            ]
+            g_terms = minimize_family([t for t in g_terms if t])
+        fk_verdict = check_duality(f_terms, g_terms, full) is None
+        assert (
+            decide_duality(f_terms, g_terms, full, method="gm")
+            == fk_verdict
+        )
+
+    def test_non_dual_witness_cases(self):
+        full = 0b111
+        triangle = [0b011, 0b110, 0b101]
+        tr = [0b011, 0b101, 0b110]  # Tr(triangle) == triangle edges
+        assert decide_duality(triangle, tr, full)
+        # Missing member: "both false" somewhere.
+        assert not decide_duality(triangle, tr[:-1], full)
+        # Disjoint extra member: "both true" somewhere.
+        assert not decide_duality(triangle, [*tr, 0b1], full)
+        # Wrong variable set after projection.
+        assert not decide_duality([0b01], [0b11], 0b11)
+
+    def test_methods_and_validation(self):
+        assert DUALITY_METHODS == ("gm", "fk")
+        full = 0b11
+        for method in DUALITY_METHODS:
+            assert decide_duality([0b01, 0b10], [0b11], full, method=method)
+        with pytest.raises(ValueError):
+            decide_duality([0b01], [0b01], full, method="nope")
+        with pytest.raises(ValueError):
+            decide_duality([0b101], [0b01], 0b11)  # term outside variables
+
+    def test_budgeted_decision_raises_cleanly(self):
+        n = 10
+        universe = Universe(range(n))
+        edges = [
+            0b11 << shift for shift in range(0, n, 2)
+        ]
+        hypergraph = Hypergraph(universe, edges, validate=False)
+        g_terms = brute_force_transversal_masks(edges, n)
+        with pytest.raises(BudgetExhausted):
+            decide_duality(
+                list(hypergraph.edge_masks),
+                g_terms,
+                (1 << n) - 1,
+                budget=Budget(max_family=2),
+            )

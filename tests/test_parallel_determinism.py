@@ -256,5 +256,5 @@ def test_minimal_transversals_workers(worker_count):
         hypergraph, method="berge", workers=worker_count
     )
     assert parallel == serial
-    with pytest.raises(ValueError, match="only supported by method"):
+    with pytest.raises(ValueError, match="only supported by methods"):
         minimal_transversals(hypergraph, method="fk", workers=2)

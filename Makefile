@@ -3,7 +3,7 @@ export PYTHONPATH := src
 
 .PHONY: test perf perf-check lint bench faults trace-smoke par-smoke \
 	eclat-smoke mmcs-smoke steal-smoke serve-smoke obs-smoke chaos \
-	coverage
+	coverage scale-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -35,6 +35,9 @@ perf-check:
 	$(eval BENCH_PR9_OUT := $(shell mktemp /tmp/bench_pr9.XXXXXX.json))
 	$(PYTHON) -m benchmarks.bench_transversals --output $(BENCH_PR9_OUT)
 	$(PYTHON) -m benchmarks.check_regression $(BENCH_PR9_OUT)
+	$(eval BENCH_PR10_OUT := $(shell mktemp /tmp/bench_pr10.XXXXXX.json))
+	$(PYTHON) -m benchmarks.bench_scale --output $(BENCH_PR10_OUT)
+	$(PYTHON) -m benchmarks.check_regression $(BENCH_PR10_OUT)
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q
@@ -163,6 +166,23 @@ chaos:
 coverage:
 	$(PYTHON) -m pytest -q --cov=src/repro --cov-report=term-missing \
 		--cov-fail-under=85
+
+# Real-scale smoke: the bench_scale suite at CI-sized row counts
+# (same code paths as the committed 1M-row BENCH_PR10.json run —
+# backend bit-identity and cover-memory reduction are still asserted;
+# the wall-clock ratio targets only apply at full scale), plus a CLI
+# mine over --backend roaring.
+scale-smoke:
+	$(eval SCALE_DIR := $(shell mktemp -d /tmp/scale_smoke.XXXXXX))
+	$(PYTHON) -m benchmarks.bench_scale --smoke \
+		--output $(SCALE_DIR)/bench_scale.json
+	$(PYTHON) -m repro generate $(SCALE_DIR)/smoke.dat \
+		--items 20 --transactions 500 --seed 11
+	$(PYTHON) -m repro mine $(SCALE_DIR)/smoke.dat --min-support 0.3 \
+		--algorithm eclat --backend roaring
+	$(PYTHON) -m repro mine $(SCALE_DIR)/smoke.dat --min-support 0.3 \
+		--algorithm eclat --backend roaring --workers 2
+	rm -rf $(SCALE_DIR)
 
 lint:
 	ruff check src tests benchmarks

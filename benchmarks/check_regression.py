@@ -173,8 +173,13 @@ def main(argv=None) -> int:
             problems.append(f"[vs {baseline_path.name}] {problem}")
         for name in sorted(shared):
             b, f = _by_name(baseline)[name], _by_name(fresh)[name]
+            # Workloads may declare a non-wall-clock metric (e.g. the
+            # scale suite's cover_bytes_ratio memory reduction); the
+            # floor logic is identical — bigger is better — but the
+            # label should say what the number is.
+            label = f.get("params", {}).get("metric", "speedup")
             print(
-                f"{name} [vs {baseline_path.name}]: baseline speedup "
+                f"{name} [vs {baseline_path.name}]: baseline {label} "
                 f"{b['speedup']:.2f}x ({b['new_seconds']:.4f}s) -> "
                 f"fresh {f['speedup']:.2f}x ({f['new_seconds']:.4f}s)"
             )
@@ -182,6 +187,12 @@ def main(argv=None) -> int:
         print(f"note: workload {name!r} has no baseline yet")
     if not fresh.get("targets_met", True):
         problems.append("fresh report has unmet speedup targets")
+    for record in fresh.get("workloads", []):
+        if record.get("outputs_equal") is False:
+            problems.append(
+                f"{record['name']}: outputs_equal is false — the "
+                "measured variants disagree on results"
+            )
     if problems:
         for problem in problems:
             print(f"REGRESSION: {problem}", file=sys.stderr)

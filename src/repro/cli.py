@@ -26,6 +26,7 @@ from collections.abc import Sequence
 
 from repro.core.errors import BudgetExhausted, ReproError
 from repro.datasets.fimi import read_fimi, write_fimi
+from repro.datasets.transactions import BACKENDS
 from repro.datasets.synthetic import QuestParameters, generate_quest_database
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.enumeration import minimal_transversals
@@ -155,6 +156,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--algorithm eclat (results are bit-identical to serial "
         "either way)",
     )
+    _add_backend_flag(mine)
     mine.add_argument(
         "--memory",
         choices=("auto", "shm", "pickle"),
@@ -205,6 +207,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--method berge, work-stolen depth-2 subtrees for "
         "--method mmcs/rs (results are bit-identical to serial)",
     )
+    _add_backend_flag(transversals)
     _add_observability_flags(transversals)
 
     serve = subparsers.add_parser(
@@ -281,6 +284,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "(FILE, FILE.1, FILE.2, ... — each independently valid; "
         "0 = never rotate)",
     )
+    _add_backend_flag(serve)
     _add_observability_flags(serve)
 
     subparsers.add_parser(
@@ -307,10 +311,26 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _read_database(path: str):
+def _validate_backend(backend: str) -> str:
+    """Reject unknown ``--backend`` names with a one-line message.
+
+    Validated here — before any file I/O — so the error is about the
+    flag, not misattributed to the dataset (``main`` maps the
+    :class:`ValueError` to exit code 2).
+    """
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown --backend {backend!r}; expected one of "
+            f"{', '.join(BACKENDS)}"
+        )
+    return backend
+
+
+def _read_database(path: str, backend: str = "auto"):
     """Read a FIMI file with one-line contextual error messages."""
+    _validate_backend(backend)
     try:
-        return read_fimi(path)
+        return read_fimi(path, backend=backend)
     except OSError as error:
         detail = error.strerror or str(error)
         raise OSError(f"cannot read {path}: {detail}") from error
@@ -318,6 +338,18 @@ def _read_database(path: str):
         raise ValueError(
             f"{path} is not a valid FIMI .dat file: {error}"
         ) from error
+
+
+def _add_backend_flag(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--backend",
+        default="auto",
+        metavar="NAME",
+        help="vertical store backend for the transaction database: "
+        f"{', '.join(BACKENDS)} ('roaring' is the compressed "
+        "container-bitmap store for large row counts); unknown names "
+        "are a one-line error, exit 2",
+    )
 
 
 def _add_observability_flags(subparser: argparse.ArgumentParser) -> None:
@@ -492,7 +524,7 @@ def _resolve_min_support(value: float) -> int | float:
 
 
 def _cmd_mine(args: argparse.Namespace) -> int:
-    database = _read_database(args.input)
+    database = _read_database(args.input, args.backend)
     if args.engine == "eclat" and args.algorithm in ("apriori", "eclat"):
         args.algorithm = "eclat"
     threshold = _resolve_min_support(args.min_support)
@@ -551,6 +583,10 @@ def _parse_edges(text: str) -> list[frozenset[int]]:
 
 
 def _cmd_transversals(args: argparse.Namespace) -> int:
+    # The hypergraph engines carry no transaction database; the flag is
+    # still validated so scripted pipelines get the same one-line error
+    # + exit 2 contract on every subcommand.
+    _validate_backend(args.backend)
     edges = _parse_edges(args.edges)
     vertices = sorted(set().union(*edges))
     universe = Universe(vertices)
@@ -596,7 +632,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.service import AdmissionController, MiningServer, ServiceCore
 
-    database = _read_database(args.input)
+    database = _read_database(args.input, args.backend)
     threshold = _resolve_min_support(args.min_support)
     obs = _build_tracer(args)
     tracer = obs.tracer

@@ -12,7 +12,8 @@ from repro.datasets.categorical import (
     generate_categorical_relation,
 )
 from repro.datasets.transactions import TransactionDatabase
-from repro.datasets.fimi import read_fimi, write_fimi
+from repro.datasets.baskets import ColumnarBuilder, read_baskets_csv
+from repro.datasets.fimi import read_fimi, read_fimi_stream, write_fimi
 from repro.datasets.synthetic import QuestParameters, generate_quest_database
 from repro.datasets.planted import (
     PlantedTheory,
@@ -28,7 +29,10 @@ __all__ = [
     "encode_relation",
     "generate_categorical_relation",
     "TransactionDatabase",
+    "ColumnarBuilder",
+    "read_baskets_csv",
     "read_fimi",
+    "read_fimi_stream",
     "write_fimi",
     "QuestParameters",
     "generate_quest_database",

@@ -30,35 +30,73 @@ def write_fimi(database: TransactionDatabase, path: str | os.PathLike) -> None:
             handle.write("\n")
 
 
+def _scan_universe(path: str | os.PathLike) -> Universe:
+    """One streaming pass collecting the sorted set of item ids."""
+    items: set[int] = set()
+    with open(path, "r", encoding="ascii") as handle:
+        for line in handle:
+            items.update(int(token) for token in line.split())
+    return Universe(sorted(items))
+
+
 def read_fimi(
-    path: str | os.PathLike, universe: Universe | None = None
+    path: str | os.PathLike,
+    universe: Universe | None = None,
+    *,
+    backend: str = "auto",
 ) -> TransactionDatabase:
     """Read a FIMI ``.dat`` file into a :class:`TransactionDatabase`.
 
     Args:
         path: the file to read.
-        universe: optional pre-built integer universe; when omitted, the
-            universe is the sorted set of item ids seen in the file.
+        universe: optional pre-built integer universe; when omitted, a
+            first streaming pass collects the sorted set of item ids
+            seen in the file.
+        backend: vertical backend for the built database.
 
     Blank lines become empty transactions (they still count toward the
-    total row count, matching FIMI tooling conventions).
+    total row count, matching FIMI tooling conventions).  Lines are
+    parsed one at a time — no intermediate list of token rows is ever
+    built; with a supplied ``universe`` the file is read exactly once.
     """
-    raw_rows: list[list[int]] = []
+    if universe is None:
+        universe = _scan_universe(path)
+
+    def masks(resolved: Universe):
+        with open(path, "r", encoding="ascii") as handle:
+            for line in handle:
+                yield resolved.to_mask(
+                    int(token) for token in line.split()
+                )
+
+    return TransactionDatabase(universe, masks(universe), backend=backend)
+
+
+def read_fimi_stream(
+    path: str | os.PathLike,
+    universe: Universe | None = None,
+    *,
+    backend: str = "auto",
+) -> TransactionDatabase:
+    """Stream a FIMI ``.dat`` file straight into columnar form.
+
+    Unlike :func:`read_fimi` — whose resulting database still stores the
+    horizontal mask list — this path feeds each line to a
+    :class:`~repro.datasets.baskets.ColumnarBuilder` and builds the
+    database with
+    :meth:`~repro.datasets.transactions.TransactionDatabase.from_columnar`:
+    the horizontal row list is *never* materialized, in the builder or
+    in the database.  Memory is proportional to item occurrences, which
+    is what makes million-row files ingestible.  Blank lines are empty
+    transactions, exactly as in :func:`read_fimi`.
+    """
+    from repro.datasets.baskets import ColumnarBuilder
+
+    builder = ColumnarBuilder(universe, backend=backend)
     with open(path, "r", encoding="ascii") as handle:
         for line in handle:
-            stripped = line.strip()
-            if not stripped:
-                raw_rows.append([])
-                continue
-            raw_rows.append([int(token) for token in stripped.split()])
-    if universe is None:
-        items: set[int] = set()
-        for row in raw_rows:
-            items.update(row)
-        universe = Universe(sorted(items))
-    return TransactionDatabase(
-        universe, (universe.to_mask(row) for row in raw_rows)
-    )
+            builder.add(int(token) for token in line.split())
+    return builder.to_database()
 
 
 def write_transactions(

@@ -33,6 +33,17 @@ and benchmarks.  The depth-first miner itself
 (:mod:`repro.mining.eclat`) memoizes covers per branch through
 :meth:`tidsets_view` / :attr:`full_tidset` rather than re-deriving them
 per query.
+
+``backend="roaring"`` swaps the big-int columns for compressed
+:class:`~repro.util.roaring.RoaringBitmap` covers (64K-row chunks in
+array/bitmap/run containers) — the same vertical surface, bit-identical
+counts, but per-cover memory proportional to the *compressed* size
+instead of ``n/8`` bytes, which is what makes million-row vertical
+mining feasible (docs/API.md §18).
+
+Backend dispatch lives in one per-backend kernel table
+(``_BATCH_KERNELS``), so registering a new backend is one entry, not a
+chain of string comparisons per call site.
 """
 
 from __future__ import annotations
@@ -40,6 +51,7 @@ from __future__ import annotations
 from collections.abc import Hashable, Iterable, Sequence
 
 from repro.util.bitset import Universe, iter_bits, popcount
+from repro.util.roaring import RoaringBitmap
 
 try:  # numpy is a declared dependency, but the int path is self-sufficient
     import numpy as _np
@@ -50,7 +62,13 @@ except ImportError:  # pragma: no cover - exercised only without numpy
 # is used (correctness is identical either way).
 _HAS_VECTOR_POPCOUNT = _np is not None and hasattr(_np, "bitwise_count")
 
-_BACKENDS = ("auto", "numpy", "int", "tidset", "diffset")
+# Backend names; the authoritative registry is the _BATCH_KERNELS
+# table after the class body (one entry per backend).
+_BACKENDS = ("auto", "numpy", "int", "tidset", "diffset", "roaring")
+
+#: Public name for the accepted ``backend=`` values (the CLI's
+#: ``--backend`` flag validates against this exact tuple).
+BACKENDS = _BACKENDS
 # Below these sizes the big-int kernel wins on dispatch overhead alone.
 _AUTO_MIN_ROWS = 128
 _AUTO_MIN_BATCH = 64
@@ -74,10 +92,12 @@ class TransactionDatabase:
             for large batched workloads, big-int otherwise), ``"numpy"``
             (force the chunked-bitmap path where possible), ``"int"``
             (pure big-int, the seed behavior), ``"tidset"`` (big-int
-            tidset intersections, the Eclat view of ``"int"``), or
+            tidset intersections, the Eclat view of ``"int"``),
             ``"diffset"`` (count through column complements, the dEclat
-            identity).  All backends return bit-identical counts; the
-            knob exists for benchmarks and the equivalence tests.
+            identity), or ``"roaring"`` (compressed container bitmaps
+            for million-row covers).  All backends return bit-identical
+            counts; the knob exists for benchmarks, the equivalence
+            tests, and the memory/speed trade at scale.
 
     Rows may repeat (multiset semantics, as in market-basket data).
     """
@@ -112,7 +132,10 @@ class TransactionDatabase:
                 raise ValueError("transaction uses items outside the universe")
         self._rows: list[int] | None = rows
         self._n_rows: int = len(rows)
-        self._columns: list[int] = self._build_columns(rows, len(universe))
+        if backend == "roaring":
+            self._columns = self._build_roaring_columns(rows, len(universe))
+        else:
+            self._columns = self._build_columns(rows, len(universe))
         self._backend = backend
         self._matrix = None  # chunked vertical bitmaps, built lazily
 
@@ -147,15 +170,36 @@ class TransactionDatabase:
             )
         if n_rows < 0:
             raise ValueError("n_rows must be non-negative")
-        full = (1 << n_rows) - 1
-        for column in columns:
-            if column & ~full:
-                raise ValueError("column uses rows outside the database")
+        if backend == "roaring":
+            converted = [
+                column
+                if isinstance(column, RoaringBitmap)
+                else RoaringBitmap.from_int(column)
+                for column in columns
+            ]
+            for column in converted:
+                if column.max_index() >= n_rows:
+                    raise ValueError(
+                        "column uses rows outside the database"
+                    )
+        else:
+            converted = [
+                column.to_int()
+                if isinstance(column, RoaringBitmap)
+                else column
+                for column in columns
+            ]
+            full = (1 << n_rows) - 1
+            for column in converted:
+                if column & ~full:
+                    raise ValueError(
+                        "column uses rows outside the database"
+                    )
         database = cls.__new__(cls)
         database.universe = universe
         database._rows = None
         database._n_rows = n_rows
-        database._columns = list(columns)
+        database._columns = converted
         database._backend = backend
         database._matrix = None
         return database
@@ -169,10 +213,11 @@ class TransactionDatabase:
         encode, so a round trip is the identity.
         """
         if self._rows is None:
+            decode = iter if self._backend == "roaring" else iter_bits
             rows = [0] * self._n_rows
             for item_index, column in enumerate(self._columns):
                 item_bit = 1 << item_index
-                for row_index in iter_bits(column):
+                for row_index in decode(column):
                     rows[row_index] |= item_bit
             self._rows = rows
         return self._rows
@@ -185,6 +230,64 @@ class TransactionDatabase:
             for item_index in iter_bits(row):
                 columns[item_index] |= row_bit
         return columns
+
+    @staticmethod
+    def _build_roaring_columns(
+        rows: Sequence[int], n_items: int
+    ) -> list[RoaringBitmap]:
+        item_rows: list[list[int]] = [[] for _ in range(n_items)]
+        for row_index, row in enumerate(rows):
+            for item_index in iter_bits(row):
+                item_rows[item_index].append(row_index)
+        return [RoaringBitmap.from_indices(r) for r in item_rows]
+
+    @classmethod
+    def from_columnar(
+        cls,
+        universe: Universe,
+        item_rows: Sequence[Iterable[int]],
+        n_rows: int,
+        *,
+        backend: str = "auto",
+    ) -> "TransactionDatabase":
+        """Build from per-item row-index lists, skipping row bitmasks.
+
+        The streamed-ingestion constructor: loaders that accumulate
+        ``item → sorted row indices`` (``read_fimi_stream``,
+        ``read_baskets_csv``) hand the columnar form straight to the
+        vertical store.  At a million rows this avoids ~10M big-int OR
+        operations on 125 KB masks that building horizontal rows first
+        would cost — the columns are assembled with byte-level bit sets
+        (int backends) or container builders (``"roaring"``) instead.
+        """
+        if backend not in _BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {_BACKENDS}"
+            )
+        if len(item_rows) != len(universe):
+            raise ValueError(
+                f"expected {len(universe)} item row lists, "
+                f"got {len(item_rows)}"
+            )
+        if backend == "roaring":
+            columns: list = [
+                RoaringBitmap.from_indices(rows) for rows in item_rows
+            ]
+        else:
+            n_bytes = (n_rows + 7) // 8
+            columns = []
+            for rows in item_rows:
+                packed = bytearray(n_bytes)
+                for row_index in rows:
+                    if not 0 <= row_index < n_rows:
+                        raise ValueError(
+                            "column uses rows outside the database"
+                        )
+                    packed[row_index >> 3] |= 1 << (row_index & 7)
+                columns.append(int.from_bytes(packed, "little"))
+        return cls.from_vertical(
+            universe, columns, n_rows, backend=backend
+        )
 
     @classmethod
     def from_transactions(
@@ -259,6 +362,18 @@ class TransactionDatabase:
         """
         from repro.parallel.sharding import shard_bounds
 
+        if self._backend == "roaring":
+            # Slice the compressed columns directly: no horizontal
+            # materialization, interior containers shared outright.
+            return [
+                TransactionDatabase.from_vertical(
+                    self.universe,
+                    [col.sliced(start, stop) for col in self._columns],
+                    stop - start,
+                    backend="roaring",
+                )
+                for start, stop in shard_bounds(self._n_rows, n_shards)
+            ]
         rows = self._rows_view()
         return [
             TransactionDatabase(
@@ -324,35 +439,25 @@ class TransactionDatabase:
         """
         masks = list(itemset_masks)
         chosen = self._backend if backend is None else backend
-        if chosen not in _BACKENDS:
+        kernel = _BATCH_KERNELS.get(chosen)
+        if kernel is None:
             raise ValueError(
                 f"unknown backend {backend!r}; expected one of {_BACKENDS}"
             )
-        if chosen == "diffset":
-            return [self._support_count_diffset(mask) for mask in masks]
-        if not self._use_numpy(chosen, len(masks)):
-            return [self.support_count(mask) for mask in masks]
-        return self._support_counts_numpy(masks)
-
-    def _use_numpy(self, backend: str, batch_size: int) -> bool:
-        if not _HAS_VECTOR_POPCOUNT:
-            return False
-        if backend in ("int", "tidset", "diffset"):
-            return False
-        if backend == "numpy":
-            return True
-        return (
-            batch_size >= _AUTO_MIN_BATCH
-            and self._n_rows >= _AUTO_MIN_ROWS
-        )
+        return kernel(self, masks)
 
     def _vertical_matrix(self):
         """The chunked vertical bitmaps: ``(n_items, ⌈n/64⌉)`` uint64."""
         if self._matrix is None:
             n_chunks = (self._n_rows + 63) // 64
             n_bytes = n_chunks * 8
+            columns = self._columns
+            if self._backend == "roaring":
+                # Per-call backend="numpy" on a compressed database:
+                # decompress once, then count vectorized as usual.
+                columns = [column.to_int() for column in columns]
             packed = b"".join(
-                column.to_bytes(n_bytes, "little") for column in self._columns
+                column.to_bytes(n_bytes, "little") for column in columns
             )
             self._matrix = _np.frombuffer(packed, dtype="<u8").reshape(
                 len(self._columns), n_chunks
@@ -531,8 +636,14 @@ class TransactionDatabase:
         """
         if itemset_mask == 0:
             return self._n_rows
-        full = self.full_tidset
         columns = self._columns
+        if self._backend == "roaring":
+            full = (1 << self._n_rows) - 1
+            missing = 0
+            for item_index in iter_bits(itemset_mask):
+                missing |= full & ~columns[item_index].to_int()
+            return self._n_rows - popcount(missing)
+        full = self.full_tidset
         missing = 0
         for item_index in iter_bits(itemset_mask):
             missing |= full & ~columns[item_index]
@@ -541,8 +652,14 @@ class TransactionDatabase:
     # -- tidsets (the Eclat vertical surface) --------------------------------
 
     @property
-    def full_tidset(self) -> int:
-        """Bitmask with one set bit per transaction (the tidset of ∅)."""
+    def full_tidset(self):
+        """Cover of every transaction (the tidset of ∅).
+
+        A big-int bitmask, or a :class:`RoaringBitmap` of all rows on
+        the ``"roaring"`` backend (run containers; O(n / 64Ki) size).
+        """
+        if self._backend == "roaring":
+            return RoaringBitmap.full(self._n_rows)
         return (1 << self._n_rows) - 1
 
     def tidsets_view(self) -> list[int]:
@@ -576,6 +693,10 @@ class TransactionDatabase:
         ``d(X∪{x} | X) = t(X) \\ t(x)`` — the dEclat difference list;
         ``supp(X∪{x}) = supp(X) − popcount(diffset(X, x))``.
         """
+        if self._backend == "roaring":
+            return self.tidset(itemset_mask).andnot(
+                self._columns[item_index]
+            )
         return self.tidset(itemset_mask) & ~self._columns[item_index]
 
     def frequency(self, itemset_mask: int) -> float:
@@ -622,3 +743,55 @@ class TransactionDatabase:
                 self.universe.item_at(i) for i in iter_bits(projected)
             ))
         return TransactionDatabase(sub_universe, rows, backend=self._backend)
+
+
+# -- per-backend batch kernels ----------------------------------------------
+#
+# One entry per backend: ``backend name → batch counting kernel``.  This
+# table is the single registration point — `support_counts` dispatches
+# through it, and `_BACKENDS` (the validated name set) must match its
+# keys.  A new backend is one row here plus whatever representation
+# branches it needs, not a string-comparison chain per call site.
+
+
+def _batch_scalar(database: TransactionDatabase, masks: list[int]) -> list[int]:
+    """One AND-chain per mask over the instance's columns (int or
+    roaring — ``support_count`` is representation-agnostic)."""
+    count = database.support_count
+    return [count(mask) for mask in masks]
+
+
+def _batch_diffset(
+    database: TransactionDatabase, masks: list[int]
+) -> list[int]:
+    count = database._support_count_diffset
+    return [count(mask) for mask in masks]
+
+
+def _batch_numpy(database: TransactionDatabase, masks: list[int]) -> list[int]:
+    if not _HAS_VECTOR_POPCOUNT:
+        return _batch_scalar(database, masks)
+    return database._support_counts_numpy(masks)
+
+
+def _batch_auto(database: TransactionDatabase, masks: list[int]) -> list[int]:
+    if (
+        _HAS_VECTOR_POPCOUNT
+        and len(masks) >= _AUTO_MIN_BATCH
+        and database._n_rows >= _AUTO_MIN_ROWS
+        and database._backend != "roaring"
+    ):
+        return database._support_counts_numpy(masks)
+    return _batch_scalar(database, masks)
+
+
+_BATCH_KERNELS = {
+    "auto": _batch_auto,
+    "numpy": _batch_numpy,
+    "int": _batch_scalar,
+    "tidset": _batch_scalar,
+    "diffset": _batch_diffset,
+    "roaring": _batch_scalar,
+}
+
+assert set(_BATCH_KERNELS) == set(_BACKENDS)

@@ -17,6 +17,16 @@ from which each child support is one big-int operation:
   in total — decided arithmetically from the supports alone, before any
   conversion work — and never switches back.
 
+On the ``"roaring"`` backend covers are compressed
+:class:`~repro.util.roaring.RoaringBitmap` containers and the switch
+compares *container byte sizes* instead of row counts
+(:func:`_expand_roaring`): a run-compressed tidset over a dense block
+can be far smaller than its diffset's row count suggests, so the
+byte-size rule reflects the memory the branch actually holds.  The
+heuristic only picks a representation — masks, supports, evaluation
+order, and hence theory/borders/accounting stay bit-identical to the
+int backends (property-tested).
+
 The levelwise engine re-derives every support from raw column bitmaps
 (an ``|X|``-way AND per candidate); here each support reuses the
 parent's intersection, which is where the end-to-end speedup measured in
@@ -163,6 +173,71 @@ def _expand(
     return members, False
 
 
+#: Estimated bytes per row of a would-be diffset in container form
+#: (an array container stores one u16 per row).  The roaring
+#: tidset→diffset switch compares real tidset container bytes against
+#: this estimate — both sides in bytes, unlike the int backends' row
+#: counts — so branches convert exactly when the conversion shrinks the
+#: memoized covers.
+_DIFF_BYTES_PER_ROW = 2
+
+
+def _expand_roaring(
+    prefix: int,
+    is_diff: bool,
+    parent_supp: int,
+    parent_cover,
+    exts: list,
+    threshold: int,
+    supports: dict[int, int],
+    rejected: list[int],
+) -> tuple[list, bool]:
+    """:func:`_expand` over compressed covers (hot kernel twin).
+
+    Identical traversal, supports, and rejection order — only the cover
+    arithmetic (`&`/`andnot` on :class:`RoaringBitmap`) and the switch
+    currency (container bytes vs rows) differ, so results stay
+    bit-identical to the int backends.
+    """
+    members: list = []
+    if is_diff:
+        for bit, _, cover in exts:
+            child_cover = cover.andnot(parent_cover)
+            supp = parent_supp - child_cover.bit_count()
+            mask = prefix | bit
+            if supp >= threshold:
+                supports[mask] = supp
+                members.append((bit, supp, child_cover))
+            else:
+                rejected.append(mask)
+        return members, True
+    tid_total = 0
+    diff_total = 0
+    for bit, _, cover in exts:
+        child_cover = parent_cover & cover
+        supp = child_cover.bit_count()
+        mask = prefix | bit
+        if supp >= threshold:
+            supports[mask] = supp
+            members.append((bit, supp, child_cover))
+            tid_total += child_cover.byte_size()
+            diff_total += _DIFF_BYTES_PER_ROW * (parent_supp - supp)
+        else:
+            rejected.append(mask)
+    if diff_total < tid_total and len(members) > 1:
+        members = [
+            (bit, supp, parent_cover.andnot(cover))
+            for bit, supp, cover in members
+        ]
+        return members, True
+    return members, False
+
+
+def _expand_for(cover):
+    """The expand kernel matching a cover's representation."""
+    return _expand if type(cover) is int else _expand_roaring
+
+
 def _mine_subtree(
     prefix: int,
     is_diff: bool,
@@ -184,7 +259,8 @@ def _mine_subtree(
     """
     nodes = 1
     diffset_nodes = 1 if is_diff else 0
-    members, is_diff = _expand(
+    expand = _expand_for(parent_cover)
+    members, is_diff = expand(
         prefix, is_diff, parent_supp, parent_cover, exts,
         threshold, supports, rejected,
     )
@@ -205,7 +281,7 @@ def _mine_subtree(
         nodes += 1
         if frame[1]:
             diffset_nodes += 1
-        child_members, child_diff = _expand(
+        child_members, child_diff = expand(
             child_prefix, frame[1], supp, cover,
             frame_members[index + 1 :], threshold, supports, rejected,
         )
@@ -387,8 +463,14 @@ def eclat(
         parent_cover: int,
         exts: list[tuple[int, int, int]],
     ) -> tuple[list[tuple[int, int, int]], bool]:
-        """Instrumented twin of :func:`_expand` (budget + trace)."""
+        """Instrumented twin of :func:`_expand` (budget + trace).
+
+        Handles both cover representations: big ints and compressed
+        :class:`RoaringBitmap` covers, applying each one's switch rule
+        (row counts vs container bytes) exactly as the hot kernels do.
+        """
         nonlocal queries, nodes, diffset_nodes
+        is_roaring = type(parent_cover) is not int
         members: list[tuple[int, int, int]] = []
         pending[0] = prefix
         pending[1] = members
@@ -412,7 +494,10 @@ def eclat(
             if budget is not None:
                 budget.check(queries=queries)
             if is_diff:
-                child_cover = cover & ~parent_cover
+                if is_roaring:
+                    child_cover = cover.andnot(parent_cover)
+                else:
+                    child_cover = cover & ~parent_cover
                 supp = parent_supp - popcount(child_cover)
             else:
                 child_cover = parent_cover & cover
@@ -428,16 +513,26 @@ def eclat(
             if answer:
                 supports[mask] = supp
                 members.append((bit, supp, child_cover))
-                tid_total += supp
-                diff_total += parent_supp - supp
+                if is_roaring:
+                    tid_total += child_cover.byte_size()
+                    diff_total += _DIFF_BYTES_PER_ROW * (parent_supp - supp)
+                else:
+                    tid_total += supp
+                    diff_total += parent_supp - supp
             else:
                 rejected.append(mask)
             pending[3] = position + 1
         if not is_diff and diff_total < tid_total and len(members) > 1:
-            members = [
-                (bit, supp, parent_cover & ~cover)
-                for bit, supp, cover in members
-            ]
+            if is_roaring:
+                members = [
+                    (bit, supp, parent_cover.andnot(cover))
+                    for bit, supp, cover in members
+                ]
+            else:
+                members = [
+                    (bit, supp, parent_cover & ~cover)
+                    for bit, supp, cover in members
+                ]
             is_diff = True
         return members, is_diff
 

@@ -63,7 +63,7 @@ from repro.core.errors import BudgetExhausted
 from repro.datasets.transactions import TransactionDatabase
 from repro.mining.eclat import (
     EclatResult,
-    _expand,
+    _expand_for,
     _maximal_from_supports,
     _mine_subtree,
 )
@@ -92,31 +92,30 @@ _WORKER_STATE: dict = {}
 
 
 def _root_class(
-    columns: list[int], n_rows: int, threshold: int
+    columns: list, n_rows: int, threshold: int
 ) -> tuple[list[tuple[int, int, int]], bool]:
     """The root equivalence class, exactly as the serial engine forms it.
 
     Returns the frequent singleton members ``(bit, supp, cover)`` and
-    whether the class switched to diffset covers — the same
-    supports-only rule :func:`repro.mining.eclat._expand` applies, so
-    coordinator and every worker agree on the representation.
+    whether the class switched to diffset covers.  Rather than
+    duplicating the switch rule (which differs per cover
+    representation: row counts for big ints, container bytes for
+    roaring covers), this delegates to the same expand kernel the
+    serial engine runs on its root node — so coordinator and every
+    worker agree with serial bit for bit on both backends.
     """
-    full_cover = (1 << n_rows) - 1
-    members: list[tuple[int, int, int]] = []
-    tid_total = 0
-    diff_total = 0
-    for item, column in enumerate(columns):
-        supp = popcount(column)
-        if supp >= threshold:
-            members.append((1 << item, supp, column))
-            tid_total += supp
-            diff_total += n_rows - supp
-    if diff_total < tid_total and len(members) > 1:
-        members = [
-            (bit, supp, full_cover & ~cover) for bit, supp, cover in members
-        ]
-        return members, True
-    return members, False
+    if columns and type(columns[0]) is not int:
+        from repro.util.roaring import RoaringBitmap
+
+        full_cover = RoaringBitmap.full(n_rows)
+    else:
+        full_cover = (1 << n_rows) - 1
+    root_exts = [
+        (1 << item, 0, column) for item, column in enumerate(columns)
+    ]
+    return _expand_for(full_cover)(
+        0, False, n_rows, full_cover, root_exts, threshold, {}, []
+    )
 
 
 def _init_steal_worker(spec: tuple) -> None:
@@ -182,7 +181,7 @@ def _mine_payload(
     else:
         node = expansions.get(position)
         if node is None:
-            node = _expand(
+            node = _expand_for(cover)(
                 bit,
                 is_diff,
                 supp,
@@ -629,7 +628,7 @@ def eclat_parallel(
                     tasks.append((position, None))
                     continue
                 scratch_supports: dict[int, int] = {}
-                child_members, _ = _expand(
+                child_members, _ = _expand_for(cover)(
                     bit,
                     root_is_diff,
                     supp,

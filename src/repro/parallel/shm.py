@@ -48,6 +48,7 @@ from dataclasses import dataclass
 
 from repro.datasets.transactions import TransactionDatabase
 from repro.util.bitset import Universe
+from repro.util.roaring import RoaringBitmap
 
 try:  # pragma: no cover - exercised indirectly via shm_available()
     from multiprocessing import shared_memory as _shared_memory
@@ -132,6 +133,11 @@ class ShmHandle:
     n_items: int
     items: tuple
     backend: str
+    #: ``"chunked"`` — item-major uint64 chunks (the numpy layout);
+    #: ``"roaring"`` — concatenated serialized containers, located by
+    #: the ``offsets`` table (``offsets[i]..offsets[i+1]`` is column i).
+    layout: str = "chunked"
+    offsets: tuple = ()
 
     @property
     def n_chunks(self) -> int:
@@ -141,6 +147,8 @@ class ShmHandle:
     @property
     def n_bytes(self) -> int:
         """Total payload size of the segment in bytes."""
+        if self.layout == "roaring":
+            return max(1, self.offsets[-1] if self.offsets else 0)
         return max(1, self.n_items * self.n_chunks * 8)
 
 
@@ -173,39 +181,78 @@ class ShmVerticalStore:
     def publish(cls, database: TransactionDatabase) -> "ShmVerticalStore":
         """Export a database's vertical bitmaps into shared memory.
 
-        The layout matches ``TransactionDatabase._vertical_matrix``
-        byte for byte: item-major, ``⌈n_rows/64⌉`` little-endian uint64
-        chunks per item.
+        Int-backed databases use the ``"chunked"`` layout, matching
+        ``TransactionDatabase._vertical_matrix`` byte for byte:
+        item-major, ``⌈n_rows/64⌉`` little-endian uint64 chunks per
+        item.  A ``backend="roaring"`` database publishes its columns
+        *compressed* — each column's container serialization is
+        concatenated and located by a per-column offsets table on the
+        handle, so the segment stays small on sparse data instead of
+        inflating to the dense chunked footprint.
         """
         if _shared_memory is None:
             raise RuntimeError(
                 "multiprocessing.shared_memory is unavailable; "
                 "use memory='pickle'"
             )
-        handle_proto = ShmHandle(
-            name="",
-            n_rows=database.n_transactions,
-            n_items=database.n_items,
-            items=tuple(database.universe.items),
-            backend=database.backend,
-        )
-        segment = _shared_memory.SharedMemory(
-            create=True, size=handle_proto.n_bytes
-        )
-        handle = ShmHandle(
-            name=segment.name,
-            n_rows=handle_proto.n_rows,
-            n_items=handle_proto.n_items,
-            items=handle_proto.items,
-            backend=handle_proto.backend,
-        )
-        chunk_bytes = handle.n_chunks * 8
-        buffer = segment.buf
-        for index, column in enumerate(database.tidsets_view()):
-            start = index * chunk_bytes
-            buffer[start : start + chunk_bytes] = column.to_bytes(
-                chunk_bytes, "little"
+        n_rows = database.n_transactions
+        items = tuple(database.universe.items)
+        if database.backend == "roaring":
+            blobs = [
+                column.serialize() for column in database.tidsets_view()
+            ]
+            offsets = [0]
+            for blob in blobs:
+                offsets.append(offsets[-1] + len(blob))
+            handle_proto = ShmHandle(
+                name="",
+                n_rows=n_rows,
+                n_items=len(items),
+                items=items,
+                backend=database.backend,
+                layout="roaring",
+                offsets=tuple(offsets),
             )
+            segment = _shared_memory.SharedMemory(
+                create=True, size=handle_proto.n_bytes
+            )
+            handle = ShmHandle(
+                name=segment.name,
+                n_rows=n_rows,
+                n_items=len(items),
+                items=items,
+                backend=database.backend,
+                layout="roaring",
+                offsets=tuple(offsets),
+            )
+            buffer = segment.buf
+            for blob, start in zip(blobs, offsets):
+                buffer[start : start + len(blob)] = blob
+        else:
+            handle_proto = ShmHandle(
+                name="",
+                n_rows=n_rows,
+                n_items=len(items),
+                items=items,
+                backend=database.backend,
+            )
+            segment = _shared_memory.SharedMemory(
+                create=True, size=handle_proto.n_bytes
+            )
+            handle = ShmHandle(
+                name=segment.name,
+                n_rows=n_rows,
+                n_items=len(items),
+                items=items,
+                backend=database.backend,
+            )
+            chunk_bytes = handle.n_chunks * 8
+            buffer = segment.buf
+            for index, column in enumerate(database.tidsets_view()):
+                start = index * chunk_bytes
+                buffer[start : start + chunk_bytes] = column.to_bytes(
+                    chunk_bytes, "little"
+                )
         store = cls(handle, segment, owner=True)
         _register_owner(store)
         return store
@@ -230,11 +277,26 @@ class ShmVerticalStore:
 
     # -- views --------------------------------------------------------------
 
-    def columns(self) -> list[int]:
-        """Rebuild the big-int column bitmaps from the shared pages."""
+    def columns(self) -> list:
+        """Rebuild the column bitmaps from the shared pages.
+
+        Big ints for the ``"chunked"`` layout,
+        :class:`~repro.util.roaring.RoaringBitmap` objects for the
+        ``"roaring"`` layout (decoded from the shared serialization —
+        the containers themselves are immutable tuples, so workers pay
+        only the decode, never a repack).
+        """
         handle = self.handle
-        chunk_bytes = handle.n_chunks * 8
         buffer = self._shm.buf
+        if handle.layout == "roaring":
+            offsets = handle.offsets
+            return [
+                RoaringBitmap.deserialize(
+                    bytes(buffer[offsets[index] : offsets[index + 1]])
+                )
+                for index in range(handle.n_items)
+            ]
+        chunk_bytes = handle.n_chunks * 8
         return [
             int.from_bytes(
                 buffer[index * chunk_bytes : (index + 1) * chunk_bytes],
@@ -246,11 +308,12 @@ class ShmVerticalStore:
     def matrix(self):
         """The full chunked matrix as a numpy *view* of the segment.
 
-        ``None`` when numpy is unavailable.  The view stays valid only
-        while this store is open; callers must keep the store alive for
-        as long as they hold the array.
+        ``None`` when numpy is unavailable or the segment holds the
+        compressed ``"roaring"`` layout (no dense pages to view).  The
+        view stays valid only while this store is open; callers must
+        keep the store alive for as long as they hold the array.
         """
-        if _np is None:
+        if _np is None or self.handle.layout == "roaring":
             return None
         handle = self.handle
         return _np.frombuffer(
@@ -295,10 +358,15 @@ class ShmVerticalStore:
                 f"shard [{start}, {stop}) outside 0..{handle.n_rows}"
             )
         n_rows = stop - start
-        window = (1 << n_rows) - 1
-        columns = [
-            (column >> start) & window for column in self.columns()
-        ]
+        if self.handle.layout == "roaring":
+            columns = [
+                column.sliced(start, stop) for column in self.columns()
+            ]
+        else:
+            window = (1 << n_rows) - 1
+            columns = [
+                (column >> start) & window for column in self.columns()
+            ]
         database = TransactionDatabase.from_vertical(
             Universe(handle.items),
             columns,

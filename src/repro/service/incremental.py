@@ -239,10 +239,18 @@ def append_database(
         row_bit = 1 << row_index
         for item_index in iter_bits(row):
             delta_columns[item_index] |= row_bit
-    columns = [
-        column | (delta << n_old)
-        for column, delta in zip(database.tidsets_view(), delta_columns)
-    ]
+    if database.backend == "roaring":
+        columns = [
+            column.with_appended(
+                n_old + row_index for row_index in iter_bits(delta)
+            )
+            for column, delta in zip(database.tidsets_view(), delta_columns)
+        ]
+    else:
+        columns = [
+            column | (delta << n_old)
+            for column, delta in zip(database.tidsets_view(), delta_columns)
+        ]
     return TransactionDatabase.from_vertical(
         universe,
         columns,
@@ -275,10 +283,16 @@ def _repair(
     # 1. Refresh the known supports with one delta-only pass (counts of
     # the *new* rows alone; old counts are already in the table).
     if n_delta > 0:
-        delta_columns = [
-            column >> state.database.n_transactions
-            for column in new_db.tidsets_view()
-        ]
+        n_old = state.database.n_transactions
+        if new_db.backend == "roaring":
+            delta_columns = [
+                column.sliced(n_old, new_db.n_transactions)
+                for column in new_db.tidsets_view()
+            ]
+        else:
+            delta_columns = [
+                column >> n_old for column in new_db.tidsets_view()
+            ]
         delta_db = TransactionDatabase.from_vertical(
             state.database.universe,
             delta_columns,

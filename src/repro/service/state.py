@@ -70,6 +70,7 @@ def _state_payload(state: MaintainedTheory, seq: int, ledger: dict) -> dict:
     return {
         "seq": seq,
         "rows": list(state.database.transaction_masks),
+        "backend": state.database.backend,
         "threshold": state.threshold,
         "supports": [[mask, supp] for mask, supp in state.supports.items()],
         "maximal": list(state.maximal),
@@ -186,7 +187,9 @@ class ServiceCore:
         try:
             payload = checkpoint.state
             database = TransactionDatabase(
-                universe, [int(r) for r in payload["rows"]]
+                universe,
+                [int(r) for r in payload["rows"]],
+                backend=str(payload.get("backend", "auto")),
             )
             state = MaintainedTheory(
                 database=database,

@@ -305,6 +305,68 @@ class TestEclatCli:
         assert "certificate: valid" in out
 
 
+class TestBackendFlag:
+    @pytest.fixture
+    def dataset(self, tmp_path, capsys):
+        path = str(tmp_path / "data.dat")
+        main(["generate", path, "--items", "12", "--transactions", "80",
+              "--seed", "11"])
+        capsys.readouterr()
+        return path
+
+    @pytest.mark.parametrize(
+        "backend", ["auto", "numpy", "int", "tidset", "diffset", "roaring"]
+    )
+    def test_every_backend_prints_identical_theory(
+        self, dataset, capsys, backend
+    ):
+        base = ["mine", dataset, "--min-support", "0.3",
+                "--algorithm", "eclat", "--show", "5"]
+        assert main(base) == 0
+        reference_out = capsys.readouterr().out
+        assert main(base + ["--backend", backend]) == 0
+        assert capsys.readouterr().out == reference_out
+
+    def test_roaring_composes_with_workers(self, dataset, capsys):
+        base = ["mine", dataset, "--min-support", "0.3",
+                "--algorithm", "eclat", "--backend", "roaring", "--show", "5"]
+        assert main(base) == 0
+        serial_out = capsys.readouterr().out
+        assert main(base + ["--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial_out
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["mine", "{data}", "--backend", "bitpacked"],
+            ["transversals", "--edges", "0 1, 1 2",
+             "--backend", "bitpacked"],
+            ["serve", "{data}", "--backend", "bitpacked"],
+        ],
+    )
+    def test_unknown_backend_one_line_error_exit_2(
+        self, dataset, capsys, argv
+    ):
+        argv = [dataset if token == "{data}" else token for token in argv]
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "error:" in err
+        assert "bitpacked" in err and "roaring" in err
+
+    def test_unknown_backend_rejected_before_file_io(self, capsys):
+        # Validation precedes reading, so even a missing data file
+        # reports the flag error rather than the I/O error.
+        assert (
+            main(["mine", "/nonexistent/file.dat",
+                  "--backend", "bitpacked"])
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert "bitpacked" in err
+        assert "cannot read" not in err
+
+
 class TestParser:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):

@@ -141,7 +141,7 @@ class TestDunders:
 
 
 class TestVerticalBackends:
-    """The tidset/diffset surface and five-way backend agreement."""
+    """The tidset/diffset surface and six-way backend agreement."""
 
     @pytest.fixture
     def database(self):
@@ -164,7 +164,7 @@ class TestVerticalBackends:
         database = TransactionDatabase(universe, rows)
         masks = [mask & ((1 << n_items) - 1) for mask in masks]
         reference = database.support_counts(masks, backend="int")
-        for backend in ("auto", "numpy", "tidset", "diffset"):
+        for backend in ("auto", "numpy", "tidset", "diffset", "roaring"):
             assert (
                 database.support_counts(masks, backend=backend) == reference
             ), backend
@@ -218,3 +218,102 @@ class TestVerticalBackends:
         database = TransactionDatabase(Universe("A"), [1], backend="diffset")
         assert database.backend == "diffset"
         assert database.shards(2)[0].backend == "diffset"
+
+
+class TestRoaringBackend:
+    """The compressed-column backend against the big-int reference.
+
+    ``tidsets_view()`` holds :class:`RoaringBitmap` columns here;
+    equality with the reference is checked through ``to_int()``, which
+    maps a column back onto the exact big-int bitmask the other
+    backends carry.
+    """
+
+    @staticmethod
+    def _pair(rows, n_items=5):
+        universe = Universe(range(n_items))
+        return (
+            TransactionDatabase(universe, rows, backend="tidset"),
+            TransactionDatabase(universe, rows, backend="roaring"),
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=20),
+        st.randoms(use_true_random=False),
+    )
+    def test_vertical_surface_matches_int_backend(
+        self, n_items, n_rows, rng
+    ):
+        rows = [rng.randrange(1 << n_items) for _ in range(n_rows)]
+        reference, roaring = self._pair(rows, n_items)
+        assert roaring.full_tidset.to_int() == reference.full_tidset
+        for mask in range(1 << n_items):
+            assert roaring.tidset(mask).to_int() == reference.tidset(mask)
+            assert roaring.support_count(mask) == (
+                reference.support_count(mask)
+            )
+            for item_index in range(n_items):
+                if mask >> item_index & 1:
+                    continue
+                assert roaring.diffset(mask, item_index).to_int() == (
+                    reference.diffset(mask, item_index)
+                )
+
+    def test_columns_are_roaring_bitmaps(self):
+        from repro.util.roaring import RoaringBitmap
+
+        _, roaring = self._pair([0b101, 0b011, 0b110])
+        for column in roaring.tidsets_view():
+            assert isinstance(column, RoaringBitmap)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=1, max_value=5),
+        st.randoms(use_true_random=False),
+    )
+    def test_shards_slice_compressed_columns(self, n_rows, n_shards, rng):
+        rows = [rng.randrange(1 << 5) for _ in range(n_rows)]
+        reference, roaring = self._pair(rows)
+        ref_shards = reference.shards(n_shards)
+        roaring_shards = roaring.shards(n_shards)
+        assert len(ref_shards) == len(roaring_shards)
+        for ref_shard, roaring_shard in zip(ref_shards, roaring_shards):
+            assert roaring_shard.backend == "roaring"
+            assert roaring_shard.n_transactions == ref_shard.n_transactions
+            assert roaring_shard.transaction_masks == (
+                ref_shard.transaction_masks
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.sets(st.integers(min_value=0, max_value=7), max_size=5),
+            max_size=15,
+        )
+    )
+    def test_from_columnar_matches_horizontal(self, transactions):
+        universe = Universe(range(8))
+        rows = [universe.to_mask(basket) for basket in transactions]
+        item_rows = [
+            [t for t, basket in enumerate(transactions) if item in basket]
+            for item in range(8)
+        ]
+        for backend in ("auto", "tidset", "roaring"):
+            built = TransactionDatabase.from_columnar(
+                universe, item_rows, len(transactions), backend=backend
+            )
+            assert built._rows is None
+            assert built.transaction_masks == rows
+
+    def test_project_preserves_counts(self):
+        reference, roaring = self._pair([0b10111, 0b00111, 0b11010])
+        kept = 0b01011
+        ref_projected = reference.project(kept)
+        roaring_projected = roaring.project(kept)
+        for mask in range(1 << ref_projected.n_items):
+            assert roaring_projected.support_count(mask) == (
+                ref_projected.support_count(mask)
+            )

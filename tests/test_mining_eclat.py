@@ -26,6 +26,7 @@ from repro.mining.levelwise import levelwise
 from repro.obs.jsonl import JsonlTraceWriter
 from repro.obs.monitor import TheoremMonitor
 from repro.obs.schema import parse_trace, validate_trace
+from repro.obs.tracer import MultiTracer, Tracer
 from repro.parallel.eclat import eclat_parallel
 from repro.runtime.budget import Budget
 from repro.runtime.partial import PartialResult
@@ -335,3 +336,144 @@ class TestEclatEntryPoint:
             mine_frequent_itemsets(
                 figure1_database, 2, algorithm="eclat", resume="x.json"
             )
+
+
+def _roaring_pair(rng, n_items, n_rows):
+    universe = Universe(range(n_items))
+    rows = [rng.randrange(1 << n_items) for _ in range(n_rows)]
+    return (
+        TransactionDatabase(universe, rows, backend="tidset"),
+        TransactionDatabase(universe, rows, backend="roaring"),
+    )
+
+
+class _RecordingTracer(Tracer):
+    """Capture every event as ``(name, attrs)`` for comparison."""
+
+    def __init__(self):
+        self.events = []
+
+    def event(self, name, **attrs):
+        self.events.append((name, dict(attrs)))
+
+
+class TestEclatRoaringBitIdentity:
+    """Eclat over compressed columns vs the big-int tidset backend.
+
+    Everything the theorems speak about — theory, borders, supports,
+    query and node accounting, trace events — must be bit-identical.
+    The only sanctioned differences are the *representation
+    diagnostics*: ``diffset_nodes`` and the per-node ``kind`` trace
+    attribute, because the byte-size tidset→diffset switch legitimately
+    flips at different points for compressed containers than for
+    big-int images.
+    """
+
+    DIAGNOSTIC_ATTRS = ("kind", "diffset_nodes")
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=7),
+        st.integers(min_value=0, max_value=14),
+        st.integers(min_value=0, max_value=5),
+        st.randoms(use_true_random=False),
+    )
+    def test_serial_results_identical(self, n_items, n_rows, threshold, rng):
+        reference_db, roaring_db = _roaring_pair(rng, n_items, n_rows)
+        reference = eclat(reference_db, threshold)
+        result = eclat(roaring_db, threshold)
+        assert result.interesting == reference.interesting
+        assert result.maximal == reference.maximal
+        assert result.negative_border == reference.negative_border
+        assert result.supports == reference.supports
+        assert result.queries == reference.queries
+        assert result.nodes == reference.nodes
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=1, max_value=12),
+        st.randoms(use_true_random=False),
+    )
+    def test_traces_identical_up_to_diagnostics(self, n_items, n_rows, rng):
+        reference_db, roaring_db = _roaring_pair(rng, n_items, n_rows)
+        traces = []
+        for database in (reference_db, roaring_db):
+            recorder = _RecordingTracer()
+            monitor = TheoremMonitor()
+            eclat(database, 2, tracer=MultiTracer(recorder, monitor))
+            report = monitor.report()
+            assert report.ok, report.summary()
+            traces.append(
+                [
+                    (
+                        name,
+                        {
+                            key: value
+                            for key, value in attrs.items()
+                            if key not in self.DIAGNOSTIC_ATTRS
+                        },
+                    )
+                    for name, attrs in recorder.events
+                ]
+            )
+        assert traces[0] == traces[1]
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=1, max_value=14),
+        st.integers(min_value=1, max_value=12),
+        st.randoms(use_true_random=False),
+    )
+    def test_budget_cuts_identical(self, n_items, n_rows, limit, rng):
+        reference_db, roaring_db = _roaring_pair(rng, n_items, n_rows)
+        reference = eclat(
+            reference_db, 2, budget=Budget(max_queries=limit)
+        )
+        result = eclat(roaring_db, 2, budget=Budget(max_queries=limit))
+        assert isinstance(result, PartialResult) == isinstance(
+            reference, PartialResult
+        )
+        if isinstance(reference, PartialResult):
+            # Same cut point, same frontier, same history — compare the
+            # whole data surface except wall-clock timing.
+            for attr in dir(reference):
+                if attr.startswith("_") or attr == "elapsed":
+                    continue
+                ref_value = getattr(reference, attr)
+                if callable(ref_value):
+                    continue
+                assert getattr(result, attr) == ref_value, attr
+            assert result.certificate().ok
+        else:
+            assert result.maximal == reference.maximal
+            assert result.queries == reference.queries
+
+    def test_parallel_both_transports_identical(self, worker_count):
+        universe = Universe(range(7))
+        rows = [(i * 37) % 127 or 1 for i in range(1, 60)]
+        serial = eclat(TransactionDatabase(universe, rows, backend="tidset"), 5)
+        roaring_db = TransactionDatabase(universe, rows, backend="roaring")
+        for memory in ("pickle", "shm"):
+            parallel = eclat_parallel(
+                roaring_db, 5, workers=worker_count, memory=memory
+            )
+            assert parallel.interesting == serial.interesting
+            assert parallel.maximal == serial.maximal
+            assert parallel.negative_border == serial.negative_border
+            assert parallel.supports == serial.supports
+            assert parallel.queries == serial.queries, memory
+
+    def test_entry_point_on_roaring_database(self, figure1_database):
+        roaring_db = TransactionDatabase(
+            figure1_database.universe,
+            figure1_database.transaction_masks,
+            backend="roaring",
+        )
+        theory = mine_frequent_itemsets(roaring_db, 2, algorithm="eclat")
+        reference = mine_frequent_itemsets(
+            figure1_database, 2, algorithm="levelwise"
+        )
+        assert theory.maximal == reference.maximal
+        assert theory.negative_border == reference.negative_border
